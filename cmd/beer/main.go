@@ -1,0 +1,135 @@
+// Command beer runs the complete BEER methodology against a simulated DRAM
+// chip with on-die ECC and prints the recovered ECC function, optionally
+// checking it against the simulation's ground truth.
+//
+// Usage:
+//
+//	beer -mfr B -k 16 -verify
+//	beer -mfr C -k 32 -patterns 1 -max-rows 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ondie"
+)
+
+func main() {
+	var (
+		mfr      = flag.String("mfr", "A", "simulated manufacturer: A, B or C")
+		k        = flag.Int("k", 16, "dataword length in bits (multiple of 8)")
+		rows     = flag.Int("rows", 0, "chip rows (0 = automatic)")
+		seed     = flag.Uint64("seed", 1, "chip seed")
+		patterns = flag.String("patterns", "12", "pattern family: 1 (1-CHARGED) or 12 ({1,2}-CHARGED)")
+		rounds   = flag.Int("rounds", 3, "collection rounds over the window sweep")
+		maxWin   = flag.Int("max-window", 48, "largest refresh window in minutes")
+		verify   = flag.Bool("verify", false, "compare against the simulated chip's ground truth")
+		showProf = flag.Bool("profile", false, "print the thresholded miscorrection profile")
+		useAnti  = flag.Bool("anti", false, "also collect inverted patterns from anti-cell rows (extension)")
+		useLazy  = flag.Bool("lazy", false, "use the CEGAR-style lazy solver (extension)")
+	)
+	flag.Parse()
+
+	chipRows := *rows
+	if chipRows == 0 {
+		chipRows = 192
+		if ondie.Manufacturer(*mfr) == ondie.MfrC {
+			chipRows = 384
+		}
+	}
+	chip, err := ondie.New(ondie.Config{
+		Manufacturer:  ondie.Manufacturer(*mfr),
+		DataBits:      *k,
+		Banks:         1,
+		Rows:          chipRows,
+		RegionsPerRow: 16,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.DefaultRecoverOptions()
+	opts.Collect.Windows = nil
+	for m := 4; m <= *maxWin; m += 4 {
+		opts.Collect.Windows = append(opts.Collect.Windows, time.Duration(m)*time.Minute)
+	}
+	opts.Collect.Rounds = *rounds
+	switch *patterns {
+	case "1":
+		opts.PatternSet = core.Set1
+	case "12":
+		opts.PatternSet = core.Set12
+	default:
+		fatal(fmt.Errorf("unknown pattern family %q", *patterns))
+	}
+	opts.UseAntiRows = *useAnti
+	opts.UseLazySolver = *useLazy
+
+	fmt.Printf("BEER: manufacturer %s chip, k=%d, %d rows, %s patterns\n",
+		*mfr, *k, chipRows, opts.PatternSet)
+	fmt.Printf("analytical experiment runtime on real hardware: %v (refresh pauses dominate; paper sec. 6.3)\n\n",
+		core.ExperimentRuntime(opts.Collect))
+
+	start := time.Now()
+	rep, err := core.Recover(chip, opts)
+	if err != nil {
+		fatal(err)
+	}
+	trueRows := len(core.TrueRows(rep.CellClasses))
+	fmt.Printf("step 1a (cell layout):   %d/%d rows are true-cells\n", trueRows, chipRows)
+	fmt.Printf("step 1b (word layout):   %d words per %dB region, k=%d discovered\n",
+		len(rep.Layout.Words), rep.Layout.RegionBytes, rep.K)
+	fmt.Printf("step 2  (profile):       %d patterns observed over %d word-reads\n",
+		len(rep.Counts.Entries), totalWords(rep.Counts))
+	if *showProf {
+		fmt.Println(rep.Profile)
+	}
+	fmt.Printf("step 3  (SAT solve):     determine %v, uniqueness %v, %d vars, %d clauses\n",
+		rep.Result.DetermineTime.Round(time.Millisecond),
+		rep.Result.UniquenessTime.Round(time.Millisecond),
+		rep.Result.Vars, rep.Result.Clauses)
+	if *useLazy {
+		fmt.Printf("        (lazy solver materialized %d deferred pattern entries)\n", rep.Result.LazyRefinements)
+	}
+	fmt.Printf("simulation wall clock:   %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	switch {
+	case len(rep.Result.Codes) == 0:
+		fmt.Println("RESULT: no ECC function matches the profile (noisy data?)")
+		os.Exit(1)
+	case rep.Result.Unique:
+		fmt.Println("RESULT: unique ECC function recovered; parity-check matrix H = [P | I]:")
+	default:
+		fmt.Printf("RESULT: %d candidate ECC functions (first shown); add 2-CHARGED patterns to disambiguate:\n",
+			len(rep.Result.Codes))
+	}
+	fmt.Println(rep.Result.Codes[0].H())
+
+	if *verify {
+		truth := chip.GroundTruthCode()
+		if rep.Result.Codes[0].EquivalentTo(truth) {
+			fmt.Println("\nVERIFY: matches the chip's secret ECC function (up to parity relabeling)")
+		} else {
+			fmt.Println("\nVERIFY: MISMATCH against ground truth")
+			os.Exit(1)
+		}
+	}
+}
+
+func totalWords(c *core.Counts) int64 {
+	var n int64
+	for _, e := range c.Entries {
+		n += e.Words
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command einsim runs word-level Monte-Carlo ECC simulations, mirroring the
+// role of the EINSim tool the paper uses for its simulation studies.
+//
+// Usage:
+//
+//	einsim -k 32 -rber 1e-4 -words 1000000 -pattern 0xFF -model uniform
+//	einsim -k 128 -rber 1e-3 -model retention -family sequential
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"repro/internal/ecc"
+	"repro/internal/einsim"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 32, "dataword length in bits")
+		rber    = flag.Float64("rber", 1e-4, "raw (pre-correction) bit error rate")
+		words   = flag.Int("words", 100000, "number of ECC words to simulate")
+		pattern = flag.String("pattern", "0xFF", "data pattern: 0xFF, 0x00 or RANDOM")
+		model   = flag.String("model", "uniform", "error model: uniform or retention")
+		family  = flag.String("family", "sequential", "code family: sequential, bitreversed or random")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		minErr  = flag.Int("min-errors", 0, "condition sampling on at least this many errors per word")
+	)
+	flag.Parse()
+
+	var code *ecc.Code
+	switch *family {
+	case "sequential":
+		code = ecc.SequentialHamming(*k)
+	case "bitreversed":
+		code = ecc.BitReversedHamming(*k)
+	case "random":
+		code = ecc.RandomHamming(*k, rand.New(rand.NewPCG(*seed, 2)))
+	default:
+		fatal(fmt.Errorf("unknown code family %q", *family))
+	}
+	cfg := einsim.Config{
+		Code:               code,
+		RBER:               *rber,
+		Words:              *words,
+		ConditionMinErrors: *minErr,
+	}
+	switch *pattern {
+	case "0xFF":
+		cfg.Pattern = einsim.PatternAllOnes
+	case "0x00":
+		cfg.Pattern = einsim.PatternAllZeros
+	case "RANDOM":
+		cfg.Pattern = einsim.PatternRandom
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	switch *model {
+	case "uniform":
+		cfg.Model = einsim.ModelUniform
+	case "retention":
+		cfg.Model = einsim.ModelRetention
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	res, err := einsim.Run(cfg, rand.New(rand.NewPCG(*seed, 1)))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %d words of %s, pattern %s, model %s, RBER %g\n",
+		res.Words, code, cfg.Pattern, cfg.Model, *rber)
+	fmt.Printf("outcomes: %d correctable, %d silent, %d partial, %d miscorrected, %d words with post-correction errors\n",
+		res.Correctable, res.Silent, res.Partial, res.Miscorrected, res.WordsWithPostError)
+	fmt.Println("\nbit  pre-share  post-share")
+	pre := res.RelativePreProbabilities()
+	post := res.RelativePostProbabilities()
+	for b := 0; b < res.K; b++ {
+		fmt.Printf("%-4d %-10.4f %-10.4f\n", b, pre[b], post[b])
+	}
+	for b := res.K; b < res.N; b++ {
+		fmt.Printf("%-4d %-10.4f (parity)\n", b, pre[b])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "einsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command figures regenerates the paper's tables and figures from the
+// simulated substrate.
+//
+// Usage:
+//
+//	figures -list
+//	figures -id fig5 -scale quick
+//	figures -all -scale default
+//
+// Scales: quick (seconds), default (minutes), paper (closest feasible match
+// to the paper's sweep sizes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "table/figure to regenerate (see -list)")
+		all   = flag.Bool("all", false, "regenerate every table and figure")
+		list  = flag.Bool("list", false, "list available tables and figures")
+		scale = flag.String("scale", "quick", "experiment scale: quick, default or paper")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range figures.All() {
+			fmt.Printf("%-8s %s\n", g.ID, g.Description)
+		}
+		return
+	}
+	sc, err := figures.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *all:
+		for _, g := range figures.All() {
+			fmt.Printf("=== %s (%s) ===\n", g.ID, g.Description)
+			start := time.Now()
+			if err := g.Run(os.Stdout, sc); err != nil {
+				fatal(fmt.Errorf("%s: %w", g.ID, err))
+			}
+			fmt.Printf("--- %s done in %v ---\n\n", g.ID, time.Since(start).Round(time.Millisecond))
+		}
+	case *id != "":
+		g, ok := figures.ByID(*id)
+		if !ok {
+			fatal(fmt.Errorf("unknown id %q; try -list", *id))
+		}
+		if err := g.Run(os.Stdout, sc); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Quickstart: recover a simulated DRAM chip's secret on-die ECC function
+// with BEER and verify it against the simulation's ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// A simulated manufacturer-B LPDDR4-like chip with 16-bit ECC datawords.
+	// The chip's on-die ECC function is a trade secret: nothing on the Chip
+	// interface reveals it.
+	chip := repro.SimulatedChip(repro.MfrB, 16, 1)
+
+	start := time.Now()
+	report, err := repro.RecoverECCFunction(chip, repro.FastRecovery())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("discovered dataword length: %d bits\n", report.K)
+	fmt.Printf("recovery took %v (simulated experiment time: hours of refresh pauses)\n\n",
+		time.Since(start).Round(time.Millisecond))
+
+	if !report.Result.Unique {
+		log.Fatalf("expected a unique ECC function, found %d candidates", len(report.Result.Codes))
+	}
+	code := report.Result.Codes[0]
+	fmt.Printf("recovered ECC function: %s\n", code)
+	fmt.Printf("parity-check matrix H = [P | I]:\n%s\n\n", code.H())
+
+	// Only possible in simulation: compare with the hidden ground truth.
+	if code.EquivalentTo(repro.GroundTruth(chip)) {
+		fmt.Println("ground truth check: MATCH — BEER recovered the secret function.")
+	} else {
+		log.Fatal("ground truth check failed")
+	}
+}

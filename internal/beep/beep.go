@@ -1,0 +1,335 @@
+// Package beep implements BEEP (Bit-Exact Error Profiling), the paper's §7.1
+// demonstration of what a BEER-recovered ECC function enables: reconstructing
+// the number and bit-exact locations of pre-correction error-prone cells —
+// including cells in the inaccessible parity bits — purely from observed
+// post-correction errors.
+//
+// BEEP's three phases (paper Figure 7):
+//
+//  1. Craft test patterns with a SAT solver so that (a) the target cell is
+//     CHARGED with its neighbors DISCHARGED (worst-case coupling) and (b) a
+//     miscorrection becomes observable if the target fails alongside
+//     already-discovered errors.
+//  2. Test experimentally: write the pattern, induce retention errors, read.
+//  3. Calculate pre-correction error locations: an observed miscorrection at
+//     data bit b reveals the error syndrome H_col(b); solving Equation 4
+//     recovers the full pre-correction codeword, including parity bits, and
+//     the XOR against the written codeword is the bit-exact error pattern.
+//
+// Bootstrap note: the paper's constraint (2) references already-identified
+// errors, which do not exist for the very first bits. This implementation
+// bootstraps by letting the SAT solver treat every CHARGED cell as a
+// potential error (the same relaxation BEER's own analysis uses), so early
+// patterns are miscorrection-prone for whatever errors happen to exist; once
+// real errors are identified, crafting narrows to them as the paper
+// describes.
+package beep
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+	"repro/internal/sat"
+)
+
+// WordTester abstracts one profilable ECC word: write a dataword, expose it
+// to the error mechanism, and read back the post-correction dataword.
+// Implementations: SimWord (simulation), or adapters over real chip rows.
+type WordTester interface {
+	Test(data gf2.Vec) gf2.Vec
+}
+
+// Options configures a BEEP profiling run.
+type Options struct {
+	// Passes over the codeword (paper Figure 8 evaluates 1 vs 2).
+	Passes int
+	// TrialsPerPattern repeats each crafted pattern to catch probabilistic
+	// errors (the paper mentions multiple passes for low-probability cells).
+	TrialsPerPattern int
+	// WorstCaseNeighbors requires neighbors of the target cell to be
+	// DISCHARGED (constraint 1). Disabled automatically per-bit when it
+	// makes crafting infeasible.
+	WorstCaseNeighbors bool
+	// Crafter selects the pattern-crafting engine: the paper's SAT approach
+	// (default) or the linear-algebra formulation of §7.3 (see linear.go).
+	Crafter Crafter
+}
+
+// DefaultOptions mirror the paper's single-pass configuration.
+func DefaultOptions() Options {
+	return Options{Passes: 1, TrialsPerPattern: 1, WorstCaseNeighbors: true}
+}
+
+// Outcome reports a profiling run's findings.
+type Outcome struct {
+	// Identified lists the codeword bit positions of discovered error-prone
+	// cells, ascending.
+	Identified []int
+	// SkippedBits counts target bits for which no usable pattern existed.
+	SkippedBits int
+	// PatternsTested counts crafted-and-run patterns.
+	PatternsTested int
+	// Miscorrections counts observed (unambiguous) miscorrection events.
+	Miscorrections int
+}
+
+// Profiler runs BEEP against a known ECC function.
+type Profiler struct {
+	code *ecc.Code
+	opts Options
+	rng  *rand.Rand
+}
+
+// NewProfiler builds a profiler for the given (BEER-recovered) code.
+func NewProfiler(code *ecc.Code, opts Options, rng *rand.Rand) *Profiler {
+	if opts.Passes <= 0 {
+		opts.Passes = 1
+	}
+	if opts.TrialsPerPattern <= 0 {
+		opts.TrialsPerPattern = 1
+	}
+	return &Profiler{code: code, opts: opts, rng: rng}
+}
+
+// Run profiles one ECC word, returning every error-prone cell identified.
+func (p *Profiler) Run(w WordTester) *Outcome {
+	out := &Outcome{}
+	known := map[int]bool{}
+	for pass := 0; pass < p.opts.Passes; pass++ {
+		for target := 0; target < p.code.N(); target++ {
+			data, ok := p.craftPattern(target, known)
+			if !ok {
+				out.SkippedBits++
+				continue
+			}
+			for trial := 0; trial < p.opts.TrialsPerPattern; trial++ {
+				out.PatternsTested++
+				got := w.Test(data)
+				if errs, ok := p.inferErrors(data, got); ok {
+					out.Miscorrections++
+					for _, e := range errs {
+						known[e] = true
+					}
+				}
+			}
+		}
+	}
+	for e := range known {
+		out.Identified = append(out.Identified, e)
+	}
+	sort.Ints(out.Identified)
+	return out
+}
+
+// craftPattern builds a dataword whose encoded codeword (a) charges the
+// target bit, (b) discharges its neighbors when configured, and (c) can
+// exhibit an observable miscorrection if the target fails together with
+// known (or, when none are known, any) errors. Phase 1 of Figure 7.
+func (p *Profiler) craftPattern(target int, known map[int]bool) (gf2.Vec, bool) {
+	// Suspects: known errors plus the target. When nothing is known yet, all
+	// cells are candidate failures (bootstrap; see package comment).
+	suspects := make([]int, 0, len(known)+1)
+	for e := range known {
+		if e != target {
+			suspects = append(suspects, e)
+		}
+	}
+	sort.Ints(suspects)
+	suspects = append(suspects, target)
+
+	craft := p.craftSAT
+	if p.opts.Crafter == CrafterLinear {
+		craft = p.craftLinear
+	}
+	if d, ok := craft(target, suspects, p.opts.WorstCaseNeighbors); ok {
+		return d, true
+	}
+	if len(known) > 0 {
+		// Constraint 1 may be the blocker; the paper drops it before
+		// giving up (§7.1.2).
+		if d, ok := craft(target, suspects, false); ok {
+			return d, true
+		}
+	}
+	// Bootstrap / last resort: any charged cell may be a failure candidate.
+	// The linear crafter samples companions rather than taking all n cells;
+	// randomness comes from the profiler's rng either way.
+	all := make([]int, p.code.N())
+	for i := range all {
+		all[i] = i
+	}
+	if d, ok := craft(target, all, p.opts.WorstCaseNeighbors); ok {
+		return d, true
+	}
+	if d, ok := craft(target, all, false); ok {
+		return d, true
+	}
+	return gf2.Vec{}, false
+}
+
+// craftSAT encodes phase 1 as SAT: dataword bits are free variables; parity
+// bits are XOR gates; the miscorrection condition is an OR over candidate
+// landing bits of "syndrome of the selected failures equals that bit's H
+// column while the bit is DISCHARGED".
+func (p *Profiler) craftSAT(target int, suspects []int, worstCase bool) (gf2.Vec, bool) {
+	n, k, r := p.code.N(), p.code.K(), p.code.ParityBits()
+	s := sat.New()
+	dVars := make([]int, k)
+	for j := range dVars {
+		dVars[j] = s.NewVar()
+		// Bias free data bits toward CHARGED about half the time, and make
+		// sure the solver branches on data bits (not Tseitin gates) first:
+		// dense, varied patterns maximize the chance that the word's
+		// (unknown) error-prone cells are charged together and produce an
+		// observable miscorrection, while keeping enough DISCHARGED bits to
+		// land one.
+		s.SetPolarity(dVars[j], p.rng.IntN(2) == 0)
+		s.BoostActivity(dVars[j], 100+float64(p.rng.IntN(100)))
+	}
+	// Codeword literals: data bits directly, parity bits as XORs of the data
+	// bits in their parity-check row.
+	cw := make([]sat.Lit, n)
+	for j := 0; j < k; j++ {
+		cw[j] = sat.PosLit(dVars[j])
+	}
+	pmat := p.code.P()
+	for i := 0; i < r; i++ {
+		var lits []sat.Lit
+		for j := 0; j < k; j++ {
+			if pmat.Get(i, j) {
+				lits = append(lits, sat.PosLit(dVars[j]))
+			}
+		}
+		cw[k+i] = s.ReifyXor(lits...)
+	}
+	// Constraint 1: target charged, neighbors discharged (worst case).
+	s.AddClause(cw[target])
+	if worstCase {
+		if target > 0 {
+			s.AddClause(cw[target-1].Not())
+		}
+		if target+1 < n {
+			s.AddClause(cw[target+1].Not())
+		}
+	}
+	// Constraint 2: some subset of suspect failures (the target forced in)
+	// produces a syndrome equal to a DISCHARGED data bit's column.
+	sel := make(map[int]sat.Lit, len(suspects))
+	for _, e := range suspects {
+		l := sat.PosLit(s.NewVar())
+		sel[e] = l
+		s.Implies(l, cw[e]) // only charged cells can fail
+	}
+	s.AddClause(sel[target])
+	synd := make([]sat.Lit, r)
+	h := p.code.H()
+	for i := 0; i < r; i++ {
+		var lits []sat.Lit
+		for _, e := range suspects {
+			if h.Get(i, e) {
+				lits = append(lits, sel[e])
+			}
+		}
+		synd[i] = s.ReifyXor(lits...)
+	}
+	var hits []sat.Lit
+	for b := 0; b < k; b++ {
+		conds := make([]sat.Lit, 0, r+2)
+		for i := 0; i < r; i++ {
+			if p.code.Column(b).Get(i) {
+				conds = append(conds, synd[i])
+			} else {
+				conds = append(conds, synd[i].Not())
+			}
+		}
+		conds = append(conds, cw[b].Not()) // landing bit must be DISCHARGED
+		if l, isSuspect := sel[b]; isSuspect {
+			conds = append(conds, l.Not()) // and not itself a selected failure
+		}
+		hits = append(hits, s.ReifyAnd(conds...))
+	}
+	s.AddClause(hits...)
+
+	ok, err := s.Solve()
+	if err != nil || !ok {
+		return gf2.Vec{}, false
+	}
+	d := gf2.NewVec(k)
+	for j := 0; j < k; j++ {
+		d.Set(j, s.Value(dVars[j]))
+	}
+	// Randomize the free variables across calls by blocking and re-solving a
+	// few times; this spreads coverage over equivalent patterns.
+	for spin := p.rng.IntN(3); spin > 0; spin-- {
+		if !s.BlockModel(dVars) {
+			break
+		}
+		ok, err := s.Solve()
+		if err != nil || !ok {
+			break
+		}
+		for j := 0; j < k; j++ {
+			d.Set(j, s.Value(dVars[j]))
+		}
+	}
+	return d, true
+}
+
+// inferErrors implements phase 3 (Equation 4): from an observed
+// post-correction dataword containing an unambiguous miscorrection (a 0->1
+// flip, impossible for retention decay in a true-cell region), reconstruct
+// the full pre-correction codeword and return the exact error positions.
+func (p *Profiler) inferErrors(written, got gf2.Vec) ([]int, bool) {
+	k := p.code.K()
+	miscorrected := -1
+	for b := 0; b < k; b++ {
+		if got.Get(b) && !written.Get(b) {
+			miscorrected = b // the decoder's flip: retention errors only go 1->0
+			break
+		}
+	}
+	if miscorrected == -1 {
+		return nil, false
+	}
+	// The decoder flipped bit `miscorrected`, so the internal syndrome was
+	// that bit's H column.
+	syndrome := p.code.Column(miscorrected)
+	// Undo the flip to obtain the pre-correction data bits.
+	preData := got.Clone()
+	preData.Flip(miscorrected)
+	// Equation 4: H * c' = s with the n-k parity bits of c' unknown. In
+	// standard form H = [P | I], so parity' = s XOR P*data' — one unique
+	// solution, as the paper notes (H has full rank).
+	preParity := syndrome.Xor(p.code.P().MulVec(preData))
+	preCodeword := preData.Concat(preParity)
+	// Errors are the difference against what was actually stored.
+	errVec := p.code.Encode(written).Xor(preCodeword)
+	return errVec.Support(), true
+}
+
+// SimWord is a simulated ECC word with a fixed set of error-prone cells,
+// used by the paper's §7.1.4 evaluation: each charged error-prone cell fails
+// independently with probability PErr per test.
+type SimWord struct {
+	Code *ecc.Code
+	// ErrorCells are codeword bit positions of error-prone cells.
+	ErrorCells []int
+	// PErr is the per-test failure probability of a charged error cell
+	// (Figure 9 sweeps 0.25..1.0).
+	PErr float64
+	Rng  *rand.Rand
+}
+
+// Test implements WordTester: encode, decay error-prone charged cells,
+// decode.
+func (w *SimWord) Test(data gf2.Vec) gf2.Vec {
+	cw := w.Code.Encode(data)
+	for _, cell := range w.ErrorCells {
+		if cw.Get(cell) && w.Rng.Float64() < w.PErr {
+			cw.Set(cell, false) // CHARGED -> DISCHARGED
+		}
+	}
+	return w.Code.Decode(cw).Data
+}

@@ -1,0 +1,272 @@
+package beep
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+)
+
+func TestInferErrorsRoundTrip(t *testing.T) {
+	// Inject known error sets, force a miscorrection, and verify phase 3
+	// recovers the exact cells — including parity-bit errors.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		k := 8 + rng.IntN(50)
+		code := ecc.RandomHamming(k, rng)
+		p := NewProfiler(code, DefaultOptions(), rng)
+		d := gf2.NewVec(k)
+		for j := 0; j < k; j++ {
+			d.Set(j, rng.IntN(2) == 1)
+		}
+		cw := code.Encode(d)
+		// Pick 2 charged cells to fail.
+		charged := cw.Support()
+		if len(charged) < 2 {
+			continue
+		}
+		a := charged[rng.IntN(len(charged))]
+		b := charged[rng.IntN(len(charged))]
+		if a == b {
+			continue
+		}
+		bad := cw.Clone()
+		bad.Set(a, false)
+		bad.Set(b, false)
+		dec := code.Decode(bad)
+		// Only unambiguous miscorrections (0->1 in data) teach BEEP.
+		if dec.FlippedBit < 0 || dec.FlippedBit >= k || cw.Get(dec.FlippedBit) {
+			continue
+		}
+		errs, ok := p.inferErrors(d, dec.Data)
+		if !ok {
+			t.Fatalf("trial %d: visible miscorrection not detected", trial)
+		}
+		if len(errs) != 2 || !((errs[0] == a && errs[1] == b) || (errs[0] == b && errs[1] == a)) {
+			t.Fatalf("trial %d: inferred %v, want {%d,%d}", trial, errs, a, b)
+		}
+	}
+}
+
+func TestInferErrorsNoMiscorrection(t *testing.T) {
+	code := ecc.Hamming74()
+	rng := rand.New(rand.NewPCG(3, 4))
+	p := NewProfiler(code, DefaultOptions(), rng)
+	d := gf2.VecFromUint(4, 0b1010)
+	if _, ok := p.inferErrors(d, d.Clone()); ok {
+		t.Fatal("identical read must not report a miscorrection")
+	}
+	// A 1->0 flip alone is ambiguous (could be a raw retention error).
+	got := d.Clone()
+	got.Set(1, false)
+	if _, ok := p.inferErrors(d, got); ok {
+		t.Fatal("1->0 flip must be treated as ambiguous")
+	}
+}
+
+func TestCraftPatternSatisfiesConstraints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	code := ecc.RandomHamming(26, rng) // (31,26): full-length
+	p := NewProfiler(code, DefaultOptions(), rng)
+	known := map[int]bool{}
+	crafted := 0
+	for target := 0; target < code.N(); target++ {
+		d, ok := p.craftPattern(target, known)
+		if !ok {
+			continue
+		}
+		crafted++
+		cw := code.Encode(d)
+		if !cw.Get(target) {
+			t.Fatalf("target %d not charged", target)
+		}
+	}
+	if crafted < code.N()*3/4 {
+		t.Fatalf("only %d/%d targets craftable", crafted, code.N())
+	}
+}
+
+func TestCraftPatternWorstCaseNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	code := ecc.RandomHamming(26, rng)
+	p := NewProfiler(code, DefaultOptions(), rng)
+	for _, target := range []int{5, 12, 20} {
+		d, ok := p.craftSAT(target, allCells(code.N()), true)
+		if !ok {
+			continue
+		}
+		cw := code.Encode(d)
+		if !cw.Get(target) || cw.Get(target-1) || cw.Get(target+1) {
+			t.Fatalf("target %d: worst-case neighbor constraint violated (%v %v %v)",
+				target, cw.Get(target-1), cw.Get(target), cw.Get(target+1))
+		}
+	}
+}
+
+func allCells(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Deterministic full-probability errors in a realistic word: BEEP should
+// find them all, including ones in the parity region.
+func TestProfileFindsInjectedErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	code := ecc.RandomHamming(57, rng) // (63,57)
+	found := 0
+	trials := 10
+	for trial := 0; trial < trials; trial++ {
+		cells := rng.Perm(code.N())[:3]
+		word := &SimWord{Code: code, ErrorCells: cells, PErr: 1.0, Rng: rng}
+		prof := NewProfiler(code, Options{Passes: 2, TrialsPerPattern: 1, WorstCaseNeighbors: true}, rng)
+		out := prof.Run(word)
+		if sameSet(out.Identified, cells) {
+			found++
+		}
+	}
+	if found < trials*7/10 {
+		t.Fatalf("only %d/%d words profiled exactly", found, trials)
+	}
+}
+
+// No injected errors -> nothing identified, no false positives.
+func TestProfileCleanWord(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	code := ecc.RandomHamming(26, rng)
+	word := &SimWord{Code: code, ErrorCells: nil, PErr: 1, Rng: rng}
+	prof := NewProfiler(code, DefaultOptions(), rng)
+	out := prof.Run(word)
+	if len(out.Identified) != 0 {
+		t.Fatalf("clean word produced false positives: %v", out.Identified)
+	}
+}
+
+// BEEP's identified set never contains false positives even with
+// probabilistic errors: everything identified must be an injected cell.
+func TestProfileNoFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	code := ecc.RandomHamming(26, rng)
+	for trial := 0; trial < 10; trial++ {
+		cells := rng.Perm(code.N())[:5]
+		word := &SimWord{Code: code, ErrorCells: cells, PErr: 0.5, Rng: rng}
+		prof := NewProfiler(code, Options{Passes: 2, TrialsPerPattern: 2, WorstCaseNeighbors: true}, rng)
+		out := prof.Run(word)
+		injected := map[int]bool{}
+		for _, c := range cells {
+			injected[c] = true
+		}
+		for _, id := range out.Identified {
+			if !injected[id] {
+				t.Fatalf("false positive cell %d (injected %v)", id, cells)
+			}
+		}
+	}
+}
+
+// Figure 8's qualitative claims: two passes never hurt, and longer codewords
+// succeed more often than short ones at the same error count.
+func TestEvaluateFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo evaluation is slow in -short mode")
+	}
+	rng := rand.New(rand.NewPCG(15, 16))
+	base := EvalConfig{CodewordBits: 31, ErrorsPerWord: 3, PErr: 1, Passes: 1, TrialsPerPattern: 1, Words: 15}
+	onePass := Evaluate(base, rand.New(rand.NewPCG(15, 16)))
+	base.Passes = 2
+	twoPass := Evaluate(base, rand.New(rand.NewPCG(15, 16)))
+	if twoPass.SuccessRate()+1e-9 < onePass.SuccessRate()-0.2 {
+		t.Fatalf("two passes (%v) markedly worse than one (%v)",
+			twoPass.SuccessRate(), onePass.SuccessRate())
+	}
+	long := Evaluate(EvalConfig{CodewordBits: 63, ErrorsPerWord: 3, PErr: 1,
+		Passes: 1, TrialsPerPattern: 1, Words: 15}, rng)
+	if long.SuccessRate() < 0.5 {
+		t.Fatalf("63-bit codewords should mostly succeed, got %v", long.SuccessRate())
+	}
+}
+
+func TestFullLengthK(t *testing.T) {
+	cases := map[int]int{7: 4, 15: 11, 31: 26, 63: 57, 127: 120, 255: 247}
+	for n, k := range cases {
+		if got := fullLengthK(n); got != k {
+			t.Errorf("fullLengthK(%d) = %d, want %d", n, got, k)
+		}
+	}
+}
+
+func TestFullLengthKPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-2^r-1 length")
+		}
+	}()
+	fullLengthK(32)
+}
+
+// The linear crafter must produce patterns satisfying the same constraints
+// as the SAT crafter.
+func TestCraftLinearSatisfiesConstraints(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	code := ecc.RandomHamming(57, rng)
+	p := NewProfiler(code, Options{Passes: 1, TrialsPerPattern: 1,
+		WorstCaseNeighbors: true, Crafter: CrafterLinear}, rng)
+	known := map[int]bool{3: true, 40: true}
+	crafted := 0
+	for target := 0; target < code.N(); target++ {
+		d, ok := p.craftPattern(target, known)
+		if !ok {
+			continue
+		}
+		crafted++
+		cw := code.Encode(d)
+		if !cw.Get(target) {
+			t.Fatalf("target %d not charged", target)
+		}
+	}
+	if crafted < code.N()*3/4 {
+		t.Fatalf("linear crafter produced only %d/%d patterns", crafted, code.N())
+	}
+}
+
+// Both crafters must reach comparable success on the Figure 8 workload.
+func TestLinearCrafterMatchesSATSuccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo evaluation is slow in -short mode")
+	}
+	base := EvalConfig{CodewordBits: 63, ErrorsPerWord: 4, PErr: 1,
+		Passes: 1, TrialsPerPattern: 1, Words: 15}
+	satRes := Evaluate(base, rand.New(rand.NewPCG(19, 20)))
+	base.Crafter = CrafterLinear
+	linRes := Evaluate(base, rand.New(rand.NewPCG(19, 20)))
+	if linRes.SuccessRate() < satRes.SuccessRate()-0.25 {
+		t.Fatalf("linear crafter success %.2f far below SAT's %.2f",
+			linRes.SuccessRate(), satRes.SuccessRate())
+	}
+}
+
+// Worst-case-neighbor constraints hold for the linear crafter too.
+func TestCraftLinearWorstCase(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	code := ecc.RandomHamming(26, rng)
+	p := NewProfiler(code, Options{Crafter: CrafterLinear, WorstCaseNeighbors: true,
+		Passes: 1, TrialsPerPattern: 1}, rng)
+	checked := 0
+	for _, target := range []int{4, 11, 19, 27} {
+		d, ok := p.craftLinear(target, allCells(code.N()), true)
+		if !ok {
+			continue
+		}
+		checked++
+		cw := code.Encode(d)
+		if !cw.Get(target) || cw.Get(target-1) || cw.Get(target+1) {
+			t.Fatalf("target %d: neighbor constraint violated", target)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no targets craftable with worst-case constraints")
+	}
+}

@@ -1,0 +1,80 @@
+package beep_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/ondie"
+)
+
+// BEEP against the DRAM substrate: profile a chip word whose weak cells are
+// determined by the retention model, and compare against the chip's
+// ground-truth weak-cell list. This is the paper's §7.1 flow end to end —
+// BEER first recovers the ECC function, then BEEP uses it to find the
+// pre-correction error locations through the data interface alone.
+func TestBEEPOnChipWord(t *testing.T) {
+	chip, err := ondie.New(ondie.Config{
+		Manufacturer:  ondie.MfrA,
+		DataBits:      16,
+		Banks:         1,
+		Rows:          64,
+		RegionsPerRow: 16,
+		Seed:          0xBEEBC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The layout would come from BEER's discovery; use the known one here
+	// (discovery is covered by core's tests).
+	layout := core.WordLayout{RegionBytes: 4, Words: [][]int{{0, 2}, {1, 3}}}
+	window := 40 * time.Minute
+
+	profiled, nonEmpty := 0, 0
+	for row := 0; row < 24 && nonEmpty < 6; row++ {
+		for word := 0; word < 4; word++ {
+			truth := chip.GroundTruthWeakCells(0, row, word, window)
+			if len(truth) == 0 || len(truth) > 5 {
+				continue // want words with a handful of weak cells
+			}
+			nonEmpty++
+			tester := &beep.ChipWord{
+				Chip:   chip,
+				Layout: layout,
+				Bank:   0,
+				Row:    row,
+				Word:   word,
+				Window: window,
+				TempC:  80,
+			}
+			prof := beep.NewProfiler(chip.GroundTruthCode(), beep.Options{
+				Passes:             2,
+				TrialsPerPattern:   1,
+				WorstCaseNeighbors: true,
+			}, rand.New(rand.NewPCG(uint64(row), uint64(word))))
+			out := prof.Run(tester)
+			profiled++
+			// Soundness: everything identified must be genuinely weak. The
+			// VRT jitter can flip marginal cells either way, so allow the
+			// comparison to be against the jitter-widened truth set.
+			widened := map[int]bool{}
+			for _, c := range chip.GroundTruthWeakCells(0, row, word, window+window/8) {
+				widened[c] = true
+			}
+			for _, c := range out.Identified {
+				if !widened[c] {
+					t.Fatalf("row %d word %d: identified cell %d is not weak (truth %v)",
+						row, word, c, truth)
+				}
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		t.Skip("no suitable words with 1..5 weak cells at this window; adjust seed")
+	}
+	if profiled == 0 {
+		t.Fatal("nothing profiled")
+	}
+}

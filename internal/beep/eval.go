@@ -1,0 +1,100 @@
+package beep
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/ecc"
+)
+
+// EvalConfig describes one cell of the paper's §7.1.4 evaluation grid
+// (Figures 8 and 9).
+type EvalConfig struct {
+	// CodewordBits selects the (full-length) codeword length n; the paper
+	// uses 31, 63, 127 and 255.
+	CodewordBits int
+	// ErrorsPerWord is the number of error-prone cells injected per word.
+	ErrorsPerWord int
+	// PErr is the per-test failure probability of each injected cell.
+	PErr float64
+	// Passes and TrialsPerPattern configure the profiler.
+	Passes           int
+	TrialsPerPattern int
+	// Words is the Monte-Carlo sample size (the paper uses 100 codewords).
+	Words int
+	// Crafter selects the pattern-crafting engine (default: SAT).
+	Crafter Crafter
+}
+
+// fullLengthK maps a full-length codeword size 2^r - 1 to its dataword size.
+func fullLengthK(n int) int {
+	r := 0
+	for (1 << uint(r+1)) <= n+1 {
+		r++
+	}
+	if (1<<uint(r))-1 != n {
+		panic("beep: evaluation codeword lengths must be 2^r - 1")
+	}
+	return n - r
+}
+
+// EvalResult aggregates a success-rate measurement.
+type EvalResult struct {
+	Config EvalConfig
+	// Successes counts words whose injected error cells were identified
+	// exactly (no misses, no false positives).
+	Successes int
+	// Rates holds the per-word success indicator (1.0 or 0.0), for
+	// percentile reporting as in Figure 8's error bars.
+	Rates []float64
+}
+
+// SuccessRate returns the fraction of words profiled exactly.
+func (r *EvalResult) SuccessRate() float64 {
+	if len(r.Rates) == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(len(r.Rates))
+}
+
+// Evaluate runs the Monte-Carlo success-rate experiment: for each simulated
+// word, inject ErrorsPerWord random error-prone cells, profile with BEEP,
+// and check whether the identified set matches the injected set exactly.
+func Evaluate(cfg EvalConfig, rng *rand.Rand) *EvalResult {
+	k := fullLengthK(cfg.CodewordBits)
+	res := &EvalResult{Config: cfg}
+	for w := 0; w < cfg.Words; w++ {
+		code := ecc.RandomHamming(k, rng)
+		cells := rng.Perm(code.N())[:cfg.ErrorsPerWord]
+		word := &SimWord{Code: code, ErrorCells: cells, PErr: cfg.PErr, Rng: rng}
+		prof := NewProfiler(code, Options{
+			Passes:             cfg.Passes,
+			TrialsPerPattern:   cfg.TrialsPerPattern,
+			WorstCaseNeighbors: true,
+			Crafter:            cfg.Crafter,
+		}, rng)
+		out := prof.Run(word)
+		if sameSet(out.Identified, cells) {
+			res.Successes++
+			res.Rates = append(res.Rates, 1)
+		} else {
+			res.Rates = append(res.Rates, 0)
+		}
+	}
+	return res
+}
+
+func sameSet(sorted []int, unsorted []int) bool {
+	if len(sorted) != len(unsorted) {
+		return false
+	}
+	seen := make(map[int]bool, len(unsorted))
+	for _, x := range unsorted {
+		seen[x] = true
+	}
+	for _, x := range sorted {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}

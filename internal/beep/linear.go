@@ -1,0 +1,142 @@
+package beep
+
+import (
+	"repro/internal/gf2"
+)
+
+// Linear pattern crafting.
+//
+// The paper crafts BEEP test patterns with a SAT solver (§7.1.2) and notes
+// in §7.3 that reformulating the problem mathematically "could identify the
+// solution significantly faster". This file realizes that idea for pattern
+// crafting: every constraint BEEP needs is *linear* over GF(2) in the
+// dataword bits once a concrete failure subset is fixed —
+//
+//   - codeword bit c_j is d_j (data) or row j-k of P times d (parity),
+//   - "cell e is CHARGED" is c_e = 1, "DISCHARGED" is c_e = 0,
+//   - a fixed failure subset F has a fixed syndrome, whose matching column b
+//     is a table lookup, and "the miscorrection at b is observable" is
+//     c_b = 0.
+//
+// So the crafter enumerates small candidate failure subsets (the target plus
+// up to two known errors), looks up the landing bit, and solves the linear
+// system with gf2.Solve. Randomizing over the solution affine subspace (a
+// uniform combination of null-space basis vectors) gives far better pattern
+// diversity than SAT phase steering, at microseconds per pattern.
+
+// Crafter selects BEEP's pattern-crafting engine.
+type Crafter int
+
+const (
+	// CrafterSAT is the paper's §7.1.2 approach (default).
+	CrafterSAT Crafter = iota
+	// CrafterLinear is the §7.3-inspired GF(2) linear-algebra approach.
+	CrafterLinear
+)
+
+func (c Crafter) String() string {
+	if c == CrafterLinear {
+		return "linear"
+	}
+	return "sat"
+}
+
+// rowFor returns the linear form (over the k dataword bits) of codeword bit
+// pos: a unit row for data bits, the parity-check row for parity bits.
+func rowFor(p gf2.Mat, k, pos int) gf2.Vec {
+	if pos < k {
+		return gf2.VecFromSupport(k, pos)
+	}
+	return p.Row(pos - k).Clone()
+}
+
+// craftLinear builds a pattern for the target bit using linear algebra.
+// suspects play the same role as in craftSAT; worstCase adds the
+// neighbor-discharged constraints. Returns ok=false when no candidate
+// failure subset yields a solvable system.
+func (p *Profiler) craftLinear(target int, suspects []int, worstCase bool) (gf2.Vec, bool) {
+	code := p.code
+	k, n := code.K(), code.N()
+	pm := code.P()
+
+	// Candidate failure subsets: {target} plus up to two suspects (a
+	// miscorrection needs >= 2 failures, so at least one companion).
+	others := make([]int, 0, len(suspects))
+	for _, e := range suspects {
+		if e != target {
+			others = append(others, e)
+		}
+	}
+	// Randomize companion order so repeated passes explore different
+	// subsets.
+	p.rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+
+	trySubset := func(f []int) (gf2.Vec, bool) {
+		syndrome := gf2.NewVec(n - k)
+		for _, e := range f {
+			syndrome.XorInto(code.Column(e))
+		}
+		if syndrome.Zero() {
+			return gf2.Vec{}, false
+		}
+		b := code.ColumnOfSyndrome(syndrome)
+		if b < 0 || b >= k {
+			return gf2.Vec{}, false // lands on a parity bit or nothing: invisible
+		}
+		for _, e := range f {
+			if e == b {
+				return gf2.Vec{}, false
+			}
+		}
+		// Assemble the linear system: failures charged, landing bit
+		// discharged, target's neighbors discharged when requested.
+		var rows []gf2.Vec
+		var rhs []int
+		add := func(pos, val int) {
+			rows = append(rows, rowFor(pm, k, pos))
+			rhs = append(rhs, val)
+		}
+		for _, e := range f {
+			add(e, 1)
+		}
+		add(b, 0)
+		if worstCase {
+			if target > 0 {
+				add(target-1, 0)
+			}
+			if target+1 < n {
+				add(target+1, 0)
+			}
+		}
+		a := gf2.MatFromRows(rows...)
+		d, ok := a.Solve(gf2.VecFromBits(rhs))
+		if !ok {
+			return gf2.Vec{}, false
+		}
+		// Uniform sample over the whole solution space: add a random
+		// combination of null-space basis vectors.
+		for _, v := range a.NullSpace() {
+			if p.rng.IntN(2) == 1 {
+				d.XorInto(v)
+			}
+		}
+		return d, true
+	}
+
+	// Pairs {target, e}.
+	for _, e := range others {
+		if d, ok := trySubset([]int{target, e}); ok {
+			return d, true
+		}
+	}
+	// Triples {target, e1, e2} (only needed when every pair's syndrome lands
+	// outside the data bits).
+	for i := 0; i < len(others) && i < 12; i++ {
+		for j := i + 1; j < len(others) && j < 12; j++ {
+			if d, ok := trySubset([]int{target, others[i], others[j]}); ok {
+				return d, true
+			}
+		}
+	}
+	return gf2.Vec{}, false
+}

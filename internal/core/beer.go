@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// RecoverOptions configures the end-to-end BEER pipeline.
+type RecoverOptions struct {
+	Layout  LayoutOptions
+	Collect CollectOptions
+	Solve   SolveOptions
+	// PatternSet selects which test-pattern family to collect. The paper's
+	// recommendation: 1-CHARGED suffices for full-length codes; add the
+	// 2-CHARGED patterns for shortened codes (Set12).
+	PatternSet PatternSet
+	// ThresholdFraction and ThresholdMinCount configure the §5.2 filter.
+	ThresholdFraction float64
+	ThresholdMinCount int64
+	// MaxRows caps how many true-cell rows are used for collection (0 = all).
+	MaxRows int
+	// UseAntiRows additionally collects inverted-pattern profiles from
+	// anti-cell rows (extension; see Entry.Anti). On chips that mix cell
+	// types this roughly doubles the usable capacity and adds row-parity
+	// information the true-cell profile cannot express.
+	UseAntiRows bool
+	// UseLazySolver switches to the CEGAR-style SolveLazy (see lazy.go).
+	UseLazySolver bool
+}
+
+// DefaultRecoverOptions mirrors the paper's experimental configuration.
+func DefaultRecoverOptions() RecoverOptions {
+	return RecoverOptions{
+		Layout:            DefaultLayoutOptions(),
+		Collect:           DefaultCollectOptions(),
+		PatternSet:        Set12,
+		ThresholdFraction: 1e-4,
+		ThresholdMinCount: 2,
+	}
+}
+
+// Report is the full output of a BEER run against a chip.
+type Report struct {
+	// CellClasses is the discovered per-row cell layout (§5.1.1).
+	CellClasses [][]CellClass
+	// Layout is the discovered dataword layout (§5.1.2).
+	Layout WordLayout
+	// K is the discovered dataword length in bits.
+	K int
+	// Counts are the raw observations; Profile the thresholded profile.
+	Counts  *Counts
+	Profile *Profile
+	// Result holds the recovered ECC function(s).
+	Result *Result
+	// Timing of the three steps.
+	DiscoveryTime, CollectTime, SolveTime time.Duration
+}
+
+// Recover runs the complete BEER methodology against a chip: discover the
+// cell and word layout, collect a miscorrection profile with crafted test
+// patterns, filter it, and solve for the ECC function (paper §5).
+func Recover(chip Chip, opts RecoverOptions) (*Report, error) {
+	rep := &Report{}
+
+	start := time.Now()
+	rep.CellClasses = DiscoverCellLayout(chip, opts.Layout)
+	rows := TrueRows(rep.CellClasses)
+	if len(rows) == 0 {
+		return rep, fmt.Errorf("core: no true-cell rows discovered")
+	}
+	if opts.MaxRows > 0 && len(rows) > opts.MaxRows {
+		rows = rows[:opts.MaxRows]
+	}
+	layout, err := DiscoverWordLayout(chip, rows, opts.Layout)
+	if err != nil {
+		return rep, fmt.Errorf("core: word layout: %w", err)
+	}
+	rep.Layout = layout
+	rep.K = layout.K()
+	rep.DiscoveryTime = time.Since(start)
+
+	start = time.Now()
+	patterns := opts.PatternSet.Patterns(rep.K)
+	counts, err := CollectCounts(chip, rows, layout, patterns, opts.Collect)
+	if err != nil {
+		return rep, fmt.Errorf("core: collect: %w", err)
+	}
+	rep.Counts = counts
+	rep.Profile = counts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount)
+	if opts.UseAntiRows {
+		anti := AntiRows(rep.CellClasses)
+		if opts.MaxRows > 0 && len(anti) > opts.MaxRows {
+			anti = anti[:opts.MaxRows]
+		}
+		if len(anti) > 0 {
+			antiOpts := opts.Collect
+			antiOpts.Invert = true
+			// Anti regions contribute the 1-CHARGED patterns only: those
+			// carry the extra row-parity information, and the much smaller
+			// pattern count keeps per-pattern sample density high enough
+			// that no rare miscorrection goes unobserved (a missed
+			// observation would add a false "impossible" constraint, §5.2).
+			antiCounts, err := CollectCounts(chip, anti, layout, OneCharged(rep.K), antiOpts)
+			if err != nil {
+				return rep, fmt.Errorf("core: anti-cell collect: %w", err)
+			}
+			rep.Profile = rep.Profile.Append(antiCounts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount))
+		}
+	}
+	rep.CollectTime = time.Since(start)
+
+	start = time.Now()
+	solve := Solve
+	if opts.UseLazySolver {
+		solve = SolveLazy
+	}
+	res, err := solve(rep.Profile, opts.Solve)
+	rep.SolveTime = time.Since(start)
+	if err != nil {
+		return rep, fmt.Errorf("core: solve: %w", err)
+	}
+	rep.Result = res
+	return rep, nil
+}
+
+// ExperimentRuntime implements the paper's §6.3 analytical runtime model:
+// total experiment time is dominated by the refresh pauses, so it is the sum
+// of the tested windows times the number of rounds; chip I/O (the paper
+// measures 168 ms to read a 2 GiB LPDDR4-3200 chip) is negligible besides.
+func ExperimentRuntime(opts CollectOptions) time.Duration {
+	var total time.Duration
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	for _, w := range opts.Windows {
+		total += w
+	}
+	return total * time.Duration(rounds)
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gf2"
+)
+
+// CollectOptions tunes miscorrection-profile collection (§5.1.3).
+type CollectOptions struct {
+	// Windows are the refresh pauses to sweep. The paper uses 2 to 22
+	// minutes in 1-minute steps at 80 C: short windows catch high-retention
+	// behavior, long windows expose nearly every word to uncorrectable
+	// errors.
+	Windows []time.Duration
+	// TempC is the ambient temperature for the sweep.
+	TempC float64
+	// Rounds repeats the whole window sweep with rotated pattern-to-word
+	// assignments. Because each cell's retention time is fixed, rotating
+	// assignments is what samples each pattern across many independent
+	// cells (the paper gets this for free from millions of words).
+	Rounds int
+	// Invert targets anti-cell rows (extension; see Entry.Anti): the rows
+	// passed to CollectCounts must then be anti-cell rows, patterns are
+	// written bitwise-complemented so the intended cells are CHARGED, and
+	// the resulting count entries are flagged Anti.
+	Invert bool
+}
+
+// DefaultCollectOptions mirror §5.1.3: tREFw from 2 to 22 minutes in
+// 1-minute steps at 80 C.
+func DefaultCollectOptions() CollectOptions {
+	opts := CollectOptions{TempC: 80, Rounds: 4}
+	for m := 2; m <= 22; m++ {
+		opts.Windows = append(opts.Windows, time.Duration(m)*time.Minute)
+	}
+	return opts
+}
+
+// Counts holds raw post-correction error observations per pattern and bit,
+// before threshold filtering (the data behind the paper's Figures 3 and 4).
+type Counts struct {
+	K       int
+	Entries []CountEntry
+}
+
+// CountEntry is the observation record for one test pattern.
+type CountEntry struct {
+	Pattern Pattern
+	// Errors[b] counts reads where data bit b differed from the written
+	// pattern. At DISCHARGED positions these are miscorrections; at CHARGED
+	// positions they are ambiguous (retention error or miscorrection).
+	Errors []int64
+	// Words counts pattern-word reads contributing to Errors.
+	Words int64
+	// Anti marks observations from anti-cell rows (see CollectOptions.Invert).
+	Anti bool
+}
+
+// Merge adds another collection's observations into c, enabling the paper's
+// §6.3 parallelization across chips of the same model: counts gathered from
+// several chips (or banks) of the same design simply add. Entry lists must
+// align (same patterns, same polarity, same order).
+func (c *Counts) Merge(o *Counts) error {
+	if c.K != o.K || len(c.Entries) != len(o.Entries) {
+		return fmt.Errorf("core: merging incompatible counts (k=%d/%d, entries=%d/%d)",
+			c.K, o.K, len(c.Entries), len(o.Entries))
+	}
+	for i := range c.Entries {
+		a, b := &c.Entries[i], &o.Entries[i]
+		if a.Pattern.String() != b.Pattern.String() || a.Anti != b.Anti {
+			return fmt.Errorf("core: merging mismatched entry %d (%v vs %v)", i, a.Pattern, b.Pattern)
+		}
+		for j := range a.Errors {
+			a.Errors[j] += b.Errors[j]
+		}
+		a.Words += b.Words
+	}
+	return nil
+}
+
+// Threshold converts raw counts into a boolean miscorrection profile using
+// the paper's §5.2 filter: a bit is miscorrection-susceptible when its
+// observation rate clearly separates from the near-zero noise floor.
+// minFraction is the per-word observation rate cutoff (the paper's example
+// threshold is 1e-3 on normalized probability mass); minCount is an absolute
+// floor that rejects one-off transient errors.
+func (c *Counts) Threshold(minFraction float64, minCount int64) *Profile {
+	prof := &Profile{K: c.K}
+	for _, e := range c.Entries {
+		possible := gf2.NewVec(c.K)
+		for b := 0; b < c.K; b++ {
+			if e.Pattern.Has(b) {
+				continue // ambiguous position
+			}
+			n := e.Errors[b]
+			if n >= minCount && float64(n) >= minFraction*float64(e.Words) {
+				possible.Set(b, true)
+			}
+		}
+		prof.Entries = append(prof.Entries, Entry{Pattern: e.Pattern, Possible: possible, Anti: e.Anti})
+	}
+	return prof
+}
+
+// MiscorrectionRates returns, for each pattern, the per-bit observation rate
+// (errors per word-read) at DISCHARGED positions — the quantity plotted in
+// Figure 4.
+func (c *Counts) MiscorrectionRates() [][]float64 {
+	out := make([][]float64, len(c.Entries))
+	for i, e := range c.Entries {
+		rates := make([]float64, c.K)
+		for b := 0; b < c.K; b++ {
+			if !e.Pattern.Has(b) && e.Words > 0 {
+				rates[b] = float64(e.Errors[b]) / float64(e.Words)
+			}
+		}
+		out[i] = rates
+	}
+	return out
+}
+
+// CollectCounts runs the §5.1.3 experiment: program every available ECC word
+// in the given true-cell rows with test patterns, sweep the refresh window,
+// and record where post-correction errors appear. layout maps datawords to
+// row bytes (from DiscoverWordLayout). Patterns are spread round-robin over
+// the words and rotated between rounds so each pattern samples many
+// independent cells.
+func CollectCounts(chip Chip, rows []RowRef, layout WordLayout, patterns []Pattern, opts CollectOptions) (*Counts, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no rows to test")
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: no patterns to test")
+	}
+	k := layout.K()
+	if k == 0 {
+		return nil, fmt.Errorf("core: empty word layout")
+	}
+	if len(opts.Windows) == 0 {
+		return nil, fmt.Errorf("core: no refresh windows configured")
+	}
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	chip.SetTemperature(opts.TempC)
+
+	rb := layout.RegionBytes
+	regionsPerRow := chip.DataBytesPerRow() / rb
+	wordsPerRegion := len(layout.Words)
+	wordsPerRow := regionsPerRow * wordsPerRegion
+
+	counts := &Counts{K: k}
+	for _, p := range patterns {
+		counts.Entries = append(counts.Entries, CountEntry{
+			Pattern: p,
+			Errors:  make([]int64, k),
+			Anti:    opts.Invert,
+		})
+	}
+
+	// Precompute each pattern's dataword bytes. In a true-cell region the
+	// CHARGED bits are written as logical 1; in an anti-cell region
+	// (opts.Invert) the whole dataword is complemented so the same cells
+	// end up CHARGED.
+	patBytes := make([][]byte, len(patterns))
+	for pi, p := range patterns {
+		bs := make([]byte, k/8)
+		for _, bit := range p.Charged() {
+			bs[bit/8] |= 1 << uint(bit%8)
+		}
+		if opts.Invert {
+			for i := range bs {
+				bs[i] = ^bs[i]
+			}
+		}
+		patBytes[pi] = bs
+	}
+
+	rowData := make([]byte, chip.DataBytesPerRow())
+	pass := 0
+	for round := 0; round < rounds; round++ {
+		for _, window := range opts.Windows {
+			// Rotate assignments so pattern p lands on different physical
+			// words each pass (fresh retention-time draws).
+			offset := pass * 7919 // prime stride decorrelates passes
+			pass++
+			patOf := func(rowIdx, word int) int {
+				return (rowIdx*wordsPerRow + word + offset) % len(patterns)
+			}
+			for ri, rr := range rows {
+				for w := 0; w < wordsPerRow; w++ {
+					placeWord(rowData, layout, w, patBytes[patOf(ri, w)])
+				}
+				chip.WriteRow(rr.Bank, rr.Row, rowData)
+			}
+			chip.PauseRefresh(window)
+			for ri, rr := range rows {
+				got := chip.ReadRow(rr.Bank, rr.Row)
+				for w := 0; w < wordsPerRow; w++ {
+					pi := patOf(ri, w)
+					entry := &counts.Entries[pi]
+					entry.Words++
+					recordWordDiff(entry, got, layout, w, patBytes[pi])
+				}
+			}
+		}
+	}
+	return counts, nil
+}
+
+// placeWord writes a dataword's bytes into the row buffer per the layout.
+func placeWord(rowData []byte, layout WordLayout, word int, data []byte) {
+	region := word / len(layout.Words)
+	wIn := word % len(layout.Words)
+	base := region * layout.RegionBytes
+	for bi, off := range layout.Words[wIn] {
+		rowData[base+off] = data[bi]
+	}
+}
+
+// recordWordDiff compares one word's read-back bytes against the written
+// pattern and bumps per-bit error counts.
+func recordWordDiff(entry *CountEntry, rowData []byte, layout WordLayout, word int, want []byte) {
+	region := word / len(layout.Words)
+	wIn := word % len(layout.Words)
+	base := region * layout.RegionBytes
+	for bi, off := range layout.Words[wIn] {
+		diff := rowData[base+off] ^ want[bi]
+		for ; diff != 0; diff &= diff - 1 {
+			bit := trailingZeros8(diff)
+			entry.Errors[8*bi+bit]++
+		}
+	}
+}
+
+func trailingZeros8(b byte) int {
+	n := 0
+	for b&1 == 0 {
+		b >>= 1
+		n++
+	}
+	return n
+}

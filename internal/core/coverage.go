@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Coverage summarizes the sampling density behind a Counts collection and
+// flags observations that sit near the threshold filter's decision boundary.
+// On a real chip (paper §5.2) the main failure mode is *missing* a possible
+// miscorrection — a false "impossible" constraint that can make the SAT
+// problem unsatisfiable or pick a wrong function — so experimenters need to
+// know when more sampling is warranted before trusting a profile.
+type Coverage struct {
+	// Patterns is the number of patterns observed; WordsMin/WordsMax bound
+	// the per-pattern word-read counts.
+	Patterns           int
+	WordsMin, WordsMax int64
+	// PositiveBits counts (pattern, bit) pairs that pass the threshold;
+	// ZeroBits counts pairs with no observations at all.
+	PositiveBits, ZeroBits int
+	// Marginal lists (pattern, bit) pairs whose counts are nonzero but
+	// within a factor of two of the threshold — the observations most likely
+	// to flip with more sampling.
+	Marginal []MarginalObservation
+}
+
+// MarginalObservation identifies one near-threshold observation.
+type MarginalObservation struct {
+	Pattern Pattern
+	Bit     int
+	Count   int64
+	Words   int64
+}
+
+// Coverage analyzes the counts against the same threshold parameters used by
+// Threshold.
+func (c *Counts) Coverage(minFraction float64, minCount int64) Coverage {
+	cov := Coverage{Patterns: len(c.Entries), WordsMin: -1}
+	for _, e := range c.Entries {
+		if cov.WordsMin == -1 || e.Words < cov.WordsMin {
+			cov.WordsMin = e.Words
+		}
+		if e.Words > cov.WordsMax {
+			cov.WordsMax = e.Words
+		}
+		cut := float64(minCount)
+		if f := minFraction * float64(e.Words); f > cut {
+			cut = f
+		}
+		for b := 0; b < c.K; b++ {
+			if e.Pattern.Has(b) {
+				continue
+			}
+			n := e.Errors[b]
+			switch {
+			case n == 0:
+				cov.ZeroBits++
+			case float64(n) >= cut:
+				cov.PositiveBits++
+				if float64(n) < 2*cut {
+					cov.Marginal = append(cov.Marginal, MarginalObservation{
+						Pattern: e.Pattern, Bit: b, Count: n, Words: e.Words,
+					})
+				}
+			default:
+				// Below threshold but nonzero: also marginal (possibly a
+				// real miscorrection that needs more samples, possibly
+				// transient noise).
+				cov.Marginal = append(cov.Marginal, MarginalObservation{
+					Pattern: e.Pattern, Bit: b, Count: n, Words: e.Words,
+				})
+			}
+		}
+	}
+	if cov.WordsMin == -1 {
+		cov.WordsMin = 0
+	}
+	return cov
+}
+
+// String renders a short human-readable report.
+func (c Coverage) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "coverage: %d patterns, %d..%d word-reads each; %d positive, %d zero, %d marginal observations",
+		c.Patterns, c.WordsMin, c.WordsMax, c.PositiveBits, c.ZeroBits, len(c.Marginal))
+	if len(c.Marginal) > 0 {
+		sb.WriteString("\nmarginal (consider more rounds/windows):")
+		for i, m := range c.Marginal {
+			if i == 8 {
+				fmt.Fprintf(&sb, "\n  ... and %d more", len(c.Marginal)-8)
+				break
+			}
+			fmt.Fprintf(&sb, "\n  %v bit %d: %d/%d", m.Pattern, m.Bit, m.Count, m.Words)
+		}
+	}
+	return sb.String()
+}

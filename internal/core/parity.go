@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+)
+
+// DiscoverParityBits infers the number of parity-check bits r from a
+// miscorrection profile by trying candidate widths in increasing order and
+// returning the smallest r for which a consistent code exists, together with
+// its solve result.
+//
+// The paper fixes r to the minimum for the discovered dataword length
+// (consistent with all publicly known on-die ECC designs); this extension
+// removes that assumption. The search is well-founded: a profile generated
+// by an (k+r, k) code is always satisfiable at width r, and widths below the
+// Hamming bound cannot host k distinct weight->=2 columns at all.
+//
+// maxExtra bounds how far above the minimum to search (0 means 2).
+func DiscoverParityBits(profile *Profile, opts SolveOptions, maxExtra int) (int, *Result, error) {
+	if maxExtra <= 0 {
+		maxExtra = 2
+	}
+	min := ecc.MinParityBits(profile.K)
+	var lastErr error
+	for r := min; r <= min+maxExtra; r++ {
+		o := opts
+		o.ParityBits = r
+		res, err := Solve(profile, o)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(res.Codes) > 0 {
+			return r, res, nil
+		}
+	}
+	if lastErr != nil {
+		return 0, nil, fmt.Errorf("core: parity-width search failed: %w", lastErr)
+	}
+	return 0, nil, fmt.Errorf("core: no code of width %d..%d matches the profile", min, min+maxExtra)
+}

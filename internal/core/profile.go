@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+)
+
+// Entry records, for one test pattern, which DISCHARGED data bits can ever
+// exhibit a miscorrection (paper Table 2: a row of the miscorrection
+// profile). Bits at CHARGED positions are excluded — an error there is
+// ambiguous ('?' in the paper) because it may be an ordinary data-retention
+// error rather than a miscorrection.
+type Entry struct {
+	Pattern  Pattern
+	Possible gf2.Vec // length k; set bits mark miscorrection-susceptible positions
+	// Anti marks an entry collected from an anti-cell region (charge is the
+	// complement of the logical bit). Anti-cell entries obey a different
+	// miscorrection condition involving the parity-check rows' parities and
+	// therefore carry extra information about H — an extension beyond the
+	// paper, which uses true-cell regions only (§5.1.3).
+	Anti bool
+}
+
+// Profile is a miscorrection profile: the cumulative pattern-miscorrection
+// pairs for a set of test patterns (paper §5.1.3). It is the fingerprint
+// from which BEER recovers the ECC function.
+type Profile struct {
+	K       int
+	Entries []Entry
+}
+
+// String renders the profile like the paper's Table 2: one line per pattern,
+// '-' for impossible, '1' for possible, '?' for charged (ambiguous).
+func (p *Profile) String() string {
+	var sb strings.Builder
+	for _, e := range p.Entries {
+		tag := ""
+		if e.Anti {
+			tag = "anti "
+		}
+		fmt.Fprintf(&sb, "%s%-12s [", tag, e.Pattern)
+		for b := 0; b < p.K; b++ {
+			switch {
+			case e.Pattern.Has(b):
+				sb.WriteByte('?')
+			case e.Possible.Get(b):
+				sb.WriteByte('1')
+			default:
+				sb.WriteByte('-')
+			}
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// Equal reports whether two profiles have identical patterns and
+// susceptibility sets (pattern order matters).
+func (p *Profile) Equal(o *Profile) bool {
+	if p.K != o.K || len(p.Entries) != len(o.Entries) {
+		return false
+	}
+	for i := range p.Entries {
+		a, b := p.Entries[i], o.Entries[i]
+		if a.Pattern.String() != b.Pattern.String() || a.Anti != b.Anti || !a.Possible.Equal(b.Possible) {
+			return false
+		}
+	}
+	return true
+}
+
+// Append returns a profile containing both profiles' entries (e.g. true-cell
+// and anti-cell observations of the same chip). Dataword lengths must match.
+func (p *Profile) Append(o *Profile) *Profile {
+	if p.K != o.K {
+		panic(fmt.Sprintf("core: appending profiles of different k (%d vs %d)", p.K, o.K))
+	}
+	out := &Profile{K: p.K}
+	out.Entries = append(out.Entries, p.Entries...)
+	out.Entries = append(out.Entries, o.Entries...)
+	return out
+}
+
+// ExactProfile computes the miscorrection profile of a known code
+// analytically, with no Monte-Carlo simulation. It implements the closed
+// form derived in DESIGN.md §4 from the paper's §4.2.2-4.2.3 analysis:
+//
+// For a true-cell region and pattern with CHARGED data set S, the encoded
+// codeword's CHARGED parity cells are support(sigma), sigma = sum of H
+// columns over S. Retention errors are any T subset of S (data) plus any
+// m subset of support(sigma) (parity); a miscorrection at data bit b not in
+// S requires sum_T H_col + m = H_col(b) for some choice, i.e.
+// (sum_T H_col XOR H_col(b)) within support(sigma).
+func ExactProfile(code *ecc.Code, patterns []Pattern) *Profile {
+	k := code.K()
+	r := code.ParityBits()
+	// Columns packed as uint64 for speed (r <= 64 by ecc invariant).
+	cols := make([]uint64, k)
+	for j := 0; j < k; j++ {
+		cols[j] = code.Column(j).Uint64()
+	}
+	full := ^uint64(0)
+	if r < 64 {
+		full = (1 << uint(r)) - 1
+	}
+	prof := &Profile{K: k, Entries: make([]Entry, 0, len(patterns))}
+	for _, pat := range patterns {
+		s := pat.Charged()
+		var sigma uint64
+		for _, j := range s {
+			sigma ^= cols[j]
+		}
+		notSigma := ^sigma & full
+		// Enumerate error subsets T of S; 2^|S| is small (|S| <= 3 in all
+		// paper configurations).
+		subsets := make([]uint64, 0, 1<<uint(len(s)))
+		for mask := 0; mask < 1<<uint(len(s)); mask++ {
+			var v uint64
+			for bi, j := range s {
+				if mask>>uint(bi)&1 == 1 {
+					v ^= cols[j]
+				}
+			}
+			subsets = append(subsets, v)
+		}
+		possible := gf2.NewVec(k)
+		for b := 0; b < k; b++ {
+			if pat.Has(b) {
+				continue
+			}
+			for _, v := range subsets {
+				if (v^cols[b])&notSigma == 0 {
+					possible.Set(b, true)
+					break
+				}
+			}
+		}
+		prof.Entries = append(prof.Entries, Entry{Pattern: pat, Possible: possible})
+	}
+	return prof
+}
+
+// ExactProfileAnti computes the miscorrection profile of a known code for
+// patterns written to an *anti-cell* region (extension; see Entry.Anti).
+//
+// Writing the bitwise complement of a pattern to an anti-cell region charges
+// exactly the pattern's data cells, but the parity cells' charges depend on
+// the encoded parity of the complemented dataword: parity bit i of the
+// complement of S is rowParity_i XOR sigma_i, where rowParity_i is the
+// parity of row i of P over all k data columns, and a parity *cell* is
+// CHARGED when that bit is 0. A miscorrection at data bit b not in S is
+// possible iff for some error subset T of S, every row i with
+// (rowParity XOR sigma)_i = 1 has (sum_T H_col XOR H_col(b))_i = 0.
+// The rowParity term is information the true-cell profile cannot see.
+func ExactProfileAnti(code *ecc.Code, patterns []Pattern) *Profile {
+	k := code.K()
+	r := code.ParityBits()
+	cols := make([]uint64, k)
+	var rowParity uint64
+	for j := 0; j < k; j++ {
+		cols[j] = code.Column(j).Uint64()
+		rowParity ^= cols[j]
+	}
+	full := ^uint64(0)
+	if r < 64 {
+		full = (1 << uint(r)) - 1
+	}
+	prof := &Profile{K: k, Entries: make([]Entry, 0, len(patterns))}
+	for _, pat := range patterns {
+		s := pat.Charged()
+		var sigma uint64
+		for _, j := range s {
+			sigma ^= cols[j]
+		}
+		// Rows whose parity cell is DISCHARGED (bit 1): the error subset's
+		// syndrome must vanish there.
+		discharged := (rowParity ^ sigma) & full
+		subsets := make([]uint64, 0, 1<<uint(len(s)))
+		for mask := 0; mask < 1<<uint(len(s)); mask++ {
+			var v uint64
+			for bi, j := range s {
+				if mask>>uint(bi)&1 == 1 {
+					v ^= cols[j]
+				}
+			}
+			subsets = append(subsets, v)
+		}
+		possible := gf2.NewVec(k)
+		for b := 0; b < k; b++ {
+			if pat.Has(b) {
+				continue
+			}
+			for _, v := range subsets {
+				if (v^cols[b])&discharged == 0 {
+					possible.Set(b, true)
+					break
+				}
+			}
+		}
+		prof.Entries = append(prof.Entries, Entry{Pattern: pat, Possible: possible, Anti: true})
+	}
+	return prof
+}

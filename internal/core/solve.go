@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+	"repro/internal/sat"
+)
+
+// SolveOptions controls the SAT-based ECC-function search.
+type SolveOptions struct {
+	// ParityBits fixes the number of parity-check bits r. Zero selects the
+	// minimum for the profile's dataword length (the paper's chips all use
+	// minimum-redundancy SEC codes).
+	ParityBits int
+	// MaxSolutions caps how many distinct codes the search enumerates.
+	// Zero means 2: enough to answer "unique or not" (the paper's
+	// determine-then-check-uniqueness flow). Negative means unlimited.
+	MaxSolutions int
+	// MaxConflicts bounds SAT effort per Solve call (0 = unlimited).
+	MaxConflicts int64
+}
+
+// Result reports the codes consistent with a miscorrection profile.
+type Result struct {
+	// Codes lists every ECC function found, in discovery order.
+	Codes []*ecc.Code
+	// Unique is true when exactly one code exists and the search proved it.
+	Unique bool
+	// Exhausted is true when the search space was fully explored (rather
+	// than stopped by MaxSolutions).
+	Exhausted bool
+	// DetermineTime covers finding the first solution; UniquenessTime covers
+	// proving uniqueness / enumerating the rest (paper Figure 6 reports the
+	// two phases separately).
+	DetermineTime  time.Duration
+	UniquenessTime time.Duration
+	// Vars and Clauses describe the CNF encoding size.
+	Vars, Clauses int
+	// LazyRefinements counts deferred pattern entries that SolveLazy had to
+	// materialize (always zero for the eager Solve).
+	LazyRefinements int
+	Stats           sat.Stats
+}
+
+// encoder builds the CNF over the unknown standard-form parity-check matrix
+// H = [P | I]: one SAT variable per P entry.
+type encoder struct {
+	s    *sat.Solver
+	k, r int
+	pVar [][]int // pVar[i][j] = variable of P[i][j]
+	// rowParity[i] reifies XOR of row i of P over all k columns, built on
+	// first use (needed only for anti-cell entries).
+	rowParity []sat.Lit
+}
+
+func newEncoder(k, r int) *encoder {
+	e := &encoder{s: sat.New(), k: k, r: r}
+	e.pVar = make([][]int, r)
+	for i := 0; i < r; i++ {
+		e.pVar[i] = make([]int, k)
+		for j := 0; j < k; j++ {
+			e.pVar[i][j] = e.s.NewVar()
+		}
+	}
+	e.addCodeValidity()
+	e.addSymmetryBreaking()
+	return e
+}
+
+func (e *encoder) p(i, j int) sat.Lit { return sat.PosLit(e.pVar[i][j]) }
+
+// addCodeValidity asserts the basic linear-code constraints (paper §5.3
+// constraint 1): every H column nonzero and pairwise distinct. In standard
+// form the parity columns are fixed unit vectors, so each data column needs
+// weight >= 2 (weight 1 would duplicate a parity column) and data columns
+// must differ from each other.
+func (e *encoder) addCodeValidity() {
+	for j := 0; j < e.k; j++ {
+		col := make([]sat.Lit, e.r)
+		for i := 0; i < e.r; i++ {
+			col[i] = e.p(i, j)
+		}
+		e.s.AddClause(col...) // nonzero
+		// Weight >= 2: any set bit implies another set bit.
+		for i := 0; i < e.r; i++ {
+			cl := make([]sat.Lit, 0, e.r)
+			cl = append(cl, e.p(i, j).Not())
+			for i2 := 0; i2 < e.r; i2++ {
+				if i2 != i {
+					cl = append(cl, e.p(i2, j))
+				}
+			}
+			e.s.AddClause(cl...)
+		}
+	}
+	// Pairwise distinct data columns.
+	for j1 := 0; j1 < e.k; j1++ {
+		for j2 := j1 + 1; j2 < e.k; j2++ {
+			diff := make([]sat.Lit, e.r)
+			for i := 0; i < e.r; i++ {
+				diff[i] = e.s.ReifyXor2(e.p(i, j1), e.p(i, j2))
+			}
+			e.s.AddClause(diff...)
+		}
+	}
+}
+
+// addSymmetryBreaking orders the rows of P lexicographically (columns read
+// left to right, 0 < 1). Codes that differ only by a permutation of parity
+// rows are equivalent — externally indistinguishable (see ecc.EquivalentTo)
+// — and every profile constraint is invariant under row permutation, so this
+// keeps exactly one canonical representative per equivalence class. Without
+// it the solver would report spurious "non-unique" results for codes the
+// paper counts as one function.
+func (e *encoder) addSymmetryBreaking() {
+	for i := 0; i+1 < e.r; i++ {
+		eq := e.s.True() // rows equal on all columns considered so far
+		for j := 0; j < e.k; j++ {
+			// If still equal, row i may not have a 1 where row i+1 has a 0.
+			e.s.AddClause(eq.Not(), e.p(i, j).Not(), e.p(i+1, j))
+			if j+1 < e.k {
+				same := e.s.ReifyXor2(e.p(i, j), e.p(i+1, j)).Not()
+				eq = e.s.ReifyAnd(eq, same)
+			}
+		}
+	}
+}
+
+// addEntry encodes one miscorrection-profile row (paper §5.3 constraint 3).
+//
+// Using the DESIGN.md §4 closed form: for pattern S and candidate bit b, a
+// miscorrection is possible iff for some class-representative subset T of S,
+// every parity row i with sigma_i = 0 has (XOR_{j in T} P[i][j]) = P[i][b],
+// where sigma_i = XOR_{j in S} P[i][j]. Subsets T and S\T give identical
+// conditions, so representatives are the subsets excluding S's first element.
+func (e *encoder) addEntry(entry Entry) {
+	if entry.Anti {
+		e.addEntryAnti(entry)
+		return
+	}
+	s := entry.Pattern.Charged()
+	if len(s) == 1 {
+		e.addEntry1(s[0], entry)
+		return
+	}
+	// sigma_i literals, shared across all b for this pattern.
+	sigma := make([]sat.Lit, e.r)
+	for i := 0; i < e.r; i++ {
+		lits := make([]sat.Lit, len(s))
+		for x, j := range s {
+			lits[x] = e.p(i, j)
+		}
+		sigma[i] = e.s.ReifyXor(lits...)
+	}
+	// Per-representative-subset row XORs over T (excluding b's column).
+	rest := s[1:]
+	nSub := 1 << uint(len(rest))
+	baseXor := make([][]sat.Lit, nSub) // baseXor[m][i] = XOR_{j in T_m} P[i][j]; nil slice entry means empty T
+	for m := 0; m < nSub; m++ {
+		var members []int
+		for bi, j := range rest {
+			if m>>uint(bi)&1 == 1 {
+				members = append(members, j)
+			}
+		}
+		if len(members) == 0 {
+			baseXor[m] = nil
+			continue
+		}
+		row := make([]sat.Lit, e.r)
+		for i := 0; i < e.r; i++ {
+			lits := make([]sat.Lit, len(members))
+			for x, j := range members {
+				lits[x] = e.p(i, j)
+			}
+			row[i] = e.s.ReifyXor(lits...)
+		}
+		baseXor[m] = row
+	}
+	for b := 0; b < e.k; b++ {
+		if entry.Pattern.Has(b) {
+			continue
+		}
+		conds := make([]sat.Lit, 0, nSub)
+		for m := 0; m < nSub; m++ {
+			rowConds := make([]sat.Lit, e.r)
+			for i := 0; i < e.r; i++ {
+				var d sat.Lit // XOR_{j in T} P[i][j] XOR P[i][b]
+				if baseXor[m] == nil {
+					d = e.p(i, b)
+				} else {
+					d = e.s.ReifyXor2(baseXor[m][i], e.p(i, b))
+				}
+				// Condition per row: sigma_i OR NOT d_i.
+				rowConds[i] = e.s.ReifyOr(sigma[i], d.Not())
+			}
+			conds = append(conds, e.s.ReifyAnd(rowConds...))
+		}
+		poss := e.s.ReifyOr(conds...)
+		if entry.Possible.Get(b) {
+			e.s.AddClause(poss)
+		} else {
+			e.s.AddClause(poss.Not())
+		}
+	}
+}
+
+// addEntry1 is the optimized 1-CHARGED encoding: a miscorrection at b is
+// possible iff column b's support is contained in column a's support, which
+// needs no XOR reification at all.
+func (e *encoder) addEntry1(a int, entry Entry) {
+	for b := 0; b < e.k; b++ {
+		if b == a {
+			continue
+		}
+		if entry.Possible.Get(b) {
+			// Containment: P[i][b] -> P[i][a] for every row.
+			for i := 0; i < e.r; i++ {
+				e.s.AddClause(e.p(i, b).Not(), e.p(i, a))
+			}
+		} else {
+			// Violation in some row: P[i][b] AND NOT P[i][a].
+			viol := make([]sat.Lit, e.r)
+			for i := 0; i < e.r; i++ {
+				viol[i] = e.s.ReifyAnd(e.p(i, b), e.p(i, a).Not())
+			}
+			e.s.AddClause(viol...)
+		}
+	}
+}
+
+// rowParityLits lazily reifies the parity of each P row over all columns.
+func (e *encoder) rowParityLits() []sat.Lit {
+	if e.rowParity == nil {
+		e.rowParity = make([]sat.Lit, e.r)
+		for i := 0; i < e.r; i++ {
+			lits := make([]sat.Lit, e.k)
+			for j := 0; j < e.k; j++ {
+				lits[j] = e.p(i, j)
+			}
+			e.rowParity[i] = e.s.ReifyXor(lits...)
+		}
+	}
+	return e.rowParity
+}
+
+// addEntryAnti encodes an anti-cell-region profile entry (see
+// ExactProfileAnti for the condition). Unlike the true-cell case, the
+// condition involves rowParity and the error subsets T of S do not pair up,
+// so all 2^|S| subsets are enumerated.
+func (e *encoder) addEntryAnti(entry Entry) {
+	s := entry.Pattern.Charged()
+	rp := e.rowParityLits()
+	// discharged_i = rowParity_i XOR sigma_i (parity cell i NOT charged).
+	discharged := make([]sat.Lit, e.r)
+	for i := 0; i < e.r; i++ {
+		lits := make([]sat.Lit, 0, len(s)+1)
+		lits = append(lits, rp[i])
+		for _, j := range s {
+			lits = append(lits, e.p(i, j))
+		}
+		discharged[i] = e.s.ReifyXor(lits...)
+	}
+	nSub := 1 << uint(len(s))
+	baseXor := make([][]sat.Lit, nSub)
+	for m := 0; m < nSub; m++ {
+		var members []int
+		for bi, j := range s {
+			if m>>uint(bi)&1 == 1 {
+				members = append(members, j)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		row := make([]sat.Lit, e.r)
+		for i := 0; i < e.r; i++ {
+			lits := make([]sat.Lit, len(members))
+			for x, j := range members {
+				lits[x] = e.p(i, j)
+			}
+			row[i] = e.s.ReifyXor(lits...)
+		}
+		baseXor[m] = row
+	}
+	for b := 0; b < e.k; b++ {
+		if entry.Pattern.Has(b) {
+			continue
+		}
+		conds := make([]sat.Lit, 0, nSub)
+		for m := 0; m < nSub; m++ {
+			rowConds := make([]sat.Lit, e.r)
+			for i := 0; i < e.r; i++ {
+				var d sat.Lit
+				if baseXor[m] == nil {
+					d = e.p(i, b)
+				} else {
+					d = e.s.ReifyXor2(baseXor[m][i], e.p(i, b))
+				}
+				// Row condition: discharged_i -> d_i = 0.
+				rowConds[i] = e.s.ReifyOr(discharged[i].Not(), d.Not())
+			}
+			conds = append(conds, e.s.ReifyAnd(rowConds...))
+		}
+		poss := e.s.ReifyOr(conds...)
+		if entry.Possible.Get(b) {
+			e.s.AddClause(poss)
+		} else {
+			e.s.AddClause(poss.Not())
+		}
+	}
+}
+
+// modelCode converts the solver's current model into a Code.
+func (e *encoder) modelCode() (*ecc.Code, error) {
+	p := gf2.NewMat(e.r, e.k)
+	for i := 0; i < e.r; i++ {
+		for j := 0; j < e.k; j++ {
+			p.Set(i, j, e.s.Value(e.pVar[i][j]))
+		}
+	}
+	return ecc.New(p)
+}
+
+// pVars returns the flat list of P variables, for model blocking.
+func (e *encoder) pVars() []int {
+	out := make([]int, 0, e.r*e.k)
+	for i := 0; i < e.r; i++ {
+		out = append(out, e.pVar[i]...)
+	}
+	return out
+}
+
+// Solve finds the ECC functions consistent with a miscorrection profile
+// (paper §5.3). The first solution is the "determine function" phase; the
+// continued enumeration (with blocking clauses) is the "check uniqueness"
+// phase.
+func Solve(profile *Profile, opts SolveOptions) (*Result, error) {
+	if profile.K < 1 {
+		return nil, fmt.Errorf("core: profile has no dataword bits")
+	}
+	r := opts.ParityBits
+	if r == 0 {
+		r = ecc.MinParityBits(profile.K)
+	}
+	maxSol := opts.MaxSolutions
+	if maxSol == 0 {
+		maxSol = 2
+	}
+	e := newEncoder(profile.K, r)
+	e.s.MaxConflicts = opts.MaxConflicts
+	for _, entry := range profile.Entries {
+		if entry.Possible.Len() != profile.K {
+			return nil, fmt.Errorf("core: entry %v has %d bits, profile has k=%d",
+				entry.Pattern, entry.Possible.Len(), profile.K)
+		}
+		e.addEntry(entry)
+	}
+	res := &Result{Vars: e.s.NumVars(), Clauses: e.s.NumClauses()}
+
+	start := time.Now()
+	found, err := e.s.Solve()
+	res.DetermineTime = time.Since(start)
+	if err != nil {
+		return res, fmt.Errorf("core: determine phase: %w", err)
+	}
+	if !found {
+		res.Exhausted = true
+		res.Stats = e.s.Stats
+		return res, nil
+	}
+	code, err := e.modelCode()
+	if err != nil {
+		return res, fmt.Errorf("core: SAT model is not a valid code: %w", err)
+	}
+	res.Codes = append(res.Codes, code)
+
+	start = time.Now()
+	vars := e.pVars()
+	for maxSol < 0 || len(res.Codes) < maxSol {
+		if !e.s.BlockModel(vars) {
+			res.Exhausted = true
+			break
+		}
+		found, err := e.s.Solve()
+		if err != nil {
+			res.UniquenessTime = time.Since(start)
+			res.Stats = e.s.Stats
+			return res, fmt.Errorf("core: uniqueness phase: %w", err)
+		}
+		if !found {
+			res.Exhausted = true
+			break
+		}
+		code, err := e.modelCode()
+		if err != nil {
+			return res, fmt.Errorf("core: SAT model is not a valid code: %w", err)
+		}
+		res.Codes = append(res.Codes, code)
+	}
+	res.UniquenessTime = time.Since(start)
+	res.Unique = res.Exhausted && len(res.Codes) == 1
+	res.Stats = e.s.Stats
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/ecc"
+)
+
+func solveFor(t *testing.T, code *ecc.Code, set PatternSet, maxSol int) *Result {
+	t.Helper()
+	prof := ExactProfile(code, set.Patterns(code.K()))
+	res, err := Solve(prof, SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: maxSol})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func TestSolveRecoversHamming74(t *testing.T) {
+	code := ecc.Hamming74()
+	res := solveFor(t, code, Set1, 0)
+	if !res.Unique {
+		t.Fatalf("full-length (7,4) code should be unique under 1-CHARGED; got %d codes", len(res.Codes))
+	}
+	if !res.Codes[0].EquivalentTo(code) {
+		t.Fatalf("recovered wrong code:\n%s\nwant\n%s", res.Codes[0].H(), code.H())
+	}
+}
+
+// Paper Figure 5 / §6.1: full-length codes are uniquely identified by the
+// 1-CHARGED patterns alone.
+func TestSolveFullLengthUniqueWith1Charged(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	for _, k := range []int{4, 11} {
+		for trial := 0; trial < 5; trial++ {
+			code := ecc.RandomHamming(k, rng)
+			if !code.FullLength() {
+				t.Fatalf("k=%d should be full-length", k)
+			}
+			res := solveFor(t, code, Set1, 0)
+			if !res.Unique {
+				t.Fatalf("k=%d trial %d: expected unique, got %d codes", k, trial, len(res.Codes))
+			}
+			if !res.Codes[0].EquivalentTo(code) {
+				t.Fatalf("k=%d trial %d: wrong code recovered", k, trial)
+			}
+		}
+	}
+}
+
+// Paper Figure 5: the {1,2}-CHARGED patterns uniquely identify every code,
+// including shortened ones.
+func TestSolveShortenedUniqueWith12Charged(t *testing.T) {
+	rng := rand.New(rand.NewPCG(88, 89))
+	shapes := []struct{ k, r int }{{5, 4}, {8, 4}, {12, 5}, {16, 5}}
+	for _, sh := range shapes {
+		for trial := 0; trial < 3; trial++ {
+			code := ecc.RandomHammingWithParity(sh.k, sh.r, rng)
+			res := solveFor(t, code, Set12, 0)
+			if !res.Unique {
+				t.Fatalf("(k=%d,r=%d) trial %d: expected unique under {1,2}-CHARGED, got %d codes",
+					sh.k, sh.r, trial, len(res.Codes))
+			}
+			if !res.Codes[0].EquivalentTo(code) {
+				t.Fatalf("(k=%d,r=%d) trial %d: wrong code recovered", sh.k, sh.r, trial)
+			}
+		}
+	}
+}
+
+// For shortened codes the 1-CHARGED patterns may admit several candidates
+// (paper §6.1). Every candidate must (a) include the true code and (b)
+// reproduce the observed profile exactly — i.e. the enumeration is sound and
+// complete even when not unique.
+func TestSolveShortenedEnumerationSoundness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	for trial := 0; trial < 6; trial++ {
+		code := ecc.RandomHammingWithParity(6, 4, rng)
+		patterns := Set1.Patterns(6)
+		prof := ExactProfile(code, patterns)
+		res, err := Solve(prof, SolveOptions{ParityBits: 4, MaxSolutions: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exhausted {
+			t.Fatal("unlimited enumeration must exhaust the space")
+		}
+		foundTrue := false
+		seen := map[string]bool{}
+		for _, cand := range res.Codes {
+			if seen[cand.CanonicalKey()] {
+				t.Fatal("enumeration returned equivalent duplicates")
+			}
+			seen[cand.CanonicalKey()] = true
+			if cand.EquivalentTo(code) {
+				foundTrue = true
+			}
+			if !ExactProfile(cand, patterns).Equal(prof) {
+				t.Fatal("candidate does not reproduce the observed profile")
+			}
+		}
+		if !foundTrue {
+			t.Fatal("true code missing from enumeration")
+		}
+	}
+}
+
+// A contradictory profile must yield no solutions rather than a bogus code.
+func TestSolveContradictoryProfile(t *testing.T) {
+	code := ecc.Hamming74()
+	prof := ExactProfile(code, OneCharged(4))
+	// Claim that charging bit 1 can miscorrect bit 0 AND that charging bit 0
+	// cannot miscorrect anything: impossible for any (7,4) SEC code because
+	// col0 would need to be inside col1 while nothing is inside col0.
+	prof.Entries[1].Possible.Set(0, true)
+	for b := 1; b < 4; b++ {
+		prof.Entries[0].Possible.Set(b, false)
+	}
+	res, err := Solve(prof, SolveOptions{ParityBits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Codes) != 0 || !res.Exhausted {
+		t.Fatalf("contradictory profile produced %d codes", len(res.Codes))
+	}
+}
+
+func TestSolveMaxSolutionsCap(t *testing.T) {
+	// An empty profile (no constraints beyond validity) has many solutions;
+	// the cap must stop enumeration early.
+	prof := &Profile{K: 6}
+	res, err := Solve(prof, SolveOptions{ParityBits: 4, MaxSolutions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Codes) != 3 || res.Exhausted || res.Unique {
+		t.Fatalf("cap violated: %d codes, exhausted=%v", len(res.Codes), res.Exhausted)
+	}
+}
+
+func TestSolveReportsEncodingSize(t *testing.T) {
+	code := ecc.Hamming74()
+	res := solveFor(t, code, Set1, 0)
+	if res.Vars < 12 || res.Clauses == 0 {
+		t.Fatalf("implausible encoding size: %d vars, %d clauses", res.Vars, res.Clauses)
+	}
+	if res.DetermineTime <= 0 {
+		t.Fatal("determine-phase time not recorded")
+	}
+}
+
+// The number of 1-CHARGED-consistent candidates must never be lower for a
+// weaker pattern set: {1,2} refines 1-CHARGED.
+func TestPatternSetMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(111, 112))
+	for trial := 0; trial < 4; trial++ {
+		code := ecc.RandomHammingWithParity(7, 4, rng)
+		n1 := len(solveFor(t, code, Set1, -1).Codes)
+		n12 := len(solveFor(t, code, Set12, -1).Codes)
+		if n12 > n1 {
+			t.Fatalf("{1,2}-CHARGED found %d codes, more than 1-CHARGED's %d", n12, n1)
+		}
+		if n12 != 1 {
+			t.Fatalf("{1,2}-CHARGED should be unique, found %d", n12)
+		}
+	}
+}
+
+// Recovery for a larger, paper-representative shortened code: 32 data bits.
+func TestSolveK32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=32 recovery is slow in -short mode")
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	code := ecc.RandomHamming(32, rng)
+	res := solveFor(t, code, Set12, 0)
+	if !res.Unique {
+		t.Fatalf("expected unique recovery for k=32, got %d codes", len(res.Codes))
+	}
+	if !res.Codes[0].EquivalentTo(code) {
+		t.Fatal("wrong code recovered for k=32")
+	}
+}

@@ -1,0 +1,374 @@
+// Package dram simulates the raw DRAM substrate the BEER methodology runs
+// against: a chip of banks x rows of storage cells whose charge decays over
+// time when refresh is paused.
+//
+// The simulation implements exactly the data-retention error properties the
+// paper relies on (§3.2):
+//
+//  1. Errors are induced and controlled by manipulating the refresh window
+//     and ambient temperature (PauseRefresh / SetTemperature).
+//  2. Errors are repeatable — each cell has a fixed retention time drawn
+//     deterministically from a log-normal distribution keyed by its address —
+//     and spatially uniform-random, because the draw is an avalanche hash of
+//     the address.
+//  3. Errors are unidirectional: only a CHARGED cell can decay, to the
+//     DISCHARGED state.
+//
+// Cells store *charge*; the mapping between charge and logical bit value is
+// the cell's encoding convention: a true-cell stores '1' as CHARGED, an
+// anti-cell stores '1' as DISCHARGED (§3.1). Real chips mix both; the layout
+// is configurable per row to reproduce the per-manufacturer layouts the paper
+// measures in §5.1.1.
+//
+// Fidelity note (see DESIGN.md): the default retention-time distribution is
+// compressed relative to a real LPDDR4 chip so that minute-scale refresh
+// pauses span raw bit error rates from ~1e-7 up to ~2e-1. A real chip offers
+// millions of ECC words, so rare error patterns are still observed; a
+// simulated chip offers thousands, so the tail mass is raised to keep the
+// same coverage. All of the properties above are preserved.
+package dram
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/gf2"
+	"repro/internal/stats"
+)
+
+// CellType is a cell's charge-encoding convention.
+type CellType uint8
+
+const (
+	// TrueCell encodes logical '1' as a charged capacitor.
+	TrueCell CellType = iota
+	// AntiCell encodes logical '1' as a discharged capacitor.
+	AntiCell
+)
+
+func (t CellType) String() string {
+	if t == TrueCell {
+		return "true"
+	}
+	return "anti"
+}
+
+// RetentionModel describes the per-cell retention-time distribution and its
+// temperature dependence.
+type RetentionModel struct {
+	// MuLog and SigmaLog parameterize ln(retention seconds) ~ N(MuLog,
+	// SigmaLog) at ReferenceTempC.
+	MuLog    float64
+	SigmaLog float64
+	// ReferenceTempC is the temperature at which MuLog/SigmaLog apply.
+	ReferenceTempC float64
+	// HalvingCelsius: retention time halves for every this many degrees
+	// above the reference temperature (exponential temperature dependence,
+	// as in the retention studies the paper builds on).
+	HalvingCelsius float64
+	// VRTSigmaLog adds per-read log-normal jitter to each cell's effective
+	// retention threshold, modeling variable retention time. Zero disables.
+	VRTSigmaLog float64
+}
+
+// DefaultRetention returns the model used by the simulated chips: tuned so a
+// sweep of tREFw from 2 to 30 minutes at 80 degrees C spans BER ~1e-7 to
+// ~2e-1 (compressed from real-chip scale; see the package comment).
+func DefaultRetention() RetentionModel {
+	return RetentionModel{
+		MuLog:          8.017, // median retention ~50 minutes at 80C
+		SigmaLog:       0.621,
+		ReferenceTempC: 80,
+		HalvingCelsius: 10,
+		VRTSigmaLog:    0.02,
+	}
+}
+
+// TempFactor returns the retention-time scale factor at the given
+// temperature: times shrink as temperature rises.
+func (m RetentionModel) TempFactor(tempC float64) float64 {
+	return math.Exp2((m.ReferenceTempC - tempC) / m.HalvingCelsius)
+}
+
+// CellRetentionSeconds returns the cell's fixed retention time at the
+// reference temperature, derived deterministically from the hash h.
+func (m RetentionModel) CellRetentionSeconds(h uint64) float64 {
+	return stats.LogNormal(stats.Uniform01(h), m.MuLog, m.SigmaLog)
+}
+
+// FailureProbability returns the probability that a randomly chosen charged
+// cell decays within the given window at the given temperature — the
+// analytic raw bit error rate used for experiment planning (§6.3).
+func (m RetentionModel) FailureProbability(window time.Duration, tempC float64) float64 {
+	eff := window.Seconds() / m.TempFactor(tempC)
+	return stats.LogNormalCDF(eff, m.MuLog, m.SigmaLog)
+}
+
+// Layout assigns a cell type to each row.
+type Layout func(bank, row int) CellType
+
+// AllTrueLayout is the layout of manufacturers A and B in the paper: every
+// cell is a true-cell.
+func AllTrueLayout(bank, row int) CellType { return TrueCell }
+
+// AllAntiLayout inverts every cell (used in tests).
+func AllAntiLayout(bank, row int) CellType { return AntiCell }
+
+// BlockLayout reproduces manufacturer C's measured layout: alternating
+// true-/anti-cell blocks whose lengths cycle through the given sizes
+// (the paper reports blocks of 800, 824 and 1224 rows).
+func BlockLayout(blockLens ...int) Layout {
+	if len(blockLens) == 0 {
+		panic("dram: BlockLayout needs at least one block length")
+	}
+	total := 0
+	for _, l := range blockLens {
+		if l <= 0 {
+			panic("dram: block lengths must be positive")
+		}
+		total += l
+	}
+	// One full cycle through blockLens covers `total` rows with alternating
+	// types; two cycles restore the starting type when len(blockLens) is odd.
+	return func(bank, row int) CellType {
+		r := row % (2 * total)
+		typ := TrueCell
+		for {
+			for _, l := range blockLens {
+				if r < l {
+					return typ
+				}
+				r -= l
+				typ ^= 1
+			}
+		}
+	}
+}
+
+// Config describes a simulated chip.
+type Config struct {
+	Banks       int
+	Rows        int
+	CellsPerRow int
+	Seed        uint64
+	Layout      Layout
+	Retention   RetentionModel
+	// TransientBER is the per-cell, per-read probability of an unrelated
+	// transient bit flip (soft errors, voltage noise — §5.2). These flips are
+	// not sticky and occur in either direction.
+	TransientBER float64
+}
+
+// Chip is a simulated DRAM chip storing raw cells. It has no ECC; package
+// ondie layers on-die ECC on top.
+type Chip struct {
+	cfg   Config
+	tempC float64
+	// thermalSeconds is the accumulated refresh-paused time, scaled to
+	// reference-temperature seconds. It only advances during PauseRefresh,
+	// which makes decay windows per row simply the difference between the
+	// current value and the value at the row's last write.
+	thermalSeconds float64
+	rows           [][]rowState
+	readCounter    uint64
+}
+
+type rowState struct {
+	written bool
+	charges gf2.Vec
+	// writeStamp is the chip's thermalSeconds at the time of the write.
+	writeStamp float64
+}
+
+// New constructs a chip. Zero-valued retention fields fall back to
+// DefaultRetention, and a nil layout to AllTrueLayout.
+func New(cfg Config) *Chip {
+	if cfg.Banks <= 0 || cfg.Rows <= 0 || cfg.CellsPerRow <= 0 {
+		panic(fmt.Sprintf("dram: invalid geometry %d banks x %d rows x %d cells",
+			cfg.Banks, cfg.Rows, cfg.CellsPerRow))
+	}
+	if cfg.Layout == nil {
+		cfg.Layout = AllTrueLayout
+	}
+	if cfg.Retention == (RetentionModel{}) {
+		cfg.Retention = DefaultRetention()
+	}
+	c := &Chip{cfg: cfg, tempC: cfg.Retention.ReferenceTempC}
+	c.rows = make([][]rowState, cfg.Banks)
+	for b := range c.rows {
+		c.rows[b] = make([]rowState, cfg.Rows)
+	}
+	return c
+}
+
+// Banks returns the bank count.
+func (c *Chip) Banks() int { return c.cfg.Banks }
+
+// Rows returns the per-bank row count.
+func (c *Chip) Rows() int { return c.cfg.Rows }
+
+// CellsPerRow returns the number of cells in each row.
+func (c *Chip) CellsPerRow() int { return c.cfg.CellsPerRow }
+
+// SetTemperature sets the ambient temperature in Celsius for subsequent
+// refresh pauses.
+func (c *Chip) SetTemperature(celsius float64) { c.tempC = celsius }
+
+// Temperature returns the current ambient temperature.
+func (c *Chip) Temperature() float64 { return c.tempC }
+
+// PauseRefresh simulates disabling DRAM refresh for the given duration at
+// the current temperature: every written row accumulates decay exposure.
+// With refresh running (i.e. outside PauseRefresh) retention times are
+// vastly longer than the refresh window, so no decay accumulates.
+func (c *Chip) PauseRefresh(d time.Duration) {
+	if d < 0 {
+		panic("dram: negative pause")
+	}
+	c.thermalSeconds += d.Seconds() / c.cfg.Retention.TempFactor(c.tempC)
+}
+
+func (c *Chip) rowAt(bank, row int) *rowState {
+	if bank < 0 || bank >= c.cfg.Banks || row < 0 || row >= c.cfg.Rows {
+		panic(fmt.Sprintf("dram: address (%d,%d) out of range", bank, row))
+	}
+	return &c.rows[bank][row]
+}
+
+// CellTypeOf reports the encoding convention of the cells in a row. The BEER
+// flow does not use this directly — it rediscovers the layout from error
+// behavior (§5.1.1) — but validation code and package ondie may.
+func (c *Chip) CellTypeOf(bank, row int) CellType { return c.cfg.Layout(bank, row) }
+
+// WriteRow stores logical bits into the row, converting to charges per the
+// row's cell type, and resets the row's decay exposure (a write fully
+// restores charge, like a refresh does).
+func (c *Chip) WriteRow(bank, row int, bits gf2.Vec) {
+	if bits.Len() != c.cfg.CellsPerRow {
+		panic(fmt.Sprintf("dram: WriteRow got %d bits, row holds %d cells", bits.Len(), c.cfg.CellsPerRow))
+	}
+	st := c.rowAt(bank, row)
+	charges := bits.Clone()
+	if c.cfg.Layout(bank, row) == AntiCell {
+		invert(charges)
+	}
+	st.charges = charges
+	st.written = true
+	st.writeStamp = c.thermalSeconds
+}
+
+// ReadRow senses the row's cells, applying any retention decay accumulated
+// since the last write, plus transient read noise, and converts charges back
+// to logical bits. Reading an unwritten row panics: real cells power up in an
+// undefined state, and the methodology never reads before writing.
+func (c *Chip) ReadRow(bank, row int) gf2.Vec {
+	st := c.rowAt(bank, row)
+	if !st.written {
+		panic(fmt.Sprintf("dram: ReadRow of never-written row (%d,%d)", bank, row))
+	}
+	c.readCounter++
+	exposure := c.thermalSeconds - st.writeStamp
+	m := c.cfg.Retention
+	charges := st.charges.Clone()
+	if exposure > 0 {
+		for _, i := range st.charges.Support() { // only CHARGED cells can decay
+			h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
+			tRet := m.CellRetentionSeconds(h)
+			if m.VRTSigmaLog > 0 {
+				jitter := stats.NormalInv(stats.Uniform01(stats.HashN(h, c.readCounter)))
+				tRet *= math.Exp(m.VRTSigmaLog * jitter)
+			}
+			if tRet < exposure {
+				charges.Set(i, false)
+			}
+		}
+	}
+	bits := charges
+	if c.cfg.Layout(bank, row) == AntiCell {
+		invert(bits)
+	}
+	if c.cfg.TransientBER > 0 {
+		c.injectTransient(bits, bank, row)
+	}
+	return bits
+}
+
+// injectTransient flips each bit independently with probability
+// cfg.TransientBER, deterministically keyed by the read counter.
+func (c *Chip) injectTransient(bits gf2.Vec, bank, row int) {
+	// Sampling every cell would dominate runtime at BERs like 1e-7, so skip
+	// ahead geometrically: with probability p per cell, the gap to the next
+	// flip is ~ Geometric(p).
+	p := c.cfg.TransientBER
+	n := bits.Len()
+	pos := 0
+	for draw := 0; ; draw++ {
+		h := stats.HashN(c.cfg.Seed^0xabcdef, uint64(bank), uint64(row), c.readCounter, uint64(draw))
+		u := stats.Uniform01(h)
+		gap := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+		if gap < 1 {
+			gap = 1
+		}
+		pos += gap
+		if pos > n {
+			return
+		}
+		bits.Flip(pos - 1)
+	}
+}
+
+// RetentionSecondsOf returns a cell's fixed retention time in seconds at the
+// reference temperature. Ground-truth accessor for validation: real chips do
+// not expose per-cell retention, which is why profiling methodologies like
+// REAPER and BEEP exist.
+func (c *Chip) RetentionSecondsOf(bank, row, cell int) float64 {
+	h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(cell))
+	return c.cfg.Retention.CellRetentionSeconds(h)
+}
+
+// WeakCells returns the cells of a row whose retention time (at reference
+// temperature) is below the given window — the cells that will fail if left
+// charged for that long. Ground-truth accessor for validation.
+func (c *Chip) WeakCells(bank, row int, window time.Duration) []int {
+	var weak []int
+	for i := 0; i < c.cfg.CellsPerRow; i++ {
+		if c.RetentionSecondsOf(bank, row, i) < window.Seconds() {
+			weak = append(weak, i)
+		}
+	}
+	return weak
+}
+
+// RefreshAll models re-enabling refresh after a pause: any decay that already
+// happened is locked in (refresh rewrites whatever charge remains), and
+// future reads see no additional decay until refresh is paused again. This
+// is implemented by materializing the decayed charges as the stored state.
+func (c *Chip) RefreshAll() {
+	for b := 0; b < c.cfg.Banks; b++ {
+		for r := 0; r < c.cfg.Rows; r++ {
+			st := &c.rows[b][r]
+			if !st.written {
+				continue
+			}
+			exposure := c.thermalSeconds - st.writeStamp
+			if exposure <= 0 {
+				continue
+			}
+			m := c.cfg.Retention
+			for _, i := range st.charges.Support() {
+				h := stats.HashN(c.cfg.Seed, uint64(b), uint64(r), uint64(i))
+				if m.CellRetentionSeconds(h) < exposure {
+					st.charges.Set(i, false)
+				}
+			}
+			st.writeStamp = c.thermalSeconds
+		}
+	}
+}
+
+func invert(v gf2.Vec) {
+	for i := 0; i < v.Len(); i++ {
+		v.Flip(i)
+	}
+}

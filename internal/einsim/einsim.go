@@ -1,0 +1,341 @@
+// Package einsim is a word-level Monte-Carlo simulator of DRAM error
+// correction, reimplementing the role of the EINSim tool the paper builds on
+// ([2] in the paper; github.com/CMU-SAFARI/EINSim): given an ECC code, a data
+// pattern, and an error model, it simulates many ECC words and aggregates
+// pre- and post-correction error statistics per bit position.
+//
+// Figure 1 of the paper is produced this way: three different ECC functions
+// of the same (38, 32) shape, a 0xFF data pattern, uniform-random
+// pre-correction errors at RBER 1e-4, and 10^9 simulated words show that the
+// post-correction error distribution across bit positions is a fingerprint
+// of the specific parity-check matrix.
+package einsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+)
+
+// DataPattern selects the dataword written to each simulated word.
+type DataPattern int
+
+const (
+	// PatternAllOnes is the paper's 0xFF pattern.
+	PatternAllOnes DataPattern = iota
+	// PatternAllZeros writes all zeros.
+	PatternAllZeros
+	// PatternRandom draws a fresh uniform dataword per simulated word
+	// (the paper's RANDOM pattern).
+	PatternRandom
+	// PatternCustom uses Config.CustomData for every word.
+	PatternCustom
+)
+
+func (p DataPattern) String() string {
+	switch p {
+	case PatternAllOnes:
+		return "0xFF"
+	case PatternAllZeros:
+		return "0x00"
+	case PatternRandom:
+		return "RANDOM"
+	case PatternCustom:
+		return "CUSTOM"
+	}
+	return fmt.Sprintf("DataPattern(%d)", int(p))
+}
+
+// ErrorModel selects how pre-correction errors are injected.
+type ErrorModel int
+
+const (
+	// ModelUniform flips every codeword bit independently with probability
+	// RBER, regardless of its value (Figure 1's model).
+	ModelUniform ErrorModel = iota
+	// ModelRetention flips only CHARGED cells (true-cell convention: bits
+	// storing 1), each with probability RBER — the unidirectional
+	// data-retention model of §3.2.
+	ModelRetention
+)
+
+func (m ErrorModel) String() string {
+	if m == ModelUniform {
+		return "UNIFORM"
+	}
+	return "RETENTION"
+}
+
+// Config describes one simulation.
+type Config struct {
+	Code       *ecc.Code
+	Pattern    DataPattern
+	CustomData gf2.Vec
+	Model      ErrorModel
+	RBER       float64
+	Words      int
+	// ConditionMinErrors, when positive, samples only words with at least
+	// this many injected errors (importance sampling). At Figure 1's RBER of
+	// 1e-4 fewer than one word in 10^5 has the >= 2 errors needed to produce
+	// any post-correction error, which is why the paper burns 10^9 words;
+	// conditioning reproduces the same relative post-correction
+	// distributions at a tiny fraction of the cost. Only supported for
+	// ModelUniform.
+	ConditionMinErrors int
+}
+
+// Result aggregates simulation statistics. Results from independent batches
+// of the same configuration can be combined with Merge.
+type Result struct {
+	N, K  int
+	Words int64
+	// PreErrors[i] counts pre-correction errors at codeword bit i.
+	PreErrors []int64
+	// PostErrors[b] counts post-correction errors at data bit b.
+	PostErrors []int64
+	// Outcome classification of words with uncorrectable (>= 2) errors,
+	// following §3.3: silent corruption (zero syndrome), partial correction
+	// (decoder flipped one of the true errors), miscorrection (decoder
+	// flipped a clean bit).
+	Correctable, Silent, Partial, Miscorrected int64
+	// WordsWithPostError counts words whose post-correction dataword
+	// differs from what was written.
+	WordsWithPostError int64
+}
+
+// Run simulates cfg.Words ECC words and aggregates statistics.
+func Run(cfg Config, rng *rand.Rand) (*Result, error) {
+	if cfg.Code == nil {
+		return nil, fmt.Errorf("einsim: no code configured")
+	}
+	if cfg.RBER < 0 || cfg.RBER > 1 {
+		return nil, fmt.Errorf("einsim: RBER %v out of [0,1]", cfg.RBER)
+	}
+	if cfg.Pattern == PatternCustom && cfg.CustomData.Len() != cfg.Code.K() {
+		return nil, fmt.Errorf("einsim: custom data has %d bits, code wants %d",
+			cfg.CustomData.Len(), cfg.Code.K())
+	}
+	if cfg.ConditionMinErrors > 0 && cfg.Model != ModelUniform {
+		return nil, fmt.Errorf("einsim: conditioned sampling requires ModelUniform")
+	}
+	n, k := cfg.Code.N(), cfg.Code.K()
+	var errCountDist []float64
+	if cfg.ConditionMinErrors > 0 {
+		errCountDist = truncatedBinomialCDF(n, cfg.RBER, cfg.ConditionMinErrors)
+		if errCountDist == nil {
+			return nil, fmt.Errorf("einsim: conditioning on >=%d errors is impossible", cfg.ConditionMinErrors)
+		}
+	}
+	res := &Result{
+		N: n, K: k,
+		PreErrors:  make([]int64, n),
+		PostErrors: make([]int64, k),
+	}
+	data := gf2.NewVec(k)
+	switch cfg.Pattern {
+	case PatternAllOnes:
+		for i := 0; i < k; i++ {
+			data.Set(i, true)
+		}
+	case PatternCustom:
+		data = cfg.CustomData.Clone()
+	}
+	for w := 0; w < cfg.Words; w++ {
+		if cfg.Pattern == PatternRandom {
+			for i := 0; i < k; i++ {
+				data.Set(i, rng.IntN(2) == 1)
+			}
+		}
+		cw := cfg.Code.Encode(data)
+		var bad gf2.Vec
+		var errPositions []int
+		if errCountDist != nil {
+			bad, errPositions = injectConditioned(cw, errCountDist, rng)
+		} else {
+			bad, errPositions = inject(cfg, cw, rng)
+		}
+		res.Words++
+		for _, p := range errPositions {
+			res.PreErrors[p]++
+		}
+		dec := cfg.Code.Decode(bad)
+		postErrs := 0
+		for b := 0; b < k; b++ {
+			if dec.Data.Get(b) != data.Get(b) {
+				res.PostErrors[b]++
+				postErrs++
+			}
+		}
+		if postErrs > 0 {
+			res.WordsWithPostError++
+		}
+		switch {
+		case len(errPositions) == 0:
+		case len(errPositions) == 1:
+			res.Correctable++
+		case dec.Syndrome.Zero():
+			res.Silent++
+		case dec.FlippedBit >= 0 && contains(errPositions, dec.FlippedBit):
+			res.Partial++
+		case dec.FlippedBit >= 0:
+			res.Miscorrected++
+		default:
+			// Unmatched syndrome on a shortened code: detected but
+			// uncorrected; counts as partial (no new error introduced).
+			res.Partial++
+		}
+	}
+	return res, nil
+}
+
+// inject applies the configured error model to a codeword, returning the
+// corrupted word and the flipped positions.
+func inject(cfg Config, cw gf2.Vec, rng *rand.Rand) (gf2.Vec, []int) {
+	bad := cw.Clone()
+	var errs []int
+	n := cw.Len()
+	if cfg.RBER == 0 {
+		return bad, nil
+	}
+	// Geometric skipping keeps low-RBER simulation fast.
+	pos := nextHit(rng, cfg.RBER, -1)
+	for pos < n {
+		if cfg.Model == ModelUniform || cw.Get(pos) {
+			bad.Flip(pos)
+			errs = append(errs, pos)
+		}
+		pos = nextHit(rng, cfg.RBER, pos)
+	}
+	return bad, errs
+}
+
+// nextHit returns the next position after prev hit by an event of
+// probability p per position.
+func nextHit(rng *rand.Rand, p float64, prev int) int {
+	if p >= 1 {
+		return prev + 1
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	gap := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if gap < 1 {
+		gap = 1
+	}
+	return prev + gap
+}
+
+// truncatedBinomialCDF returns the CDF of Binomial(n, p) conditioned on the
+// count being >= min, indexed by count (entries below min are 0). Returns nil
+// when the conditional event has no probability mass.
+func truncatedBinomialCDF(n int, p float64, min int) []float64 {
+	if p <= 0 || min > n {
+		return nil
+	}
+	pmf := make([]float64, n+1)
+	// Iterative binomial PMF avoids factorial overflow.
+	pmf[0] = math.Pow(1-p, float64(n))
+	for m := 1; m <= n; m++ {
+		pmf[m] = pmf[m-1] * float64(n-m+1) / float64(m) * p / (1 - p)
+	}
+	total := 0.0
+	for m := min; m <= n; m++ {
+		total += pmf[m]
+	}
+	if total <= 0 {
+		return nil
+	}
+	cdf := make([]float64, n+1)
+	acc := 0.0
+	for m := 0; m <= n; m++ {
+		if m >= min {
+			acc += pmf[m] / total
+		}
+		cdf[m] = acc
+	}
+	return cdf
+}
+
+// injectConditioned draws an error count from the truncated binomial CDF and
+// flips that many uniformly-chosen distinct positions.
+func injectConditioned(cw gf2.Vec, cdf []float64, rng *rand.Rand) (gf2.Vec, []int) {
+	u := rng.Float64()
+	m := 0
+	for m < len(cdf)-1 && cdf[m] < u {
+		m++
+	}
+	bad := cw.Clone()
+	n := cw.Len()
+	errs := rng.Perm(n)[:m]
+	for _, p := range errs {
+		bad.Flip(p)
+	}
+	return bad, errs
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Merge adds another batch's statistics into r. Configurations must match.
+func (r *Result) Merge(o *Result) error {
+	if r.N != o.N || r.K != o.K {
+		return fmt.Errorf("einsim: merging results of different shapes")
+	}
+	r.Words += o.Words
+	for i := range r.PreErrors {
+		r.PreErrors[i] += o.PreErrors[i]
+	}
+	for i := range r.PostErrors {
+		r.PostErrors[i] += o.PostErrors[i]
+	}
+	r.Correctable += o.Correctable
+	r.Silent += o.Silent
+	r.Partial += o.Partial
+	r.Miscorrected += o.Miscorrected
+	r.WordsWithPostError += o.WordsWithPostError
+	return nil
+}
+
+// RelativePostProbabilities returns each data bit's share of all observed
+// post-correction errors (Figure 1's y-axis). All-zero results return zeros.
+func (r *Result) RelativePostProbabilities() []float64 {
+	total := int64(0)
+	for _, c := range r.PostErrors {
+		total += c
+	}
+	out := make([]float64, r.K)
+	if total == 0 {
+		return out
+	}
+	for b, c := range r.PostErrors {
+		out[b] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// RelativePreProbabilities returns each codeword bit's share of observed
+// pre-correction errors.
+func (r *Result) RelativePreProbabilities() []float64 {
+	total := int64(0)
+	for _, c := range r.PreErrors {
+		total += c
+	}
+	out := make([]float64, r.N)
+	if total == 0 {
+		return out
+	}
+	for i, c := range r.PreErrors {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from the simulated substrate, printing the same rows and series
+// the paper reports. Each generator has a Scale knob: ScaleQuick for tests
+// and benchmarks, ScaleDefault for interactive runs, and ScalePaper for
+// paper-comparable sweeps (hours of compute, as §6.2 reports for the
+// original).
+//
+// cmd/figures exposes these on the command line; the repository-root
+// benchmarks invoke them with io.Discard to time each experiment.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+const (
+	// ScaleQuick shrinks every sweep to seconds; shapes remain visible.
+	ScaleQuick Scale = iota
+	// ScaleDefault runs minutes-scale sweeps with stable statistics.
+	ScaleDefault
+	// ScalePaper approaches the paper's configurations where feasible.
+	ScalePaper
+)
+
+// ParseScale converts a -scale flag value.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick":
+		return ScaleQuick, nil
+	case "default", "":
+		return ScaleDefault, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return 0, fmt.Errorf("figures: unknown scale %q (want quick, default or paper)", s)
+}
+
+// Generator produces one table or figure.
+type Generator struct {
+	ID          string
+	Description string
+	Run         func(w io.Writer, scale Scale) error
+}
+
+var registry []Generator
+
+func register(g Generator) { registry = append(registry, g) }
+
+// All returns every registered generator, sorted by ID.
+func All() []Generator {
+	out := append([]Generator(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds a generator.
+func ByID(id string) (Generator, bool) {
+	for _, g := range registry {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// heatChar maps a count to an ASCII heat character for text heatmaps.
+func heatChar(count int64) byte {
+	switch {
+	case count == 0:
+		return '.'
+	case count < 10:
+		return ':'
+	case count < 100:
+		return '*'
+	case count < 1000:
+		return 'o'
+	default:
+		return '#'
+	}
+}

@@ -1,0 +1,110 @@
+package ranklevel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+)
+
+func TestControllerCorrectsSingleFault(t *testing.T) {
+	code := ecc.RandomHamming(16, rand.New(rand.NewPCG(1, 2)))
+	ctrl := New(code, 4)
+	data := gf2.VecFromSupport(16, 0, 5, 9)
+	ctrl.Write(2, data)
+	ctrl.InjectBusFault(2, 5)
+	got, ev := ctrl.Read(2)
+	if !got.Equal(data) {
+		t.Fatal("single fault not corrected")
+	}
+	if !ev.Detected || !ev.Corrected || ev.FlippedBit != 5 {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Clean read reports nothing (fault was in the stored word, now fixed?
+	// No: Read does not scrub; re-reading sees the same fault corrected).
+	got, ev = ctrl.Read(2)
+	if !got.Equal(data) || !ev.Corrected {
+		t.Fatal("fault should persist in storage and be re-corrected")
+	}
+}
+
+func TestDirectRecoveryExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		code := ecc.RandomHamming(k, rng)
+		ctrl := New(code, 8)
+		got, injections, err := DirectRecovery(ctrl)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Direct syndrome extraction recovers H bit-exactly — not just up to
+		// equivalence — because parity positions are injectable.
+		if !got.Equal(code) {
+			t.Fatalf("k=%d: recovered wrong matrix", k)
+		}
+		if injections != code.N() {
+			t.Fatalf("k=%d: used %d injections, want %d", k, injections, code.N())
+		}
+	}
+}
+
+// The capability contrast the paper draws (§4.2): the baseline requires bus
+// injection into parity bits; BEER recovers the same function from retention
+// errors alone. Both must agree up to equivalence.
+func TestBaselineAgreesWithBEER(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	code := ecc.RandomHamming(11, rng) // full-length: 1-CHARGED suffices
+	ctrl := New(code, 4)
+	direct, _, err := DirectRecovery(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := core.ExactProfile(code, core.OneCharged(11))
+	res, err := core.Solve(prof, core.SolveOptions{ParityBits: code.ParityBits()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Fatal("BEER should be unique for a full-length code")
+	}
+	if !res.Codes[0].EquivalentTo(direct) {
+		t.Fatal("BEER and the direct baseline disagree")
+	}
+}
+
+func TestInjectBusFaultBounds(t *testing.T) {
+	ctrl := New(ecc.Hamming74(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range injection")
+		}
+	}()
+	ctrl.InjectBusFault(0, 7)
+}
+
+// Double faults exercise the SEC limits through the controller path.
+func TestControllerDoubleFaultOutcomes(t *testing.T) {
+	code := ecc.Hamming74()
+	ctrl := New(code, 1)
+	data := gf2.VecFromUint(4, 0b1001)
+	sawMiss := false
+	for i := 0; i < code.N(); i++ {
+		for j := i + 1; j < code.N(); j++ {
+			ctrl.Write(0, data)
+			ctrl.InjectBusFault(0, i)
+			ctrl.InjectBusFault(0, j)
+			got, ev := ctrl.Read(0)
+			if !ev.Detected {
+				t.Fatalf("double fault (%d,%d) undetected for full-length code", i, j)
+			}
+			if !got.Equal(data) {
+				sawMiss = true
+			}
+		}
+	}
+	if !sawMiss {
+		t.Fatal("SEC code corrected every double fault; impossible")
+	}
+}

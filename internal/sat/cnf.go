@@ -1,0 +1,157 @@
+package sat
+
+// CNF-building helpers layered on the core solver. BEER's constraints are
+// mostly GF(2)-flavored: XOR chains (parity of parity-check matrix entries)
+// and reified conjunctions/disjunctions of those parities (the per-pattern
+// miscorrection conditions). Everything here Tseitin-encodes into plain
+// clauses.
+
+// True returns a literal that is constant true (backed by a lazily-created,
+// unit-asserted variable).
+func (s *Solver) True() Lit {
+	v := s.NewVar()
+	l := PosLit(v)
+	s.AddClause(l)
+	return l
+}
+
+// False returns a literal that is constant false.
+func (s *Solver) False() Lit { return s.True().Not() }
+
+// ReifyXor2 returns a fresh literal y constrained so that y <-> (a XOR b).
+func (s *Solver) ReifyXor2(a, b Lit) Lit {
+	y := PosLit(s.NewVar())
+	s.AddClause(y.Not(), a, b)
+	s.AddClause(y.Not(), a.Not(), b.Not())
+	s.AddClause(y, a.Not(), b)
+	s.AddClause(y, a, b.Not())
+	return y
+}
+
+// ReifyXor returns a literal equal to the XOR of all given literals.
+// XOR of no literals is constant false.
+func (s *Solver) ReifyXor(lits ...Lit) Lit {
+	if len(lits) == 0 {
+		return s.False()
+	}
+	acc := lits[0]
+	for _, l := range lits[1:] {
+		acc = s.ReifyXor2(acc, l)
+	}
+	return acc
+}
+
+// AddXor asserts XOR(lits) == rhs. An empty XOR equals false, so rhs=true
+// over no literals makes the formula unsatisfiable.
+func (s *Solver) AddXor(lits []Lit, rhs bool) {
+	if len(lits) == 0 {
+		if rhs {
+			s.AddClause() // empty clause: UNSAT
+		}
+		return
+	}
+	acc := s.ReifyXor(lits...)
+	if rhs {
+		s.AddClause(acc)
+	} else {
+		s.AddClause(acc.Not())
+	}
+}
+
+// ReifyAnd returns a fresh literal y with y <-> AND(lits). The AND of no
+// literals is constant true.
+func (s *Solver) ReifyAnd(lits ...Lit) Lit {
+	if len(lits) == 0 {
+		return s.True()
+	}
+	if len(lits) == 1 {
+		return lits[0]
+	}
+	y := PosLit(s.NewVar())
+	long := make([]Lit, 0, len(lits)+1)
+	long = append(long, y)
+	for _, l := range lits {
+		s.AddClause(y.Not(), l)
+		long = append(long, l.Not())
+	}
+	s.AddClause(long...)
+	return y
+}
+
+// ReifyOr returns a fresh literal y with y <-> OR(lits). The OR of no
+// literals is constant false.
+func (s *Solver) ReifyOr(lits ...Lit) Lit {
+	if len(lits) == 0 {
+		return s.False()
+	}
+	if len(lits) == 1 {
+		return lits[0]
+	}
+	neg := make([]Lit, len(lits))
+	for i, l := range lits {
+		neg[i] = l.Not()
+	}
+	return s.ReifyAnd(neg...).Not()
+}
+
+// AtMostOne asserts that at most one of the literals is true, using the
+// pairwise encoding (fine for the small cardinalities this project needs).
+func (s *Solver) AtMostOne(lits ...Lit) {
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			s.AddClause(lits[i].Not(), lits[j].Not())
+		}
+	}
+}
+
+// ExactlyOne asserts that exactly one of the literals is true.
+func (s *Solver) ExactlyOne(lits ...Lit) {
+	s.AddClause(lits...)
+	s.AtMostOne(lits...)
+}
+
+// Implies asserts a -> b.
+func (s *Solver) Implies(a, b Lit) { s.AddClause(a.Not(), b) }
+
+// BlockModel adds a clause forbidding the current assignment restricted to
+// the given variables; used for model enumeration. Returns false when the
+// solver became (or already was) unsatisfiable.
+func (s *Solver) BlockModel(vars []int) bool {
+	lits := make([]Lit, len(vars))
+	for i, v := range vars {
+		lits[i] = MkLit(v, s.Value(v)) // negate the assigned polarity
+	}
+	return s.AddClause(lits...)
+}
+
+// EnumerateModels repeatedly solves and blocks solutions projected onto the
+// given variables, invoking fn with each projected model until the formula
+// is exhausted, fn returns false, or limit models have been produced
+// (limit <= 0 means no limit). It returns the number of models found and a
+// non-nil error only if the conflict budget was exhausted.
+func (s *Solver) EnumerateModels(vars []int, limit int, fn func(model []bool) bool) (int, error) {
+	count := 0
+	for {
+		if limit > 0 && count >= limit {
+			return count, nil
+		}
+		sat, err := s.Solve()
+		if err != nil {
+			return count, err
+		}
+		if !sat {
+			return count, nil
+		}
+		count++
+		proj := make([]bool, len(vars))
+		for i, v := range vars {
+			proj[i] = s.Value(v)
+		}
+		if fn != nil && !fn(proj) {
+			return count, nil
+		}
+		if !s.BlockModel(vars) {
+			return count, nil
+		}
+	}
+}

@@ -1,0 +1,655 @@
+// Package sat implements a CDCL (conflict-driven clause learning) Boolean
+// satisfiability solver in pure Go, plus CNF-building helpers for the XOR and
+// reified AND/OR constraints that BEER's parity-check inference needs.
+//
+// The paper uses the Z3 SMT solver (§3.4, §5.3); no native Go SAT solver was
+// available under the stdlib-only constraint, so this package provides the
+// equivalent capability: two-watched-literal propagation, first-UIP clause
+// learning, VSIDS branching with phase saving, Luby restarts, and learnt
+// clause database reduction. Solvers are reusable: clauses may be added
+// between Solve calls, which is how model enumeration (BEER's uniqueness
+// check) adds blocking clauses.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index shifted left once, with the low bit set
+// for negation. The zero Lit is variable 0, positive.
+type Lit int32
+
+// litUndef is a sentinel literal distinct from every real literal.
+const litUndef Lit = -1
+
+// MkLit constructs a literal for variable v (>= 0), negated when neg is set.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of variable v.
+func PosLit(v int) Lit { return MkLit(v, false) }
+
+// NegLit returns the negative literal of variable v.
+func NegLit(v int) Lit { return MkLit(v, true) }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as "x3" or "~x3".
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("~x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits   []Lit
+	act    float64
+	learnt bool
+}
+
+// Stats aggregates solver counters across all Solve calls.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnt       int64
+	Restarts     int64
+}
+
+// Solver is a reusable CDCL SAT solver. The zero value is not usable; call
+// New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause
+	watches [][]*clause // indexed by literal
+
+	assigns  []lbool
+	level    []int32
+	reason   []*clause
+	polarity []bool // saved phase per variable
+	activity []float64
+	seen     []bool
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	order  varHeap
+	varInc float64
+	claInc float64
+
+	ok    bool // false once UNSAT is established at level 0
+	model []bool
+
+	// MaxConflicts, when positive, bounds the total conflicts per Solve call;
+	// exceeding it makes Solve return ErrBudget. Zero means unlimited.
+	MaxConflicts int64
+
+	Stats Stats
+}
+
+// ErrBudget is returned by Solve when MaxConflicts is exhausted before a
+// definitive answer is found.
+var ErrBudget = fmt.Errorf("sat: conflict budget exhausted")
+
+// New returns an empty solver with no variables.
+func New() *Solver {
+	s := &Solver{ok: true, varInc: 1, claInc: 1}
+	s.order.activity = &s.activity
+	return s
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// SetPolarity sets the value a variable prefers when the solver branches on
+// it (before conflict-driven phase saving takes over). Callers use it to
+// bias which of many satisfying assignments the search finds first — e.g.
+// BEEP biases data bits toward CHARGED so crafted patterns exercise many
+// cells.
+func (s *Solver) SetPolarity(v int, value bool) { s.polarity[v] = !value }
+
+// BoostActivity raises a variable's branching priority so the solver decides
+// it (with its preferred polarity) before un-boosted variables. Combined
+// with SetPolarity this steers model selection: BEEP boosts the dataword
+// bits so crafted patterns follow the requested random phases instead of
+// being dictated by Tseitin gate variables.
+func (s *Solver) BoostActivity(v int, amount float64) {
+	s.activity[v] += amount
+	s.order.update(v)
+}
+
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar creates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+func (s *Solver) valueLit(l Lit) lbool {
+	val := s.assigns[l.Var()]
+	if l.Sign() {
+		return -val
+	}
+	return val
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It returns false when the
+// solver is already known to be unsatisfiable (now or previously). Adding a
+// clause cancels any in-progress search back to decision level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Normalize: sort-free dedupe, drop root-false literals, detect
+	// tautologies and root-true literals.
+	seen := make(map[Lit]bool, len(lits))
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if l.Var() >= s.NumVars() {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		switch {
+		case seen[l]:
+			continue
+		case seen[l.Not()]:
+			return true // tautology: always satisfied
+		case s.valueLit(l) == lTrue:
+			return true // already satisfied at root
+		case s.valueLit(l) == lFalse:
+			continue // cannot help
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation, returning a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		j := 0
+	nextClause:
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal (~p) sits at position 1.
+			notP := p.Not()
+			if c.lits[0] == notP {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the other watch is already true the clause is satisfied.
+			if s.valueLit(c.lits[0]) == lTrue {
+				ws[j] = c
+				j++
+				continue
+			}
+			// Look for a non-false literal to watch instead.
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					w := c.lits[1].Not()
+					s.watches[w] = append(s.watches[w], c)
+					continue nextClause
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = c
+			j++
+			if s.valueLit(c.lits[0]) == lFalse {
+				// Conflict: keep the rest of the watch list intact.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+// analyze derives a first-UIP learnt clause from a conflict and returns the
+// clause literals (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := make([]Lit, 1, 8) // slot 0 reserved for the asserting literal
+	pathC := 0
+	p := litUndef
+	idx := len(s.trail) - 1
+	for {
+		s.claBump(confl)
+		for _, q := range confl.lits {
+			if p != litUndef && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.varBump(v)
+				s.seen[v] = true
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Cheap self-subsumption: drop literals implied by the rest of the
+	// clause through their reason clauses. The seen flags of removed
+	// literals stay set during the pass (transitive implications remain
+	// valid) and are cleared together with the kept ones below.
+	var removed []Lit
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if s.litRedundant(l) {
+			removed = append(removed, l)
+		} else {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+
+	// Backtrack level: the highest level among the non-asserting literals.
+	btLevel := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := int(s.level[learnt[i].Var()]); lv > btLevel {
+			btLevel = lv
+			// Keep the literal with the backtrack level at position 1 so the
+			// learnt clause watches sensibly.
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+		}
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	for _, l := range removed {
+		s.seen[l.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether every antecedent of l's reason clause is
+// already in the learnt clause (marked seen) or at the root level.
+func (s *Solver) litRedundant(l Lit) bool {
+	c := s.reason[l.Var()]
+	if c == nil {
+		return false
+	}
+	for _, q := range c.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if !s.seen[q.Var()] && s.level[q.Var()] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == lFalse
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) varBump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) varDecay() { s.varInc /= 0.95 }
+
+func (s *Solver) claBump(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecay() { s.claInc /= 0.999 }
+
+// pickBranchVar pops the highest-activity unassigned variable.
+func (s *Solver) pickBranchVar() int {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB removes roughly half of the learnt clauses, lowest activity first,
+// keeping binary clauses and clauses that are the reason for an assignment.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	ls := s.learnts
+	sort.Slice(ls, func(i, j int) bool { return ls[i].act < ls[j].act })
+	keep := ls[:0]
+	limit := len(ls) / 2
+	for i, c := range ls {
+		locked := s.reason[c.lits[0].Var()] == c
+		if len(c.lits) <= 2 || locked || i >= limit {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[w]
+		for i, cc := range ws {
+			if cc == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby returns the x-th element (0-based) of the Luby restart sequence
+// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve searches for a satisfying assignment. It returns (true, nil) when one
+// exists (retrievable via Value/Model), (false, nil) when the formula is
+// unsatisfiable, and (false, ErrBudget) when MaxConflicts was exceeded.
+func (s *Solver) Solve() (bool, error) {
+	if !s.ok {
+		return false, nil
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return false, nil
+	}
+	var conflictsThisCall int64
+	restart := int64(0)
+	budget := int64(100) * luby(0)
+	var sinceRestart int64
+	maxLearnts := int64(len(s.clauses)/3 + 2000)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflictsThisCall++
+			sinceRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return false, nil
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.uncheckedEnqueue(learnt[0], c)
+				s.Stats.Learnt++
+			}
+			s.varDecay()
+			s.claDecay()
+			if s.MaxConflicts > 0 && conflictsThisCall > s.MaxConflicts {
+				s.cancelUntil(0)
+				return false, ErrBudget
+			}
+			continue
+		}
+		if sinceRestart >= budget {
+			restart++
+			s.Stats.Restarts++
+			sinceRestart = 0
+			budget = 100 * luby(restart)
+			s.cancelUntil(0)
+			continue
+		}
+		if int64(len(s.learnts)) > maxLearnts {
+			s.reduceDB()
+			maxLearnts = maxLearnts*11/10 + 1
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			// All variables assigned: record the model.
+			s.model = make([]bool, s.NumVars())
+			for i := range s.model {
+				s.model[i] = s.assigns[i] == lTrue
+			}
+			s.cancelUntil(0)
+			return true, nil
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(MkLit(v, s.polarity[v]), nil)
+	}
+}
+
+// Value returns variable v's value in the most recent model. Valid only after
+// Solve returned true.
+func (s *Solver) Value(v int) bool {
+	if s.model == nil {
+		panic("sat: Value called without a model")
+	}
+	return s.model[v]
+}
+
+// ValueLit returns literal l's value in the most recent model.
+func (s *Solver) ValueLit(l Lit) bool { return s.Value(l.Var()) != l.Sign() }
+
+// Model returns a copy of the most recent satisfying assignment.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.model))
+	copy(m, s.model)
+	return m
+}
+
+// varHeap is a binary max-heap over variable activities with position
+// tracking so updates are O(log n).
+type varHeap struct {
+	heap     []int
+	pos      []int // pos[v] = index in heap, or -1
+	activity *[]float64
+}
+
+func (h *varHeap) less(a, b int) bool {
+	act := *h.activity
+	return act[h.heap[a]] > act[h.heap[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) insert(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] != -1 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.pos) && h.pos[v] != -1 {
+		h.up(h.pos[v])
+		h.down(h.pos[v])
+	}
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}

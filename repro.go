@@ -1,0 +1,169 @@
+// Package repro is the public API of a from-scratch Go reproduction of
+// "Bit-Exact ECC Recovery (BEER): Determining DRAM On-Die ECC Functions by
+// Exploiting DRAM Data Retention Characteristics" (Patel et al., MICRO 2020).
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/core:   BEER itself — miscorrection profiles and the SAT-based
+//     recovery of the on-die ECC parity-check matrix.
+//   - internal/beep:   BEEP — bit-exact pre-correction error profiling using
+//     a recovered ECC function.
+//   - internal/ecc:    systematic single-error-correcting Hamming codes.
+//   - internal/ondie:  simulated LPDDR4-like chips with secret on-die ECC.
+//   - internal/dram:   the raw DRAM retention-error substrate.
+//   - internal/einsim: EINSim-style word-level Monte-Carlo simulation.
+//
+// # Quick start
+//
+//	chip := repro.SimulatedChip(repro.MfrB, 16, 1)
+//	report, err := repro.RecoverECCFunction(chip, repro.FastRecovery())
+//	if err != nil { ... }
+//	fmt.Println(report.Result.Codes[0].H()) // the chip's secret ECC function
+//
+// See examples/ for complete programs and DESIGN.md for the experiment map.
+package repro
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/einsim"
+	"repro/internal/ondie"
+)
+
+// Re-exported types. These aliases are the supported public names; the
+// internal packages remain implementation detail.
+type (
+	// Code is a systematic (n, k) single-error-correcting linear block code
+	// in standard form, the representation of an on-die ECC function.
+	Code = ecc.Code
+	// Chip is the system-visible interface of a DRAM chip with on-die ECC —
+	// everything BEER is permitted to touch.
+	Chip = core.Chip
+	// Manufacturer selects one of the simulated DRAM vendors (A, B, C).
+	Manufacturer = ondie.Manufacturer
+	// Pattern is a k-CHARGED test pattern.
+	Pattern = core.Pattern
+	// Profile is a miscorrection profile: the ECC-function fingerprint BEER
+	// solves from.
+	Profile = core.Profile
+	// RecoverOptions configures the end-to-end BEER pipeline.
+	RecoverOptions = core.RecoverOptions
+	// Report is the output of an end-to-end BEER run.
+	Report = core.Report
+	// SolveResult lists the code(s) consistent with a profile.
+	SolveResult = core.Result
+	// BEEPOptions configures BEEP profiling.
+	BEEPOptions = beep.Options
+	// BEEPOutcome reports BEEP's findings for one word.
+	BEEPOutcome = beep.Outcome
+)
+
+// Simulated manufacturers, mirroring the three anonymized vendors of the
+// paper's 80-chip study.
+const (
+	MfrA = ondie.MfrA
+	MfrB = ondie.MfrB
+	MfrC = ondie.MfrC
+)
+
+// NewHammingCode returns a uniformly random systematic SEC Hamming code with
+// k data bits, seeded deterministically.
+func NewHammingCode(k int, seed uint64) *Code {
+	return ecc.RandomHamming(k, rand.New(rand.NewPCG(seed, 0x1234)))
+}
+
+// Hamming74 returns the paper's running-example (7,4) Hamming code (Eq. 1).
+func Hamming74() *Code { return ecc.Hamming74() }
+
+// SimulatedChip builds a simulated DRAM chip with on-die ECC for the given
+// manufacturer and dataword length (k must be a multiple of 8). The chip's
+// ECC function is hidden behind the Chip interface; use GroundTruth to
+// compare after recovery.
+func SimulatedChip(m Manufacturer, k int, seed uint64) *ondie.Chip {
+	rows := 192
+	if m == MfrC {
+		rows = 384 // half the rows are anti-cells
+	}
+	return ondie.MustNew(ondie.Config{
+		Manufacturer:  m,
+		DataBits:      k,
+		Banks:         1,
+		Rows:          rows,
+		RegionsPerRow: 16,
+		Seed:          seed,
+	})
+}
+
+// GroundTruth exposes a simulated chip's secret ECC function for validation.
+// Real chips have no equivalent — that is the point of BEER.
+func GroundTruth(chip *ondie.Chip) *Code { return chip.GroundTruthCode() }
+
+// FastRecovery returns recovery options tuned for small simulated chips:
+// refresh windows deep enough into the compressed retention distribution
+// that thousands of words cover every possible miscorrection.
+func FastRecovery() RecoverOptions {
+	opts := core.DefaultRecoverOptions()
+	opts.Collect.Windows = nil
+	for m := 4; m <= 48; m += 4 {
+		opts.Collect.Windows = append(opts.Collect.Windows, time.Duration(m)*time.Minute)
+	}
+	opts.Collect.Rounds = 3
+	return opts
+}
+
+// RecoverECCFunction runs the complete BEER methodology (paper §5) against
+// any Chip: discover the cell and dataword layouts, collect a miscorrection
+// profile with crafted test patterns, filter it, and solve for the ECC
+// function with a SAT solver, including the uniqueness check.
+func RecoverECCFunction(chip Chip, opts RecoverOptions) (*Report, error) {
+	return core.Recover(chip, opts)
+}
+
+// ExactProfile computes a known code's miscorrection profile analytically
+// (no simulation) for the given pattern family — the oracle used by the
+// paper's correctness evaluation (§6.1).
+func ExactProfile(code *Code, patterns []Pattern) *Profile {
+	return core.ExactProfile(code, patterns)
+}
+
+// OneChargedPatterns and TwoChargedPatterns generate the paper's test
+// pattern families.
+func OneChargedPatterns(k int) []Pattern { return core.OneCharged(k) }
+
+// TwoChargedPatterns returns all 2-CHARGED patterns for k data bits.
+func TwoChargedPatterns(k int) []Pattern { return core.TwoCharged(k) }
+
+// SolveProfile searches for every ECC function consistent with a
+// miscorrection profile (paper §5.3).
+func SolveProfile(p *Profile, opts core.SolveOptions) (*SolveResult, error) {
+	return core.Solve(p, opts)
+}
+
+// ProfileWord runs BEEP (paper §7.1) against one testable ECC word using a
+// known (typically BEER-recovered) code, returning the bit-exact positions
+// of the identified pre-correction error-prone cells.
+func ProfileWord(code *Code, word beep.WordTester, opts BEEPOptions, seed uint64) *BEEPOutcome {
+	prof := beep.NewProfiler(code, opts, rand.New(rand.NewPCG(seed, 0xBEEB)))
+	return prof.Run(word)
+}
+
+// SimulatedWord builds a BEEP-testable ECC word with the given error-prone
+// cells, each failing with probability pErr per test when charged.
+func SimulatedWord(code *Code, errorCells []int, pErr float64, seed uint64) *beep.SimWord {
+	return &beep.SimWord{
+		Code:       code,
+		ErrorCells: errorCells,
+		PErr:       pErr,
+		Rng:        rand.New(rand.NewPCG(seed, 0x5EED)),
+	}
+}
+
+// Simulate runs an EINSim-style word-level Monte-Carlo experiment (used for
+// the paper's Figure 1 and for secondary-ECC co-design studies, §7.2.1).
+func Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
+	return einsim.Run(cfg, rand.New(rand.NewPCG(seed, 0x51E)))
+}
