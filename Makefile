@@ -1,0 +1,26 @@
+# Local dev and CI run the exact same commands: .github/workflows/ci.yml
+# invokes these targets' command lines verbatim.
+
+GO ?= go
+
+.PHONY: all build test lint bench fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+fmt:
+	gofmt -w .

@@ -88,6 +88,23 @@ func BenchmarkRecoverEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelRecoverEndToEnd times the multi-chip pipeline: profile
+// collection fans out across same-model chips on the parallel engine and the
+// merged counts feed one solve (paper §6.3).
+func BenchmarkParallelRecoverEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		chips := repro.SimulatedChips(repro.MfrB, 16, 2, uint64(2*i))
+		rep, err := repro.RecoverECCFunctionParallel(chips, repro.FastRecovery())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Result.Unique {
+			b.Fatal("recovery not unique")
+		}
+	}
+}
+
 // BenchmarkSolve1Charged times BEER's SAT phase alone at several dataword
 // lengths (the quantity behind Figure 6).
 func BenchmarkSolve1Charged(b *testing.B) {

@@ -6,6 +6,7 @@
 //
 //	beer -mfr B -k 16 -verify
 //	beer -mfr C -k 32 -patterns 1 -max-rows 128
+//	beer -mfr B -k 16 -chips 4 -verify   # parallel collection across 4 same-model chips
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ondie"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 		k        = flag.Int("k", 16, "dataword length in bits (multiple of 8)")
 		rows     = flag.Int("rows", 0, "chip rows (0 = automatic)")
 		seed     = flag.Uint64("seed", 1, "chip seed")
+		chips    = flag.Int("chips", 1, "number of same-model chips to collect from in parallel (paper sec. 6.3)")
+		workers  = flag.Int("workers", 0, "worker-pool width (0 = all cores)")
 		patterns = flag.String("patterns", "12", "pattern family: 1 (1-CHARGED) or 12 ({1,2}-CHARGED)")
 		rounds   = flag.Int("rounds", 3, "collection rounds over the window sweep")
 		maxWin   = flag.Int("max-window", 48, "largest refresh window in minutes")
@@ -41,17 +45,28 @@ func main() {
 			chipRows = 384
 		}
 	}
-	chip, err := ondie.New(ondie.Config{
-		Manufacturer:  ondie.Manufacturer(*mfr),
-		DataBits:      *k,
-		Banks:         1,
-		Rows:          chipRows,
-		RegionsPerRow: 16,
-		Seed:          *seed,
-	})
-	if err != nil {
-		fatal(err)
+	if *chips < 1 {
+		fatal(fmt.Errorf("-chips must be at least 1"))
 	}
+	// Same-model chips share the ECC function but have independent cells
+	// (distinct seeds); the engine collects from all of them concurrently and
+	// merges the observation counts before one solve.
+	fleet := make([]core.Chip, *chips)
+	for i := range fleet {
+		chip, err := ondie.New(ondie.Config{
+			Manufacturer:  ondie.Manufacturer(*mfr),
+			DataBits:      *k,
+			Banks:         1,
+			Rows:          chipRows,
+			RegionsPerRow: 16,
+			Seed:          *seed + uint64(i),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fleet[i] = chip
+	}
+	chip := fleet[0].(*ondie.Chip)
 
 	opts := core.DefaultRecoverOptions()
 	opts.Collect.Windows = nil
@@ -70,13 +85,13 @@ func main() {
 	opts.UseAntiRows = *useAnti
 	opts.UseLazySolver = *useLazy
 
-	fmt.Printf("BEER: manufacturer %s chip, k=%d, %d rows, %s patterns\n",
-		*mfr, *k, chipRows, opts.PatternSet)
-	fmt.Printf("analytical experiment runtime on real hardware: %v (refresh pauses dominate; paper sec. 6.3)\n\n",
+	fmt.Printf("BEER: %d manufacturer-%s chip(s), k=%d, %d rows, %s patterns\n",
+		*chips, *mfr, *k, chipRows, opts.PatternSet)
+	fmt.Printf("analytical experiment runtime on real hardware: %v (refresh pauses dominate; chips run in parallel, paper sec. 6.3)\n\n",
 		core.ExperimentRuntime(opts.Collect))
 
 	start := time.Now()
-	rep, err := core.Recover(chip, opts)
+	rep, err := parallel.New(*workers).Recover(fleet, opts)
 	if err != nil {
 		fatal(err)
 	}

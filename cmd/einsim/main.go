@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/einsim"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		family  = flag.String("family", "sequential", "code family: sequential, bitreversed or random")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		minErr  = flag.Int("min-errors", 0, "condition sampling on at least this many errors per word")
+		workers = flag.Int("workers", 0, "worker-pool width for sharded simulation (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -66,12 +68,14 @@ func main() {
 		fatal(fmt.Errorf("unknown model %q", *model))
 	}
 
-	res, err := einsim.Run(cfg, rand.New(rand.NewPCG(*seed, 1)))
+	// The engine shards the word budget across the pool with per-shard
+	// seeded RNGs, so the output is identical for any -workers value.
+	res, err := parallel.New(*workers).Simulate(cfg, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("simulated %d words of %s, pattern %s, model %s, RBER %g\n",
-		res.Words, code, cfg.Pattern, cfg.Model, *rber)
+	fmt.Printf("simulated %d words of %s, pattern %s, model %s, RBER %g (%d shards)\n",
+		res.Words, code, cfg.Pattern, cfg.Model, *rber, parallel.SimShards(cfg.Words))
 	fmt.Printf("outcomes: %d correctable, %d silent, %d partial, %d miscorrected, %d words with post-correction errors\n",
 		res.Correctable, res.Silent, res.Partial, res.Miscorrected, res.WordsWithPostError)
 	fmt.Println("\nbit  pre-share  post-share")

@@ -18,16 +18,21 @@ import (
 	"time"
 
 	"repro/internal/figures"
+	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		id    = flag.String("id", "", "table/figure to regenerate (see -list)")
-		all   = flag.Bool("all", false, "regenerate every table and figure")
-		list  = flag.Bool("list", false, "list available tables and figures")
-		scale = flag.String("scale", "quick", "experiment scale: quick, default or paper")
+		id      = flag.String("id", "", "table/figure to regenerate (see -list)")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		list    = flag.Bool("list", false, "list available tables and figures")
+		scale   = flag.String("scale", "quick", "experiment scale: quick, default or paper")
+		workers = flag.Int("workers", 0, "worker-pool width for experiment sweeps (0 = all cores)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		figures.SetEngine(parallel.New(*workers))
+	}
 
 	if *list {
 		for _, g := range figures.All() {

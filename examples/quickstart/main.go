@@ -13,13 +13,15 @@ import (
 )
 
 func main() {
-	// A simulated manufacturer-B LPDDR4-like chip with 16-bit ECC datawords.
-	// The chip's on-die ECC function is a trade secret: nothing on the Chip
-	// interface reveals it.
-	chip := repro.SimulatedChip(repro.MfrB, 16, 1)
+	// Two simulated manufacturer-B LPDDR4-like chips with 16-bit ECC
+	// datawords. The chips' on-die ECC function is a trade secret: nothing on
+	// the Chip interface reveals it. Same-model chips share the function
+	// (paper §5.1.3), so the parallel engine collects miscorrection profiles
+	// from both chips concurrently and merges the observations (§6.3).
+	chips := repro.SimulatedChips(repro.MfrB, 16, 2, 1)
 
 	start := time.Now()
-	report, err := repro.RecoverECCFunction(chip, repro.FastRecovery())
+	report, err := repro.RecoverECCFunctionParallel(chips, repro.FastRecovery())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func main() {
 	fmt.Printf("parity-check matrix H = [P | I]:\n%s\n\n", code.H())
 
 	// Only possible in simulation: compare with the hidden ground truth.
-	if code.EquivalentTo(repro.GroundTruth(chip)) {
+	if code.EquivalentTo(repro.GroundTruth(repro.SimulatedChip(repro.MfrB, 16, 1))) {
 		fmt.Println("ground truth check: MATCH — BEER recovered the secret function.")
 	} else {
 		log.Fatal("ground truth check failed")

@@ -67,17 +67,19 @@ func main() {
 			log.Fatalf("manufacturer %s: wrong function recovered", m)
 		}
 
-		// Same-model chips share the function (paper 5.1.3): a second chip
-		// of the same manufacturer must yield an equivalent code.
-		second := repro.SimulatedChip(m, 16, 43)
-		rep2, err := repro.RecoverECCFunction(second, repro.FastRecovery())
+		// Same-model chips share the function (paper 5.1.3), which is what
+		// makes BEER parallelize across chips (6.3): recover again from two
+		// chips jointly — collections fan out over the engine's worker pool
+		// and the merged counts must still solve to the same function.
+		fleet := repro.SimulatedChips(m, 16, 2, 43)
+		rep2, err := repro.RecoverECCFunctionParallel(fleet, repro.FastRecovery())
 		if err != nil {
 			log.Fatal(err)
 		}
 		if !rep2.Result.Unique || !rep2.Result.Codes[0].EquivalentTo(code) {
 			log.Fatalf("manufacturer %s: same-model chips disagree", m)
 		}
-		fmt.Println("step 4:  second same-model chip yields the same function")
+		fmt.Println("step 4:  two more same-model chips, collected in parallel, yield the same function")
 		fmt.Println()
 	}
 

@@ -31,8 +31,9 @@ func main() {
 	fmt.Printf("recovered on-die ECC: %s\n\n", code)
 
 	// Step 2: with the function known, simulate the post-correction error
-	// characteristics the memory controller will actually observe.
-	res, err := repro.Simulate(einsim.Config{
+	// characteristics the memory controller will actually observe. The
+	// 200k-word budget shards across every core via the parallel engine.
+	res, err := repro.SimulateParallel(einsim.Config{
 		Code:               code,
 		Pattern:            einsim.PatternAllOnes,
 		Model:              einsim.ModelUniform,

@@ -56,39 +56,53 @@ type Report struct {
 	DiscoveryTime, CollectTime, SolveTime time.Duration
 }
 
-// Recover runs the complete BEER methodology against a chip: discover the
-// cell and word layout, collect a miscorrection profile with crafted test
-// patterns, filter it, and solve for the ECC function (paper §5).
-func Recover(chip Chip, opts RecoverOptions) (*Report, error) {
-	rep := &Report{}
+// ChipObservations is one chip's outcome of the experimental front half of
+// Recover: discovery (§5.1.1-5.1.2) plus raw profile collection (§5.1.3).
+// Same-model chips' observations can be combined by merging Counts (and
+// AntiCounts) before thresholding — the paper's §6.3 parallelization, which
+// internal/parallel exploits.
+type ChipObservations struct {
+	CellClasses [][]CellClass
+	Layout      WordLayout
+	Counts      *Counts
+	// AntiCounts holds inverted-pattern observations from anti-cell rows;
+	// nil unless RecoverOptions.UseAntiRows is set and the chip has any.
+	AntiCounts *Counts
+	// Timing of the two experimental phases.
+	DiscoveryTime, CollectTime time.Duration
+}
+
+// Observe runs discovery and raw profile collection against one chip — every
+// experimental step of Recover, with thresholding and solving left to the
+// caller. On error the returned observations carry whatever was gathered up
+// to the failure point.
+func Observe(chip Chip, opts RecoverOptions) (*ChipObservations, error) {
+	obs := &ChipObservations{}
 
 	start := time.Now()
-	rep.CellClasses = DiscoverCellLayout(chip, opts.Layout)
-	rows := TrueRows(rep.CellClasses)
+	obs.CellClasses = DiscoverCellLayout(chip, opts.Layout)
+	rows := TrueRows(obs.CellClasses)
 	if len(rows) == 0 {
-		return rep, fmt.Errorf("core: no true-cell rows discovered")
+		return obs, fmt.Errorf("core: no true-cell rows discovered")
 	}
 	if opts.MaxRows > 0 && len(rows) > opts.MaxRows {
 		rows = rows[:opts.MaxRows]
 	}
 	layout, err := DiscoverWordLayout(chip, rows, opts.Layout)
 	if err != nil {
-		return rep, fmt.Errorf("core: word layout: %w", err)
+		return obs, fmt.Errorf("core: word layout: %w", err)
 	}
-	rep.Layout = layout
-	rep.K = layout.K()
-	rep.DiscoveryTime = time.Since(start)
+	obs.Layout = layout
+	obs.DiscoveryTime = time.Since(start)
 
 	start = time.Now()
-	patterns := opts.PatternSet.Patterns(rep.K)
-	counts, err := CollectCounts(chip, rows, layout, patterns, opts.Collect)
+	patterns := opts.PatternSet.Patterns(layout.K())
+	obs.Counts, err = CollectCounts(chip, rows, layout, patterns, opts.Collect)
 	if err != nil {
-		return rep, fmt.Errorf("core: collect: %w", err)
+		return obs, fmt.Errorf("core: collect: %w", err)
 	}
-	rep.Counts = counts
-	rep.Profile = counts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount)
 	if opts.UseAntiRows {
-		anti := AntiRows(rep.CellClasses)
+		anti := AntiRows(obs.CellClasses)
 		if opts.MaxRows > 0 && len(anti) > opts.MaxRows {
 			anti = anti[:opts.MaxRows]
 		}
@@ -100,16 +114,42 @@ func Recover(chip Chip, opts RecoverOptions) (*Report, error) {
 			// pattern count keeps per-pattern sample density high enough
 			// that no rare miscorrection goes unobserved (a missed
 			// observation would add a false "impossible" constraint, §5.2).
-			antiCounts, err := CollectCounts(chip, anti, layout, OneCharged(rep.K), antiOpts)
+			obs.AntiCounts, err = CollectCounts(chip, anti, layout, OneCharged(layout.K()), antiOpts)
 			if err != nil {
-				return rep, fmt.Errorf("core: anti-cell collect: %w", err)
+				return obs, fmt.Errorf("core: anti-cell collect: %w", err)
 			}
-			rep.Profile = rep.Profile.Append(antiCounts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount))
 		}
 	}
-	rep.CollectTime = time.Since(start)
+	obs.CollectTime = time.Since(start)
+	return obs, nil
+}
 
-	start = time.Now()
+// fill copies an observation's discovery and collection results into a report.
+func (rep *Report) fill(obs *ChipObservations) {
+	rep.CellClasses = obs.CellClasses
+	rep.Layout = obs.Layout
+	rep.K = obs.Layout.K()
+	rep.Counts = obs.Counts
+	rep.DiscoveryTime = obs.DiscoveryTime
+	rep.CollectTime = obs.CollectTime
+}
+
+// Recover runs the complete BEER methodology against a chip: discover the
+// cell and word layout, collect a miscorrection profile with crafted test
+// patterns, filter it, and solve for the ECC function (paper §5).
+func Recover(chip Chip, opts RecoverOptions) (*Report, error) {
+	rep := &Report{}
+	obs, err := Observe(chip, opts)
+	rep.fill(obs)
+	if err != nil {
+		return rep, err
+	}
+	rep.Profile = obs.Counts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount)
+	if obs.AntiCounts != nil {
+		rep.Profile = rep.Profile.Append(obs.AntiCounts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount))
+	}
+
+	start := time.Now()
 	solve := Solve
 	if opts.UseLazySolver {
 		solve = SolveLazy

@@ -161,6 +161,26 @@ func (l WordLayout) K() int {
 	return 8 * len(l.Words[0])
 }
 
+// Equal reports whether two layouts map region bytes to datawords
+// identically. Counts collected under unequal layouts must never merge: the
+// same pattern's error counters would refer to different physical bits.
+func (l WordLayout) Equal(o WordLayout) bool {
+	if l.RegionBytes != o.RegionBytes || len(l.Words) != len(o.Words) {
+		return false
+	}
+	for w := range l.Words {
+		if len(l.Words[w]) != len(o.Words[w]) {
+			return false
+		}
+		for i := range l.Words[w] {
+			if l.Words[w][i] != o.Words[w][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // WordOf returns (word, byteInWord) for a region byte offset.
 func (l WordLayout) WordOf(offset int) (int, int) {
 	for w, bytes := range l.Words {

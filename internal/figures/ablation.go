@@ -33,31 +33,42 @@ func Ablation(w io.Writer, scale Scale) error {
 
 	fmt.Fprintln(w, "Ablation 1: candidate-count narrowing from anti-cell profiles (1-CHARGED)")
 	fmt.Fprintf(w, "%-6s %-14s %-18s %-14s\n", "k", "true-only", "true+anti", "{1,2} true-only")
-	for _, k := range ks {
+	// Every (k, trial) cell is an independent solve triple, so the whole
+	// grid fans out over the engine; sums aggregate in deterministic order.
+	eng := engine()
+	type cell struct{ nTrue, nBoth, n12 int }
+	cells := make([]cell, len(ks)*trials)
+	if err := eng.ForEach(len(cells), func(i int) error {
+		k, trial := ks[i/trials], i%trials
 		r := ecc.MinParityBits(k)
+		rng := rand.New(rand.NewPCG(0xAB1, uint64(k*1000+trial)))
+		code := ecc.RandomHammingWithParity(k, r, rng)
+		trueProf := eng.ExactProfile(code, core.Set1, false)
+		a, err := core.Solve(trueProf, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
+		if err != nil {
+			return err
+		}
+		both := trueProf.Append(eng.ExactProfile(code, core.Set1, true))
+		b, err := core.Solve(both, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
+		if err != nil {
+			return err
+		}
+		full, err := core.Solve(eng.ExactProfile(code, core.Set12, false),
+			core.SolveOptions{ParityBits: r, MaxSolutions: 200})
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{nTrue: len(a.Codes), nBoth: len(b.Codes), n12: len(full.Codes)}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for ki, k := range ks {
 		sumTrue, sumBoth, sum12 := 0, 0, 0
-		for trial := 0; trial < trials; trial++ {
-			rng := rand.New(rand.NewPCG(0xAB1, uint64(k*1000+trial)))
-			code := ecc.RandomHammingWithParity(k, r, rng)
-			pats := core.OneCharged(k)
-			trueProf := core.ExactProfile(code, pats)
-			a, err := core.Solve(trueProf, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
-			if err != nil {
-				return err
-			}
-			both := trueProf.Append(core.ExactProfileAnti(code, pats))
-			b, err := core.Solve(both, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
-			if err != nil {
-				return err
-			}
-			full, err := core.Solve(core.ExactProfile(code, core.Set12.Patterns(k)),
-				core.SolveOptions{ParityBits: r, MaxSolutions: 200})
-			if err != nil {
-				return err
-			}
-			sumTrue += len(a.Codes)
-			sumBoth += len(b.Codes)
-			sum12 += len(full.Codes)
+		for _, c := range cells[ki*trials : (ki+1)*trials] {
+			sumTrue += c.nTrue
+			sumBoth += c.nBoth
+			sum12 += c.n12
 		}
 		fmt.Fprintf(w, "%-6d %-14.1f %-18.1f %-14.1f\n", k,
 			float64(sumTrue)/float64(trials),

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/einsim"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -25,6 +26,11 @@ func init() {
 // 1e-4 only such words produce post-correction errors, so the relative
 // distributions are identical and the paper's 10^9-word budget is
 // unnecessary.
+//
+// The batches are independent Monte-Carlo runs, so they fan out over the
+// parallel engine as one simulation batch (codes x batches jobs); each job
+// draws from its own seeded stream, keeping the figure bit-identical for any
+// worker count.
 func Fig1(w io.Writer, scale Scale) error {
 	k := 32
 	words, batches, resamples := 40000, 20, 200
@@ -58,22 +64,39 @@ func Fig1(w io.Writer, scale Scale) error {
 		pre[b] = 1.0 / float64(n)
 	}
 
+	jobs := make([]parallel.SimJob, 0, len(codes)*batches)
 	for _, c := range codes {
-		perBatch := make([][]float64, 0, batches)
 		for batch := 0; batch < batches; batch++ {
-			res, err := einsim.Run(einsim.Config{
-				Code:               c.code,
-				Pattern:            einsim.PatternAllOnes,
-				Model:              einsim.ModelUniform,
-				RBER:               1e-4,
-				Words:              words / batches,
-				ConditionMinErrors: 2,
-			}, rng)
-			if err != nil {
-				return err
-			}
-			perBatch = append(perBatch, res.RelativePostProbabilities())
+			jobs = append(jobs, parallel.SimJob{
+				Config: einsim.Config{
+					Code:               c.code,
+					Pattern:            einsim.PatternAllOnes,
+					Model:              einsim.ModelUniform,
+					RBER:               1e-4,
+					Words:              words / batches,
+					ConditionMinErrors: 2,
+				},
+				Seed: 0xF16,
+			})
 		}
+	}
+	batchShares := make([][]float64, len(jobs))
+	var simErr error
+	for r := range engine().SimulateBatch(jobs) { // drain fully even on error
+		if r.Err != nil {
+			if simErr == nil {
+				simErr = r.Err
+			}
+			continue
+		}
+		batchShares[r.Index] = r.Result.RelativePostProbabilities()
+	}
+	if simErr != nil {
+		return simErr
+	}
+
+	for ci, c := range codes {
+		perBatch := batchShares[ci*batches : (ci+1)*batches]
 		ivs := make([]stats.Interval, k)
 		for b := 0; b < k; b++ {
 			samples := make([]float64, batches)

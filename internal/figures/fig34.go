@@ -75,11 +75,22 @@ func fig3Counts(m ondie.Manufacturer, scale Scale, rounds int) (*core.Counts, er
 // diagonal (the charged bit itself) stands out — exactly the paper's
 // qualitative result.
 func Fig3(w io.Writer, scale Scale) error {
-	for _, m := range []ondie.Manufacturer{ondie.MfrA, ondie.MfrB, ondie.MfrC} {
-		counts, err := fig3Counts(m, scale, 1)
+	mfrs := []ondie.Manufacturer{ondie.MfrA, ondie.MfrB, ondie.MfrC}
+	// The three chips are independent, so their collections fan out over the
+	// engine; rendering stays in manufacturer order.
+	perMfr := make([]*core.Counts, len(mfrs))
+	if err := engine().ForEach(len(mfrs), func(i int) error {
+		counts, err := fig3Counts(mfrs[i], scale, 1)
 		if err != nil {
 			return err
 		}
+		perMfr[i] = counts
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, m := range mfrs {
+		counts := perMfr[i]
 		fmt.Fprintf(w, "Figure 3 (%s): errors per (1-CHARGED pattern row, data-bit column)\n", m)
 		fmt.Fprintln(w, "legend: . zero   : <10   * <100   o <1000   # >=1000")
 		for _, e := range counts.Entries {
@@ -110,17 +121,29 @@ func Fig4(w io.Writer, scale Scale) error {
 	k := layout.K()
 	patterns := core.OneCharged(k)
 	// One collection per window so per-window probability masses can be
-	// summarized as the paper's boxplots.
-	perBit := make([][]float64, k)
-	for _, window := range windows {
-		counts, err := core.CollectCounts(chip, rows, layout, patterns, core.CollectOptions{
-			Windows: []time.Duration{window},
+	// summarized as the paper's boxplots. The windows are independent, so
+	// they fan out over the engine, each against its own same-model chip
+	// (identical seed => identical retention times, the §6.3 same-model
+	// property) reusing the layout discovered above; per-window results are
+	// aggregated in window order, so the figure matches the serial sweep.
+	perWindow := make([]*core.Counts, len(windows))
+	if err := engine().ForEach(len(windows), func(i int) error {
+		windowChip, _ := fig3Chip(ondie.MfrB, scale)
+		counts, err := core.CollectCounts(windowChip, rows, layout, patterns, core.CollectOptions{
+			Windows: []time.Duration{windows[i]},
 			TempC:   80,
 			Rounds:  1,
 		})
 		if err != nil {
 			return err
 		}
+		perWindow[i] = counts
+		return nil
+	}); err != nil {
+		return err
+	}
+	perBit := make([][]float64, k)
+	for _, counts := range perWindow {
 		// Aggregate miscorrections (errors at DISCHARGED positions) across
 		// all patterns, then normalize to probability mass per bit.
 		mass := make([]float64, k)

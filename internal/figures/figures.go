@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Scale selects the experiment size.
@@ -50,6 +52,22 @@ type Generator struct {
 var registry []Generator
 
 func register(g Generator) { registry = append(registry, g) }
+
+// customEngine, when set, overrides the shared parallel engine for every
+// generator (cmd/figures -workers).
+var customEngine *parallel.Engine
+
+// SetEngine routes all figure generation through e; nil restores the shared
+// default engine.
+func SetEngine(e *parallel.Engine) { customEngine = e }
+
+// engine returns the experiment engine generators shard their sweeps on.
+func engine() *parallel.Engine {
+	if customEngine != nil {
+		return customEngine
+	}
+	return parallel.Default()
+}
 
 // All returns every registered generator, sorted by ID.
 func All() []Generator {

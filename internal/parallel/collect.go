@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// CollectShards runs n independent miscorrection-count collectors across the
+// worker pool and merges their counts in shard order via core.Counts.Merge.
+// This is the paper's §6.3 parallelization: counts gathered from several
+// chips (or banks) of the same model simply add. Each collector must be
+// self-contained (own chip, own rows) — core.Chip implementations are
+// stateful and not safe to share between shards. The merged result is
+// bit-identical for any worker count because each shard's collection is
+// deterministic in isolation and the merge order is fixed.
+func (e *Engine) CollectShards(n int, collect func(shard int) (*core.Counts, error)) (*core.Counts, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("parallel: no collection shards")
+	}
+	counts := make([]*core.Counts, n)
+	err := e.ForEach(n, func(i int) error {
+		c, err := collect(i)
+		if err != nil {
+			return err
+		}
+		counts[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := counts[0]
+	for _, c := range counts[1:] {
+		if err := merged.Merge(c); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// Recover runs the complete BEER methodology against several chips of the
+// same model, fanning the expensive discovery and profile-collection steps
+// (core.Observe) out one-chip-per-task across the worker pool and merging the
+// observation counts before a single solve (§6.3: same-model chips share an
+// ECC function, so their counts add). With one chip it is core.Recover with
+// the same semantics, except that the report's DiscoveryTime and CollectTime
+// cover the combined parallel phase. The report's discovery fields come from
+// the first chip; every chip must discover the identical word layout, since
+// counts collected under different layouts refer to different physical bits.
+func (e *Engine) Recover(chips []core.Chip, opts core.RecoverOptions) (*core.Report, error) {
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("parallel: no chips")
+	}
+	rep := &core.Report{}
+
+	start := time.Now()
+	observations := make([]*core.ChipObservations, len(chips))
+	err := e.ForEach(len(chips), func(i int) error {
+		obs, err := core.Observe(chips[i], opts)
+		if err != nil {
+			return fmt.Errorf("chip %d: %w", i, err)
+		}
+		observations[i] = obs
+		return nil
+	})
+	if err != nil {
+		return rep, fmt.Errorf("parallel: %w", err)
+	}
+	rep.CellClasses = observations[0].CellClasses
+	rep.Layout = observations[0].Layout
+	rep.K = observations[0].Layout.K()
+	for i, obs := range observations[1:] {
+		if !obs.Layout.Equal(rep.Layout) {
+			return rep, fmt.Errorf("parallel: chip %d discovered a different word layout than chip 0 (different models?)", i+1)
+		}
+	}
+
+	counts := observations[0].Counts
+	for _, obs := range observations[1:] {
+		if err := counts.Merge(obs.Counts); err != nil {
+			return rep, fmt.Errorf("parallel: merging counts: %w", err)
+		}
+	}
+	var anti *core.Counts
+	for _, obs := range observations {
+		switch {
+		case obs.AntiCounts == nil:
+		case anti == nil:
+			anti = obs.AntiCounts
+		default:
+			if err := anti.Merge(obs.AntiCounts); err != nil {
+				return rep, fmt.Errorf("parallel: merging anti counts: %w", err)
+			}
+		}
+	}
+	rep.Counts = counts
+	rep.Profile = counts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount)
+	if anti != nil {
+		rep.Profile = rep.Profile.Append(anti.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount))
+	}
+	rep.CollectTime = time.Since(start)
+
+	start = time.Now()
+	solve := core.Solve
+	if opts.UseLazySolver {
+		solve = core.SolveLazy
+	}
+	res, err := solve(rep.Profile, opts.Solve)
+	rep.SolveTime = time.Since(start)
+	if err != nil {
+		return rep, fmt.Errorf("parallel: solve: %w", err)
+	}
+	rep.Result = res
+	return rep, nil
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/einsim"
 	"repro/internal/ondie"
+	"repro/internal/parallel"
 )
 
 // Re-exported types. These aliases are the supported public names; the
@@ -60,6 +61,11 @@ type (
 	BEEPOptions = beep.Options
 	// BEEPOutcome reports BEEP's findings for one word.
 	BEEPOutcome = beep.Outcome
+	// Engine is the parallel experiment engine: it shards simulations and
+	// profile collection across a worker pool with per-shard seeded RNGs
+	// (results are bit-identical for any worker count) and caches exact
+	// miscorrection profiles.
+	Engine = parallel.Engine
 )
 
 // Simulated manufacturers, mirroring the three anonymized vendors of the
@@ -166,4 +172,39 @@ func SimulatedWord(code *Code, errorCells []int, pErr float64, seed uint64) *bee
 // the paper's Figure 1 and for secondary-ECC co-design studies, §7.2.1).
 func Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
 	return einsim.Run(cfg, rand.New(rand.NewPCG(seed, 0x51E)))
+}
+
+// NewEngine builds a parallel experiment engine with the given worker-pool
+// width (0 = all cores). DefaultEngine returns the shared process-wide one.
+func NewEngine(workers int) *Engine { return parallel.New(workers) }
+
+// DefaultEngine returns the shared parallel experiment engine.
+func DefaultEngine() *Engine { return parallel.Default() }
+
+// SimulateParallel is Simulate sharded across the default engine's worker
+// pool: the word budget splits into fixed shards with per-shard seeded RNGs,
+// so the result is bit-identical regardless of core count (but drawn from
+// different streams than the serial Simulate).
+func SimulateParallel(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
+	return parallel.Default().Simulate(cfg, seed)
+}
+
+// SimulatedChips builds n same-model chips (same manufacturer, same secret
+// ECC function, independent cells) for parallel profile collection, mirroring
+// the paper's §6.3 observation that BEER parallelizes across chips.
+func SimulatedChips(m Manufacturer, k, n int, seed uint64) []Chip {
+	chips := make([]Chip, n)
+	for i := range chips {
+		chips[i] = SimulatedChip(m, k, seed+uint64(i))
+	}
+	return chips
+}
+
+// RecoverECCFunctionParallel runs the complete BEER methodology against
+// several chips of the same model on the default engine: discovery and
+// profile collection fan out one-chip-per-worker, the observation counts
+// merge (they simply add for same-model chips), and one SAT solve recovers
+// the shared ECC function.
+func RecoverECCFunctionParallel(chips []Chip, opts RecoverOptions) (*Report, error) {
+	return parallel.Default().Recover(chips, opts)
 }

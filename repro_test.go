@@ -82,3 +82,42 @@ func TestFacadeSimulate(t *testing.T) {
 		t.Fatalf("implausible simulation result: %+v", res)
 	}
 }
+
+func TestFacadeSimulateParallel(t *testing.T) {
+	cfg := einsim.Config{
+		Code:    repro.Hamming74(),
+		Pattern: einsim.PatternAllOnes,
+		Model:   einsim.ModelUniform,
+		RBER:    1e-2,
+		Words:   20000,
+	}
+	res, err := repro.SimulateParallel(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Words != 20000 || res.Correctable == 0 {
+		t.Fatalf("implausible simulation result: %+v", res)
+	}
+	// A 1-worker engine must reproduce the default engine bit for bit.
+	serial, err := repro.NewEngine(1).Simulate(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Correctable != res.Correctable || serial.Miscorrected != res.Miscorrected {
+		t.Fatal("sharded simulation depends on worker count")
+	}
+}
+
+func TestFacadeRecoverParallel(t *testing.T) {
+	chips := repro.SimulatedChips(repro.MfrA, 16, 2, 3)
+	rep, err := repro.RecoverECCFunctionParallel(chips, repro.FastRecovery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.K != 16 || !rep.Result.Unique {
+		t.Fatalf("parallel recovery failed: k=%d, %d candidates", rep.K, len(rep.Result.Codes))
+	}
+	if !rep.Result.Codes[0].EquivalentTo(repro.GroundTruth(repro.SimulatedChip(repro.MfrA, 16, 3))) {
+		t.Fatal("parallel facade recovery mismatch")
+	}
+}
