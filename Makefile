@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench fmt
+.PHONY: all build test lint bench fmt serve-smoke
 
 all: build lint test
 
@@ -21,6 +21,12 @@ lint:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Boot an ephemeral beerd, submit 8 concurrent FastRecovery jobs against
+# simulated MfrB chips, assert monotonic per-stage progress and that every
+# recovered H matches ground truth (see internal/service/smoke.go).
+serve-smoke:
+	$(GO) run ./cmd/beerd -selfcheck -selfcheck-jobs 8
 
 fmt:
 	gofmt -w .

@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
 	"testing"
@@ -30,7 +31,7 @@ func benchFigure(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := g.Run(io.Discard, figures.ScaleQuick); err != nil {
+		if err := g.Run(context.Background(), io.Discard, figures.ScaleQuick); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,7 +117,7 @@ func BenchmarkSolve1Charged(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Solve(prof, core.SolveOptions{ParityBits: code.ParityBits()}); err != nil {
+				if _, err := core.Solve(context.Background(), prof, core.SolveOptions{ParityBits: code.ParityBits()}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -216,7 +217,7 @@ func BenchmarkBEEPWord(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		word := &beep.SimWord{Code: code, ErrorCells: []int{3, 17, 40}, PErr: 1, Rng: rng}
 		prof := beep.NewProfiler(code, beep.Options{Passes: 2, TrialsPerPattern: 1, WorstCaseNeighbors: true}, rng)
-		prof.Run(word)
+		prof.Run(context.Background(), word)
 	}
 }
 
@@ -233,7 +234,7 @@ func BenchmarkAblationPatternSets(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Solve(prof, core.SolveOptions{ParityBits: code.ParityBits()}); err != nil {
+				if _, err := core.Solve(context.Background(), prof, core.SolveOptions{ParityBits: code.ParityBits()}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -268,7 +269,7 @@ func BenchmarkAblationThreshold(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				counts, err := core.CollectCounts(chip, rows, layout, core.OneCharged(16), opts)
+				counts, err := core.CollectCounts(context.Background(), chip, rows, layout, core.OneCharged(16), opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -293,7 +294,7 @@ func BenchmarkAblationCrafter(b *testing.B) {
 				prof := beep.NewProfiler(code, beep.Options{
 					Passes: 1, TrialsPerPattern: 1, WorstCaseNeighbors: true, Crafter: crafter,
 				}, rng)
-				prof.Run(word)
+				prof.Run(context.Background(), word)
 			}
 		})
 	}

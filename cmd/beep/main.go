@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/beep"
 	"repro/internal/ecc"
@@ -20,16 +24,19 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 63, "codeword length (2^r - 1: 31, 63, 127, 255)")
-		errors  = flag.Int("errors", 4, "error-prone cells injected per word")
-		perr    = flag.Float64("perr", 1.0, "per-test failure probability of each injected cell")
-		passes  = flag.Int("passes", 2, "profiling passes over the codeword")
-		words   = flag.Int("words", 10, "Monte-Carlo words for success-rate mode")
-		demo    = flag.Bool("demo", false, "profile a single word verbosely")
-		seed    = flag.Uint64("seed", 7, "random seed")
-		crafter = flag.String("crafter", "sat", "pattern crafter: sat (paper) or linear (fast, sec. 7.3 idea)")
+		n          = flag.Int("n", 63, "codeword length (2^r - 1: 31, 63, 127, 255)")
+		errorCells = flag.Int("errors", 4, "error-prone cells injected per word")
+		perr       = flag.Float64("perr", 1.0, "per-test failure probability of each injected cell")
+		passes     = flag.Int("passes", 2, "profiling passes over the codeword")
+		words      = flag.Int("words", 10, "Monte-Carlo words for success-rate mode")
+		demo       = flag.Bool("demo", false, "profile a single word verbosely")
+		seed       = flag.Uint64("seed", 7, "random seed")
+		crafter    = flag.String("crafter", "sat", "pattern crafter: sat (paper) or linear (fast, sec. 7.3 idea)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var craft beep.Crafter
 	switch *crafter {
@@ -42,25 +49,37 @@ func main() {
 		os.Exit(2)
 	}
 	if *demo {
-		runDemo(*n, *errors, *perr, *passes, *seed)
+		runDemo(ctx, *n, *errorCells, *perr, *passes, *seed)
 		return
 	}
-	res := beep.Evaluate(beep.EvalConfig{
+	res, err := beep.Evaluate(ctx, beep.EvalConfig{
 		CodewordBits:     *n,
-		ErrorsPerWord:    *errors,
+		ErrorsPerWord:    *errorCells,
 		PErr:             *perr,
 		Passes:           *passes,
 		TrialsPerPattern: 1,
 		Words:            *words,
 		Crafter:          craft,
 	}, rand.New(rand.NewPCG(*seed, 0xE)))
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("BEEP success rate: %d/%d words profiled exactly (%.0f%%)\n",
 		res.Successes, len(res.Rates), 100*res.SuccessRate())
 	fmt.Printf("(codeword %d bits, %d injected errors, P[error]=%.2f, %d pass(es))\n",
-		*n, *errors, *perr, *passes)
+		*n, *errorCells, *perr, *passes)
 }
 
-func runDemo(n, errors int, perr float64, passes int, seed uint64) {
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "beep: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "beep:", err)
+	os.Exit(1)
+}
+
+func runDemo(ctx context.Context, n, errorCells int, perr float64, passes int, seed uint64) {
 	rng := rand.New(rand.NewPCG(seed, 0xD))
 	k := n
 	for r := 2; ; r++ {
@@ -74,7 +93,7 @@ func runDemo(n, errors int, perr float64, passes int, seed uint64) {
 		}
 	}
 	code := ecc.RandomHamming(k, rng)
-	cells := rng.Perm(code.N())[:errors]
+	cells := rng.Perm(code.N())[:errorCells]
 	fmt.Printf("codeword: (%d,%d) SEC Hamming; hidden error-prone cells: %v\n", code.N(), code.K(), cells)
 	word := &beep.SimWord{Code: code, ErrorCells: cells, PErr: perr, Rng: rng}
 	prof := beep.NewProfiler(code, beep.Options{
@@ -82,7 +101,10 @@ func runDemo(n, errors int, perr float64, passes int, seed uint64) {
 		TrialsPerPattern:   1,
 		WorstCaseNeighbors: true,
 	}, rng)
-	out := prof.Run(word)
+	out, err := prof.Run(ctx, word)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("patterns tested: %d (skipped targets: %d)\n", out.PatternsTested, out.SkippedBits)
 	fmt.Printf("miscorrections observed and inverted via Equation 4: %d\n", out.Miscorrections)
 	fmt.Printf("identified error-prone cells: %v\n", out.Identified)

@@ -6,18 +6,26 @@
 //
 //	beer -mfr B -k 16 -verify
 //	beer -mfr C -k 32 -patterns 1 -max-rows 128
-//	beer -mfr B -k 16 -chips 4 -verify   # parallel collection across 4 same-model chips
+//	beer -mfr B -k 16 -chips 4 -verify     # parallel collection across 4 same-model chips
+//	beer -mfr B -k 16 -progress            # live per-stage status on stderr
+//
+// The run is cancellable: Ctrl-C stops collection at the next pass boundary
+// and interrupts an in-flight SAT solve.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/ondie"
-	"repro/internal/parallel"
 )
 
 func main() {
@@ -35,8 +43,12 @@ func main() {
 		showProf = flag.Bool("profile", false, "print the thresholded miscorrection profile")
 		useAnti  = flag.Bool("anti", false, "also collect inverted patterns from anti-cell rows (extension)")
 		useLazy  = flag.Bool("lazy", false, "use the CEGAR-style lazy solver (extension)")
+		progress = flag.Bool("progress", false, "stream live pipeline progress to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	chipRows := *rows
 	if chipRows == 0 {
@@ -51,7 +63,7 @@ func main() {
 	// Same-model chips share the ECC function but have independent cells
 	// (distinct seeds); the engine collects from all of them concurrently and
 	// merges the observation counts before one solve.
-	fleet := make([]core.Chip, *chips)
+	fleet := make([]repro.Chip, *chips)
 	for i := range fleet {
 		chip, err := ondie.New(ondie.Config{
 			Manufacturer:  ondie.Manufacturer(*mfr),
@@ -68,31 +80,42 @@ func main() {
 	}
 	chip := fleet[0].(*ondie.Chip)
 
-	opts := core.DefaultRecoverOptions()
-	opts.Collect.Windows = nil
-	for m := 4; m <= *maxWin; m += 4 {
-		opts.Collect.Windows = append(opts.Collect.Windows, time.Duration(m)*time.Minute)
+	opts := []repro.Option{
+		repro.WithWorkers(*workers),
+		repro.WithWindowSweep(*maxWin),
+		repro.WithRounds(*rounds),
 	}
-	opts.Collect.Rounds = *rounds
 	switch *patterns {
 	case "1":
-		opts.PatternSet = core.Set1
+		opts = append(opts, repro.WithPatternSet(repro.Set1))
 	case "12":
-		opts.PatternSet = core.Set12
+		opts = append(opts, repro.WithPatternSet(repro.Set12))
 	default:
 		fatal(fmt.Errorf("unknown pattern family %q", *patterns))
 	}
-	opts.UseAntiRows = *useAnti
-	opts.UseLazySolver = *useLazy
+	if *useAnti {
+		opts = append(opts, repro.WithAntiRows())
+	}
+	if *useLazy {
+		opts = append(opts, repro.WithLazySolver())
+	}
+	if *progress {
+		opts = append(opts, repro.WithProgress(printProgress))
+	}
+	pipe := repro.NewPipeline(opts...)
 
 	fmt.Printf("BEER: %d manufacturer-%s chip(s), k=%d, %d rows, %s patterns\n",
-		*chips, *mfr, *k, chipRows, opts.PatternSet)
+		*chips, *mfr, *k, chipRows, pipe.RecoverOptions().PatternSet)
 	fmt.Printf("analytical experiment runtime on real hardware: %v (refresh pauses dominate; chips run in parallel, paper sec. 6.3)\n\n",
-		core.ExperimentRuntime(opts.Collect))
+		core.ExperimentRuntime(pipe.RecoverOptions().Collect))
 
 	start := time.Now()
-	rep, err := parallel.New(*workers).Recover(fleet, opts)
+	rep, err := pipe.Recover(ctx, fleet...)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "beer: interrupted, partial results discarded")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	trueRows := len(core.TrueRows(rep.CellClasses))
@@ -133,6 +156,21 @@ func main() {
 			fmt.Println("\nVERIFY: MISMATCH against ground truth")
 			os.Exit(1)
 		}
+	}
+}
+
+// printProgress renders one pipeline event as a live status line on stderr.
+func printProgress(ev repro.ProgressEvent) {
+	switch {
+	case ev.Stage == repro.StageCollect && !ev.Done:
+		fmt.Fprintf(os.Stderr, "[chip %d] collect: round %d/%d window %v (pass %d/%d)\n",
+			ev.Chip, ev.Round, ev.Rounds, ev.Window, ev.Pass, ev.Passes)
+	case ev.Stage == repro.StageSolve && !ev.Done:
+		fmt.Fprintf(os.Stderr, "solve: %d candidate(s) so far\n", ev.Candidates)
+	case ev.Done:
+		fmt.Fprintf(os.Stderr, "[chip %d] %s: done\n", ev.Chip, ev.Stage)
+	default:
+		fmt.Fprintf(os.Stderr, "[chip %d] %s: started\n", ev.Chip, ev.Stage)
 	}
 }
 

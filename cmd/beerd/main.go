@@ -1,0 +1,116 @@
+// Command beerd serves BEER as a job service: an HTTP/JSON API that accepts
+// long-running recovery and simulation jobs, multiplexes them onto one
+// shared parallel experiment engine, streams per-stage progress through
+// status polls, and hands back recovered ECC functions.
+//
+// Usage:
+//
+//	beerd -addr :8080 -workers 0
+//	beerd -selfcheck                 # start an ephemeral server, run the smoke suite, exit
+//
+// API (see internal/service):
+//
+//	POST   /api/v1/jobs             {"type":"recover","manufacturer":"B","k":16,"verify":true}
+//	GET    /api/v1/jobs             list job statuses
+//	GET    /api/v1/jobs/{id}        status + per-stage progress
+//	GET    /api/v1/jobs/{id}/result recovered H matrix / simulation counters
+//	DELETE /api/v1/jobs/{id}        cancel
+//	GET    /healthz                 liveness + job counters
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight jobs are
+// cancelled (they stop within one collection pass) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "shared engine worker-pool width (0 = all cores)")
+		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run the smoke suite against it, and exit")
+		smokeJobs = flag.Int("selfcheck-jobs", 8, "concurrent recovery jobs the selfcheck submits")
+	)
+	flag.Parse()
+
+	srv := service.New(repro.NewEngine(*workers))
+
+	if *selfcheck {
+		os.Exit(runSelfcheck(srv, *smokeJobs))
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("beerd: listening on %s (%d workers)", *addr, srv.Engine().Workers())
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("beerd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("beerd: shutting down, cancelling running jobs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("beerd: http shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("beerd: bye")
+}
+
+// runSelfcheck boots an ephemeral server on a loopback port and drives the
+// same smoke suite CI runs (make serve-smoke), returning the exit code.
+func runSelfcheck(srv *service.Server, jobs int) int {
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beerd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "beerd:", err)
+		}
+	}()
+	defer httpSrv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	base := "http://" + ln.Addr().String()
+	log.Printf("beerd selfcheck: serving on %s, submitting %d concurrent recovery jobs", base, jobs)
+	err = service.Smoke(ctx, service.SmokeConfig{
+		BaseURL: base,
+		Jobs:    jobs,
+		Log:     log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beerd selfcheck FAILED:", err)
+		return 1
+	}
+	fmt.Printf("beerd selfcheck OK: %d concurrent jobs recovered and verified\n", jobs)
+	return 0
+}

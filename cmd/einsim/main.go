@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/ecc"
 	"repro/internal/einsim"
@@ -31,6 +35,9 @@ func main() {
 		workers = flag.Int("workers", 0, "worker-pool width for sharded simulation (0 = all cores)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var code *ecc.Code
 	switch *family {
@@ -70,8 +77,12 @@ func main() {
 
 	// The engine shards the word budget across the pool with per-shard
 	// seeded RNGs, so the output is identical for any -workers value.
-	res, err := parallel.New(*workers).Simulate(cfg, *seed)
+	res, err := parallel.New(*workers).Simulate(ctx, cfg, *seed)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "einsim: interrupted")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	fmt.Printf("simulated %d words of %s, pattern %s, model %s, RBER %g (%d shards)\n",

@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/figures"
@@ -30,6 +34,10 @@ func main() {
 		workers = flag.Int("workers", 0, "worker-pool width for experiment sweeps (0 = all cores)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *workers > 0 {
 		figures.SetEngine(parallel.New(*workers))
 	}
@@ -49,7 +57,7 @@ func main() {
 		for _, g := range figures.All() {
 			fmt.Printf("=== %s (%s) ===\n", g.ID, g.Description)
 			start := time.Now()
-			if err := g.Run(os.Stdout, sc); err != nil {
+			if err := g.Run(ctx, os.Stdout, sc); err != nil {
 				fatal(fmt.Errorf("%s: %w", g.ID, err))
 			}
 			fmt.Printf("--- %s done in %v ---\n\n", g.ID, time.Since(start).Round(time.Millisecond))
@@ -59,7 +67,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown id %q; try -list", *id))
 		}
-		if err := g.Run(os.Stdout, sc); err != nil {
+		if err := g.Run(ctx, os.Stdout, sc); err != nil {
 			fatal(err)
 		}
 	default:
@@ -69,6 +77,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "figures: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "figures:", err)
 	os.Exit(1)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -27,11 +28,15 @@ func main() {
 	word := repro.SimulatedWord(code, weak, 0.8, 11)
 	fmt.Printf("hidden weak cells (ground truth): %v (cell %d is a parity cell)\n\n", weak, weak[3])
 
-	out := repro.ProfileWord(code, word, repro.BEEPOptions{
+	pipe := repro.NewPipeline(repro.WithBEEPOptions(repro.BEEPOptions{
 		Passes:             2,
 		TrialsPerPattern:   2,
 		WorstCaseNeighbors: true,
-	}, 3)
+	}))
+	out, err := pipe.ProfileWord(context.Background(), code, word, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("BEEP tested %d crafted patterns and observed %d miscorrections\n",
 		out.PatternsTested, out.Miscorrections)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,8 +21,21 @@ func main() {
 	// from both chips concurrently and merges the observations (§6.3).
 	chips := repro.SimulatedChips(repro.MfrB, 16, 2, 1)
 
+	// The Pipeline is the supported entry point: functional options
+	// configure it, every run takes a context (cancel it to stop a
+	// recovery within one collection round), and WithProgress streams
+	// live stage/round events.
+	pipe := repro.NewPipeline(
+		repro.WithFastWindows(),
+		repro.WithProgress(func(ev repro.ProgressEvent) {
+			if ev.Done {
+				fmt.Printf("  [progress] chip %d: %s done\n", ev.Chip, ev.Stage)
+			}
+		}),
+	)
+
 	start := time.Now()
-	report, err := repro.RecoverECCFunctionParallel(chips, repro.FastRecovery())
+	report, err := pipe.Recover(context.Background(), chips...)
 	if err != nil {
 		log.Fatal(err)
 	}

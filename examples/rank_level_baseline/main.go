@@ -8,11 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro"
-	"repro/internal/core"
 	"repro/internal/ranklevel"
 )
 
@@ -34,7 +34,8 @@ func main() {
 	// --- BEER: no bus access, no syndromes, only retention errors.
 	fmt.Println("BEER (paper 4.2+5): miscorrection-profile recovery")
 	prof := repro.ExactProfile(secret, repro.OneChargedPatterns(secret.K()))
-	res, err := repro.SolveProfile(prof, core.SolveOptions{ParityBits: secret.ParityBits()})
+	pipe := repro.NewPipeline(repro.WithParityBits(secret.ParityBits()))
+	res, err := pipe.Solve(context.Background(), prof)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,13 +15,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	pipe := repro.NewPipeline(repro.WithFastWindows())
 	recovered := map[repro.Manufacturer]*repro.Code{}
 
 	for _, m := range []repro.Manufacturer{repro.MfrA, repro.MfrB, repro.MfrC} {
 		fmt.Printf("=== manufacturer %s ===\n", m)
 		chip := repro.SimulatedChip(m, 16, 42)
 
-		report, err := repro.RecoverECCFunction(chip, repro.FastRecovery())
+		report, err := pipe.Recover(ctx, chip)
 		if err != nil {
 			log.Fatalf("manufacturer %s: %v", m, err)
 		}
@@ -72,7 +75,7 @@ func main() {
 		// chips jointly — collections fan out over the engine's worker pool
 		// and the merged counts must still solve to the same function.
 		fleet := repro.SimulatedChips(m, 16, 2, 43)
-		rep2, err := repro.RecoverECCFunctionParallel(fleet, repro.FastRecovery())
+		rep2, err := pipe.Recover(ctx, fleet...)
 		if err != nil {
 			log.Fatal(err)
 		}

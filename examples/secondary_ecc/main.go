@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,8 +20,10 @@ import (
 
 func main() {
 	// Step 1: recover the chip's secret ECC function with BEER.
+	ctx := context.Background()
+	pipe := repro.NewPipeline(repro.WithFastWindows())
 	chip := repro.SimulatedChip(repro.MfrC, 16, 5)
-	report, err := repro.RecoverECCFunction(chip, repro.FastRecovery())
+	report, err := pipe.Recover(ctx, chip)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +36,7 @@ func main() {
 	// Step 2: with the function known, simulate the post-correction error
 	// characteristics the memory controller will actually observe. The
 	// 200k-word budget shards across every core via the parallel engine.
-	res, err := repro.SimulateParallel(einsim.Config{
+	res, err := pipe.Simulate(ctx, einsim.Config{
 		Code:               code,
 		Pattern:            einsim.PatternAllOnes,
 		Model:              einsim.ModelUniform,

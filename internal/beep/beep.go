@@ -26,6 +26,7 @@
 package beep
 
 import (
+	"context"
 	"math/rand/v2"
 	"sort"
 
@@ -94,11 +95,20 @@ func NewProfiler(code *ecc.Code, opts Options, rng *rand.Rand) *Profiler {
 }
 
 // Run profiles one ECC word, returning every error-prone cell identified.
-func (p *Profiler) Run(w WordTester) *Outcome {
+// Cancelling ctx stops the run at the next target bit and returns ctx.Err()
+// (the outcome so far is discarded: a partial profile would misreport
+// unvisited cells as error-free). A nil ctx means context.Background().
+func (p *Profiler) Run(ctx context.Context, w WordTester) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := &Outcome{}
 	known := map[int]bool{}
 	for pass := 0; pass < p.opts.Passes; pass++ {
 		for target := 0; target < p.code.N(); target++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			data, ok := p.craftPattern(target, known)
 			if !ok {
 				out.SkippedBits++
@@ -120,7 +130,7 @@ func (p *Profiler) Run(w WordTester) *Outcome {
 		out.Identified = append(out.Identified, e)
 	}
 	sort.Ints(out.Identified)
-	return out
+	return out, nil
 }
 
 // craftPattern builds a dataword whose encoded codeword (a) charges the

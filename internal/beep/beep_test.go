@@ -1,6 +1,7 @@
 package beep
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -123,7 +124,7 @@ func TestProfileFindsInjectedErrors(t *testing.T) {
 		cells := rng.Perm(code.N())[:3]
 		word := &SimWord{Code: code, ErrorCells: cells, PErr: 1.0, Rng: rng}
 		prof := NewProfiler(code, Options{Passes: 2, TrialsPerPattern: 1, WorstCaseNeighbors: true}, rng)
-		out := prof.Run(word)
+		out, _ := prof.Run(context.Background(), word)
 		if sameSet(out.Identified, cells) {
 			found++
 		}
@@ -139,7 +140,7 @@ func TestProfileCleanWord(t *testing.T) {
 	code := ecc.RandomHamming(26, rng)
 	word := &SimWord{Code: code, ErrorCells: nil, PErr: 1, Rng: rng}
 	prof := NewProfiler(code, DefaultOptions(), rng)
-	out := prof.Run(word)
+	out, _ := prof.Run(context.Background(), word)
 	if len(out.Identified) != 0 {
 		t.Fatalf("clean word produced false positives: %v", out.Identified)
 	}
@@ -154,7 +155,7 @@ func TestProfileNoFalsePositives(t *testing.T) {
 		cells := rng.Perm(code.N())[:5]
 		word := &SimWord{Code: code, ErrorCells: cells, PErr: 0.5, Rng: rng}
 		prof := NewProfiler(code, Options{Passes: 2, TrialsPerPattern: 2, WorstCaseNeighbors: true}, rng)
-		out := prof.Run(word)
+		out, _ := prof.Run(context.Background(), word)
 		injected := map[int]bool{}
 		for _, c := range cells {
 			injected[c] = true
@@ -175,14 +176,14 @@ func TestEvaluateFigure8Shape(t *testing.T) {
 	}
 	rng := rand.New(rand.NewPCG(15, 16))
 	base := EvalConfig{CodewordBits: 31, ErrorsPerWord: 3, PErr: 1, Passes: 1, TrialsPerPattern: 1, Words: 15}
-	onePass := Evaluate(base, rand.New(rand.NewPCG(15, 16)))
+	onePass, _ := Evaluate(context.Background(), base, rand.New(rand.NewPCG(15, 16)))
 	base.Passes = 2
-	twoPass := Evaluate(base, rand.New(rand.NewPCG(15, 16)))
+	twoPass, _ := Evaluate(context.Background(), base, rand.New(rand.NewPCG(15, 16)))
 	if twoPass.SuccessRate()+1e-9 < onePass.SuccessRate()-0.2 {
 		t.Fatalf("two passes (%v) markedly worse than one (%v)",
 			twoPass.SuccessRate(), onePass.SuccessRate())
 	}
-	long := Evaluate(EvalConfig{CodewordBits: 63, ErrorsPerWord: 3, PErr: 1,
+	long, _ := Evaluate(context.Background(), EvalConfig{CodewordBits: 63, ErrorsPerWord: 3, PErr: 1,
 		Passes: 1, TrialsPerPattern: 1, Words: 15}, rng)
 	if long.SuccessRate() < 0.5 {
 		t.Fatalf("63-bit codewords should mostly succeed, got %v", long.SuccessRate())
@@ -239,9 +240,9 @@ func TestLinearCrafterMatchesSATSuccess(t *testing.T) {
 	}
 	base := EvalConfig{CodewordBits: 63, ErrorsPerWord: 4, PErr: 1,
 		Passes: 1, TrialsPerPattern: 1, Words: 15}
-	satRes := Evaluate(base, rand.New(rand.NewPCG(19, 20)))
+	satRes, _ := Evaluate(context.Background(), base, rand.New(rand.NewPCG(19, 20)))
 	base.Crafter = CrafterLinear
-	linRes := Evaluate(base, rand.New(rand.NewPCG(19, 20)))
+	linRes, _ := Evaluate(context.Background(), base, rand.New(rand.NewPCG(19, 20)))
 	if linRes.SuccessRate() < satRes.SuccessRate()-0.25 {
 		t.Fatalf("linear crafter success %.2f far below SAT's %.2f",
 			linRes.SuccessRate(), satRes.SuccessRate())

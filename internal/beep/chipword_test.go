@@ -1,6 +1,7 @@
 package beep_test
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -54,7 +55,7 @@ func TestBEEPOnChipWord(t *testing.T) {
 				TrialsPerPattern:   1,
 				WorstCaseNeighbors: true,
 			}, rand.New(rand.NewPCG(uint64(row), uint64(word))))
-			out := prof.Run(tester)
+			out, _ := prof.Run(context.Background(), tester)
 			profiled++
 			// Soundness: everything identified must be genuinely weak. The
 			// VRT jitter can flip marginal cells either way, so allow the

@@ -1,6 +1,7 @@
 package beep
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"repro/internal/ecc"
@@ -59,7 +60,11 @@ func (r *EvalResult) SuccessRate() float64 {
 // Evaluate runs the Monte-Carlo success-rate experiment: for each simulated
 // word, inject ErrorsPerWord random error-prone cells, profile with BEEP,
 // and check whether the identified set matches the injected set exactly.
-func Evaluate(cfg EvalConfig, rng *rand.Rand) *EvalResult {
+// Cancelling ctx stops the experiment at the next word and returns ctx.Err().
+func Evaluate(ctx context.Context, cfg EvalConfig, rng *rand.Rand) (*EvalResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k := fullLengthK(cfg.CodewordBits)
 	res := &EvalResult{Config: cfg}
 	for w := 0; w < cfg.Words; w++ {
@@ -72,7 +77,10 @@ func Evaluate(cfg EvalConfig, rng *rand.Rand) *EvalResult {
 			WorstCaseNeighbors: true,
 			Crafter:            cfg.Crafter,
 		}, rng)
-		out := prof.Run(word)
+		out, err := prof.Run(ctx, word)
+		if err != nil {
+			return nil, err
+		}
 		if sameSet(out.Identified, cells) {
 			res.Successes++
 			res.Rates = append(res.Rates, 1)
@@ -80,7 +88,7 @@ func Evaluate(cfg EvalConfig, rng *rand.Rand) *EvalResult {
 			res.Rates = append(res.Rates, 0)
 		}
 	}
-	return res
+	return res, nil
 }
 
 func sameSet(sorted []int, unsorted []int) bool {

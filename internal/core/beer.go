@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -26,6 +27,10 @@ type RecoverOptions struct {
 	UseAntiRows bool
 	// UseLazySolver switches to the CEGAR-style SolveLazy (see lazy.go).
 	UseLazySolver bool
+	// Progress, when set, receives pipeline events: stage entries and
+	// completions, per-(round, window) collection passes, and solver
+	// candidate counts. See ProgressFunc for the concurrency contract.
+	Progress ProgressFunc
 }
 
 // DefaultRecoverOptions mirrors the paper's experimental configuration.
@@ -75,11 +80,14 @@ type ChipObservations struct {
 // Observe runs discovery and raw profile collection against one chip — every
 // experimental step of Recover, with thresholding and solving left to the
 // caller. On error the returned observations carry whatever was gathered up
-// to the failure point.
-func Observe(chip Chip, opts RecoverOptions) (*ChipObservations, error) {
+// to the failure point. Cancelling ctx returns ctx.Err() at the next
+// collection-pass boundary.
+func Observe(ctx context.Context, chip Chip, opts RecoverOptions) (*ChipObservations, error) {
+	ctx = ctxOrBackground(ctx)
 	obs := &ChipObservations{}
 
 	start := time.Now()
+	opts.Progress.emit(Event{Stage: StageDiscover})
 	obs.CellClasses = DiscoverCellLayout(chip, opts.Layout)
 	rows := TrueRows(obs.CellClasses)
 	if len(rows) == 0 {
@@ -94,10 +102,15 @@ func Observe(chip Chip, opts RecoverOptions) (*ChipObservations, error) {
 	}
 	obs.Layout = layout
 	obs.DiscoveryTime = time.Since(start)
+	opts.Progress.emit(Event{Stage: StageDiscover, Done: true})
 
 	start = time.Now()
+	collectOpts := opts.Collect
+	if collectOpts.Progress == nil {
+		collectOpts.Progress = opts.Progress
+	}
 	patterns := opts.PatternSet.Patterns(layout.K())
-	obs.Counts, err = CollectCounts(chip, rows, layout, patterns, opts.Collect)
+	obs.Counts, err = CollectCounts(ctx, chip, rows, layout, patterns, collectOpts)
 	if err != nil {
 		return obs, fmt.Errorf("core: collect: %w", err)
 	}
@@ -107,20 +120,34 @@ func Observe(chip Chip, opts RecoverOptions) (*ChipObservations, error) {
 			anti = anti[:opts.MaxRows]
 		}
 		if len(anti) > 0 {
-			antiOpts := opts.Collect
+			antiOpts := collectOpts
 			antiOpts.Invert = true
+			// The anti sweep's progress continues the main series: its pass
+			// numbers and total are offset by the main sweep's pass count,
+			// so Pass stays monotonic and never exceeds Passes across the
+			// whole collect stage (the total revises upward when the anti
+			// series begins).
+			if fn := collectOpts.Progress; fn != nil {
+				mainPasses := sweepPasses(opts.Collect)
+				antiOpts.Progress = func(ev Event) {
+					ev.Pass += mainPasses
+					ev.Passes += mainPasses
+					fn(ev)
+				}
+			}
 			// Anti regions contribute the 1-CHARGED patterns only: those
 			// carry the extra row-parity information, and the much smaller
 			// pattern count keeps per-pattern sample density high enough
 			// that no rare miscorrection goes unobserved (a missed
 			// observation would add a false "impossible" constraint, §5.2).
-			obs.AntiCounts, err = CollectCounts(chip, anti, layout, OneCharged(layout.K()), antiOpts)
+			obs.AntiCounts, err = CollectCounts(ctx, chip, anti, layout, OneCharged(layout.K()), antiOpts)
 			if err != nil {
 				return obs, fmt.Errorf("core: anti-cell collect: %w", err)
 			}
 		}
 	}
 	obs.CollectTime = time.Since(start)
+	opts.Progress.emit(Event{Stage: StageCollect, Done: true})
 	return obs, nil
 }
 
@@ -137,9 +164,13 @@ func (rep *Report) fill(obs *ChipObservations) {
 // Recover runs the complete BEER methodology against a chip: discover the
 // cell and word layout, collect a miscorrection profile with crafted test
 // patterns, filter it, and solve for the ECC function (paper §5).
-func Recover(chip Chip, opts RecoverOptions) (*Report, error) {
+//
+// Cancelling ctx returns ctx.Err() within one collection pass (the refresh
+// pauses dominate real experiments) or at the solver's next conflict/restart.
+func Recover(ctx context.Context, chip Chip, opts RecoverOptions) (*Report, error) {
+	ctx = ctxOrBackground(ctx)
 	rep := &Report{}
-	obs, err := Observe(chip, opts)
+	obs, err := Observe(ctx, chip, opts)
 	rep.fill(obs)
 	if err != nil {
 		return rep, err
@@ -150,16 +181,21 @@ func Recover(chip Chip, opts RecoverOptions) (*Report, error) {
 	}
 
 	start := time.Now()
+	solveOpts := opts.Solve
+	if solveOpts.Progress == nil {
+		solveOpts.Progress = opts.Progress
+	}
 	solve := Solve
 	if opts.UseLazySolver {
 		solve = SolveLazy
 	}
-	res, err := solve(rep.Profile, opts.Solve)
+	res, err := solve(ctx, rep.Profile, solveOpts)
 	rep.SolveTime = time.Since(start)
 	if err != nil {
 		return rep, fmt.Errorf("core: solve: %w", err)
 	}
 	rep.Result = res
+	opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes), Done: true})
 	return rep, nil
 }
 

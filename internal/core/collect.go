@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,6 +27,11 @@ type CollectOptions struct {
 	// written bitwise-complemented so the intended cells are CHARGED, and
 	// the resulting count entries are flagged Anti.
 	Invert bool
+	// Progress, when set, receives a StageCollect event after every
+	// completed (round, window) pass. Event.Chip is always 0 here;
+	// multi-chip callers (internal/parallel) wrap the func to stamp the
+	// chip index.
+	Progress ProgressFunc
 }
 
 // DefaultCollectOptions mirror §5.1.3: tREFw from 2 to 22 minutes in
@@ -36,6 +42,16 @@ func DefaultCollectOptions() CollectOptions {
 		opts.Windows = append(opts.Windows, time.Duration(m)*time.Minute)
 	}
 	return opts
+}
+
+// sweepPasses returns how many (round, window) collection passes a sweep
+// performs — the Passes total its progress events report.
+func sweepPasses(opts CollectOptions) int {
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	return rounds * len(opts.Windows)
 }
 
 // Counts holds raw post-correction error observations per pattern and bit,
@@ -127,7 +143,12 @@ func (c *Counts) MiscorrectionRates() [][]float64 {
 // row bytes (from DiscoverWordLayout). Patterns are spread round-robin over
 // the words and rotated between rounds so each pattern samples many
 // independent cells.
-func CollectCounts(chip Chip, rows []RowRef, layout WordLayout, patterns []Pattern, opts CollectOptions) (*Counts, error) {
+//
+// Cancelling ctx stops the sweep at the next (round, window) pass boundary
+// and returns ctx.Err(); the partial counts are discarded because a profile
+// with uneven per-pattern sampling would bias the §5.2 threshold filter.
+func CollectCounts(ctx context.Context, chip Chip, rows []RowRef, layout WordLayout, patterns []Pattern, opts CollectOptions) (*Counts, error) {
+	ctx = ctxOrBackground(ctx)
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("core: no rows to test")
 	}
@@ -181,8 +202,12 @@ func CollectCounts(chip Chip, rows []RowRef, layout WordLayout, patterns []Patte
 
 	rowData := make([]byte, chip.DataBytesPerRow())
 	pass := 0
+	passes := sweepPasses(opts)
 	for round := 0; round < rounds; round++ {
 		for _, window := range opts.Windows {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Rotate assignments so pattern p lands on different physical
 			// words each pass (fresh retention-time draws).
 			offset := pass * 7919 // prime stride decorrelates passes
@@ -206,6 +231,14 @@ func CollectCounts(chip Chip, rows []RowRef, layout WordLayout, patterns []Patte
 					recordWordDiff(entry, got, layout, w, patBytes[pi])
 				}
 			}
+			opts.Progress.emit(Event{
+				Stage:  StageCollect,
+				Round:  round + 1,
+				Rounds: rounds,
+				Window: window,
+				Pass:   pass,
+				Passes: passes,
+			})
 		}
 	}
 	return counts, nil

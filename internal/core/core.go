@@ -26,6 +26,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Pattern is a test pattern identified by the set of CHARGED data-bit
@@ -63,14 +65,17 @@ func (p Pattern) Has(b int) bool {
 
 // String renders the pattern as e.g. "C{3}" or "C{3,17}".
 func (p Pattern) String() string {
-	s := "C{"
+	var b strings.Builder
+	b.Grow(3 + 3*len(p.charged))
+	b.WriteString("C{")
 	for i, c := range p.charged {
 		if i > 0 {
-			s += ","
+			b.WriteByte(',')
 		}
-		s += fmt.Sprint(c)
+		b.WriteString(strconv.Itoa(c))
 	}
-	return s + "}"
+	b.WriteByte('}')
+	return b.String()
 }
 
 // OneCharged returns the k patterns with exactly one CHARGED data bit.

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -110,7 +111,7 @@ func TestCollectedProfileMatchesExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	patterns := core.Set12.Patterns(16)
-	counts, err := core.CollectCounts(chip, rows, layout, patterns, core.CollectOptions{
+	counts, err := core.CollectCounts(context.Background(), chip, rows, layout, patterns, core.CollectOptions{
 		Windows: testWindows(),
 		TempC:   80,
 		Rounds:  3,
@@ -145,7 +146,7 @@ func TestRecoverEndToEnd(t *testing.T) {
 			opts := core.DefaultRecoverOptions()
 			opts.Collect.Windows = testWindows()
 			opts.Collect.Rounds = 3
-			rep, err := core.Recover(chip, opts)
+			rep, err := core.Recover(context.Background(), chip, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -171,7 +172,7 @@ func TestRecoverRobustToTransientErrors(t *testing.T) {
 	opts.Collect.Windows = testWindows()
 	opts.Collect.Rounds = 3
 	opts.ThresholdMinCount = 3
-	rep, err := core.Recover(chip, opts)
+	rep, err := core.Recover(context.Background(), chip, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestCollectedAntiProfileMatchesExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	patterns := core.OneCharged(16)
-	counts, err := core.CollectCounts(chip, antiRows, layout, patterns, core.CollectOptions{
+	counts, err := core.CollectCounts(context.Background(), chip, antiRows, layout, patterns, core.CollectOptions{
 		Windows: testWindows(),
 		TempC:   80,
 		Rounds:  3,
@@ -245,7 +246,7 @@ func TestRecoverWithAntiRowsAndLazySolver(t *testing.T) {
 	opts.Collect.Rounds = 3
 	opts.UseAntiRows = true
 	opts.UseLazySolver = true
-	rep, err := core.Recover(chip, opts)
+	rep, err := core.Recover(context.Background(), chip, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestMultiChipMerge(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		counts, err := core.CollectCounts(chip, rows, layout, core.Set12.Patterns(16), core.CollectOptions{
+		counts, err := core.CollectCounts(context.Background(), chip, rows, layout, core.Set12.Patterns(16), core.CollectOptions{
 			Windows: testWindows(),
 			TempC:   80,
 			Rounds:  2,
@@ -298,7 +299,7 @@ func TestMultiChipMerge(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof := a.Threshold(1e-4, 2)
-	res, err := core.Solve(prof, core.SolveOptions{})
+	res, err := core.Solve(context.Background(), prof, core.SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

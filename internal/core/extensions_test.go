@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -82,7 +83,7 @@ func TestSolveWithAntiEntries(t *testing.T) {
 		code := ecc.RandomHammingWithParity(8, 4, rng)
 		patterns := Set12.Patterns(8)
 		combined := ExactProfile(code, patterns).Append(ExactProfileAnti(code, patterns))
-		res, err := Solve(combined, SolveOptions{ParityBits: 4})
+		res, err := Solve(context.Background(), combined, SolveOptions{ParityBits: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,12 +105,12 @@ func TestAntiProfilesNarrowTheSearch(t *testing.T) {
 		code := ecc.RandomHammingWithParity(7, 4, rng)
 		pats := OneCharged(7)
 		trueOnly := ExactProfile(code, pats)
-		resTrue, err := Solve(trueOnly, SolveOptions{ParityBits: 4, MaxSolutions: -1})
+		resTrue, err := Solve(context.Background(), trueOnly, SolveOptions{ParityBits: 4, MaxSolutions: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		both := trueOnly.Append(ExactProfileAnti(code, pats))
-		resBoth, err := Solve(both, SolveOptions{ParityBits: 4, MaxSolutions: -1})
+		resBoth, err := Solve(context.Background(), both, SolveOptions{ParityBits: 4, MaxSolutions: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,11 +143,11 @@ func TestSolveLazyMatchesEager(t *testing.T) {
 		k := 6 + rng.IntN(6)
 		code := ecc.RandomHamming(k, rng)
 		prof := ExactProfile(code, Set12.Patterns(k))
-		eager, err := Solve(prof, SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: -1})
+		eager, err := Solve(context.Background(), prof, SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		lazy, err := SolveLazy(prof, SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: -1})
+		lazy, err := SolveLazy(context.Background(), prof, SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func TestSolveLazyDefersMostEntries(t *testing.T) {
 	rng := rand.New(rand.NewPCG(58, 59))
 	code := ecc.RandomHamming(16, rng)
 	prof := ExactProfile(code, Set12.Patterns(16))
-	lazy, err := SolveLazy(prof, SolveOptions{ParityBits: code.ParityBits()})
+	lazy, err := SolveLazy(context.Background(), prof, SolveOptions{ParityBits: code.ParityBits()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestDiscoverParityBits(t *testing.T) {
 	// Minimum-redundancy code: k=11 -> r=4.
 	code := ecc.RandomHamming(11, rng)
 	prof := ExactProfile(code, Set12.Patterns(11))
-	r, res, err := DiscoverParityBits(prof, SolveOptions{}, 2)
+	r, res, err := DiscoverParityBits(context.Background(), prof, SolveOptions{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestDiscoverParityBits(t *testing.T) {
 	// on and succeed at r=5.
 	wide := ecc.RandomHammingWithParity(8, 5, rng)
 	wprof := ExactProfile(wide, Set12.Patterns(8))
-	r, res, err = DiscoverParityBits(wprof, SolveOptions{}, 2)
+	r, res, err = DiscoverParityBits(context.Background(), wprof, SolveOptions{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,7 +23,8 @@ import (
 // paper's §7.3 lists this kind of problem-constraining as future work. The
 // Result.LazyRefinements field reports how many deferred entries were
 // actually needed.
-func SolveLazy(profile *Profile, opts SolveOptions) (*Result, error) {
+func SolveLazy(ctx context.Context, profile *Profile, opts SolveOptions) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	if profile.K < 1 {
 		return nil, fmt.Errorf("core: profile has no dataword bits")
 	}
@@ -36,6 +38,7 @@ func SolveLazy(profile *Profile, opts SolveOptions) (*Result, error) {
 	}
 	e := newEncoder(profile.K, r)
 	e.s.MaxConflicts = opts.MaxConflicts
+	translate := interruptFromCtx(ctx, e.s)
 
 	var deferred []Entry
 	for _, entry := range profile.Entries {
@@ -58,7 +61,7 @@ func SolveLazy(profile *Profile, opts SolveOptions) (*Result, error) {
 	for maxSol < 0 || len(res.Codes) < maxSol {
 		found, err := e.s.Solve()
 		if err != nil {
-			return res, fmt.Errorf("core: lazy solve: %w", err)
+			return res, fmt.Errorf("core: lazy solve: %w", translate(err))
 		}
 		if !found {
 			res.Exhausted = true
@@ -93,6 +96,7 @@ func SolveLazy(profile *Profile, opts SolveOptions) (*Result, error) {
 			continue // the candidate is refuted; re-solve with refinements
 		}
 		res.Codes = append(res.Codes, code)
+		opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})
 		if !firstFound {
 			firstFound = true
 			res.DetermineTime = time.Since(start)

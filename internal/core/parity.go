@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ecc"
@@ -18,7 +19,8 @@ import (
 // Hamming bound cannot host k distinct weight->=2 columns at all.
 //
 // maxExtra bounds how far above the minimum to search (0 means 2).
-func DiscoverParityBits(profile *Profile, opts SolveOptions, maxExtra int) (int, *Result, error) {
+func DiscoverParityBits(ctx context.Context, profile *Profile, opts SolveOptions, maxExtra int) (int, *Result, error) {
+	ctx = ctxOrBackground(ctx)
 	if maxExtra <= 0 {
 		maxExtra = 2
 	}
@@ -27,7 +29,10 @@ func DiscoverParityBits(profile *Profile, opts SolveOptions, maxExtra int) (int,
 	for r := min; r <= min+maxExtra; r++ {
 		o := opts
 		o.ParityBits = r
-		res, err := Solve(profile, o)
+		res, err := Solve(ctx, profile, o)
+		if ctx.Err() != nil {
+			return 0, nil, ctx.Err()
+		}
 		if err != nil {
 			lastErr = err
 			continue

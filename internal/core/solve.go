@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,6 +23,24 @@ type SolveOptions struct {
 	MaxSolutions int
 	// MaxConflicts bounds SAT effort per Solve call (0 = unlimited).
 	MaxConflicts int64
+	// Progress, when set, receives a StageSolve event each time the search
+	// finds another candidate code.
+	Progress ProgressFunc
+}
+
+// interruptFromCtx wires context cancellation into a solver: the solver
+// polls the hook at every conflict and restart. The returned translate
+// function maps sat.ErrInterrupted back to the context's error.
+func interruptFromCtx(ctx context.Context, s *sat.Solver) (translate func(error) error) {
+	s.Interrupt = func() bool { return ctx.Err() != nil }
+	return func(err error) error {
+		if errors.Is(err, sat.ErrInterrupted) {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		return err
+	}
 }
 
 // Result reports the codes consistent with a miscorrection profile.
@@ -337,8 +357,10 @@ func (e *encoder) pVars() []int {
 // Solve finds the ECC functions consistent with a miscorrection profile
 // (paper §5.3). The first solution is the "determine function" phase; the
 // continued enumeration (with blocking clauses) is the "check uniqueness"
-// phase.
-func Solve(profile *Profile, opts SolveOptions) (*Result, error) {
+// phase. Cancelling ctx interrupts the SAT search at its next conflict or
+// restart and returns ctx.Err().
+func Solve(ctx context.Context, profile *Profile, opts SolveOptions) (*Result, error) {
+	ctx = ctxOrBackground(ctx)
 	if profile.K < 1 {
 		return nil, fmt.Errorf("core: profile has no dataword bits")
 	}
@@ -352,6 +374,7 @@ func Solve(profile *Profile, opts SolveOptions) (*Result, error) {
 	}
 	e := newEncoder(profile.K, r)
 	e.s.MaxConflicts = opts.MaxConflicts
+	translate := interruptFromCtx(ctx, e.s)
 	for _, entry := range profile.Entries {
 		if entry.Possible.Len() != profile.K {
 			return nil, fmt.Errorf("core: entry %v has %d bits, profile has k=%d",
@@ -365,7 +388,7 @@ func Solve(profile *Profile, opts SolveOptions) (*Result, error) {
 	found, err := e.s.Solve()
 	res.DetermineTime = time.Since(start)
 	if err != nil {
-		return res, fmt.Errorf("core: determine phase: %w", err)
+		return res, fmt.Errorf("core: determine phase: %w", translate(err))
 	}
 	if !found {
 		res.Exhausted = true
@@ -377,6 +400,7 @@ func Solve(profile *Profile, opts SolveOptions) (*Result, error) {
 		return res, fmt.Errorf("core: SAT model is not a valid code: %w", err)
 	}
 	res.Codes = append(res.Codes, code)
+	opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})
 
 	start = time.Now()
 	vars := e.pVars()
@@ -389,7 +413,7 @@ func Solve(profile *Profile, opts SolveOptions) (*Result, error) {
 		if err != nil {
 			res.UniquenessTime = time.Since(start)
 			res.Stats = e.s.Stats
-			return res, fmt.Errorf("core: uniqueness phase: %w", err)
+			return res, fmt.Errorf("core: uniqueness phase: %w", translate(err))
 		}
 		if !found {
 			res.Exhausted = true
@@ -400,6 +424,7 @@ func Solve(profile *Profile, opts SolveOptions) (*Result, error) {
 			return res, fmt.Errorf("core: SAT model is not a valid code: %w", err)
 		}
 		res.Codes = append(res.Codes, code)
+		opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})
 	}
 	res.UniquenessTime = time.Since(start)
 	res.Unique = res.Exhausted && len(res.Codes) == 1

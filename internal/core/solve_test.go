@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func solveFor(t *testing.T, code *ecc.Code, set PatternSet, maxSol int) *Result {
 	t.Helper()
 	prof := ExactProfile(code, set.Patterns(code.K()))
-	res, err := Solve(prof, SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: maxSol})
+	res, err := Solve(context.Background(), prof, SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: maxSol})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -79,7 +80,7 @@ func TestSolveShortenedEnumerationSoundness(t *testing.T) {
 		code := ecc.RandomHammingWithParity(6, 4, rng)
 		patterns := Set1.Patterns(6)
 		prof := ExactProfile(code, patterns)
-		res, err := Solve(prof, SolveOptions{ParityBits: 4, MaxSolutions: -1})
+		res, err := Solve(context.Background(), prof, SolveOptions{ParityBits: 4, MaxSolutions: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestSolveContradictoryProfile(t *testing.T) {
 	for b := 1; b < 4; b++ {
 		prof.Entries[0].Possible.Set(b, false)
 	}
-	res, err := Solve(prof, SolveOptions{ParityBits: 3})
+	res, err := Solve(context.Background(), prof, SolveOptions{ParityBits: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestSolveMaxSolutionsCap(t *testing.T) {
 	// An empty profile (no constraints beyond validity) has many solutions;
 	// the cap must stop enumeration early.
 	prof := &Profile{K: 6}
-	res, err := Solve(prof, SolveOptions{ParityBits: 4, MaxSolutions: 3})
+	res, err := Solve(context.Background(), prof, SolveOptions{ParityBits: 4, MaxSolutions: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -23,7 +24,7 @@ func init() {
 //  2. Lazy (CEGAR) solving: how many of the k(k-1)/2 deferred 2-CHARGED
 //     entries does SolveLazy actually materialize, and how do the two
 //     solvers' times compare?
-func Ablation(w io.Writer, scale Scale) error {
+func Ablation(ctx context.Context, w io.Writer, scale Scale) error {
 	ks := []int{6, 7, 8, 10}
 	trials := 6
 	if scale != ScaleQuick {
@@ -38,22 +39,22 @@ func Ablation(w io.Writer, scale Scale) error {
 	eng := engine()
 	type cell struct{ nTrue, nBoth, n12 int }
 	cells := make([]cell, len(ks)*trials)
-	if err := eng.ForEach(len(cells), func(i int) error {
+	if err := eng.ForEach(ctx, len(cells), func(i int) error {
 		k, trial := ks[i/trials], i%trials
 		r := ecc.MinParityBits(k)
 		rng := rand.New(rand.NewPCG(0xAB1, uint64(k*1000+trial)))
 		code := ecc.RandomHammingWithParity(k, r, rng)
 		trueProf := eng.ExactProfile(code, core.Set1, false)
-		a, err := core.Solve(trueProf, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
+		a, err := core.Solve(ctx, trueProf, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
 		if err != nil {
 			return err
 		}
 		both := trueProf.Append(eng.ExactProfile(code, core.Set1, true))
-		b, err := core.Solve(both, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
+		b, err := core.Solve(ctx, both, core.SolveOptions{ParityBits: r, MaxSolutions: 200})
 		if err != nil {
 			return err
 		}
-		full, err := core.Solve(eng.ExactProfile(code, core.Set12, false),
+		full, err := core.Solve(ctx, eng.ExactProfile(code, core.Set12, false),
 			core.SolveOptions{ParityBits: r, MaxSolutions: 200})
 		if err != nil {
 			return err
@@ -83,13 +84,13 @@ func Ablation(w io.Writer, scale Scale) error {
 		code := ecc.RandomHamming(k, rng)
 		prof := core.ExactProfile(code, core.Set12.Patterns(k))
 		startEager := time.Now()
-		eager, err := core.Solve(prof, core.SolveOptions{ParityBits: code.ParityBits()})
+		eager, err := core.Solve(ctx, prof, core.SolveOptions{ParityBits: code.ParityBits()})
 		if err != nil {
 			return err
 		}
 		eagerTime := time.Since(startEager)
 		startLazy := time.Now()
-		lazy, err := core.SolveLazy(prof, core.SolveOptions{ParityBits: code.ParityBits()})
+		lazy, err := core.SolveLazy(ctx, prof, core.SolveOptions{ParityBits: code.ParityBits()})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -18,7 +19,7 @@ func init() {
 // Fig7 walks through the paper's Figure 7 example: BEEP profiling one
 // 136-bit codeword (128 data bits), printing the three phases for the first
 // few target bits and the final identified error set.
-func Fig7(w io.Writer, scale Scale) error {
+func Fig7(ctx context.Context, w io.Writer, scale Scale) error {
 	k := 128
 	if scale == ScaleQuick {
 		k = 32
@@ -30,7 +31,10 @@ func Fig7(w io.Writer, scale Scale) error {
 	fmt.Fprintf(w, "Figure 7: BEEP on a single %d-bit codeword (%d-bit dataword)\n", code.N(), k)
 	fmt.Fprintf(w, "hidden error-prone cells (ground truth): %v\n\n", sortedInts(cells))
 	prof := beep.NewProfiler(code, beep.Options{Passes: 2, TrialsPerPattern: 1, WorstCaseNeighbors: true}, rng)
-	out := prof.Run(word)
+	out, err := prof.Run(ctx, word)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "phase 1+2: crafted and tested %d patterns (%d targets skipped)\n", out.PatternsTested, out.SkippedBits)
 	fmt.Fprintf(w, "phase 3: %d miscorrections observed and inverted via Equation 4\n", out.Miscorrections)
 	fmt.Fprintf(w, "identified pre-correction error cells: %v\n", out.Identified)
@@ -102,7 +106,7 @@ func fig8Words(n int, scale Scale) int {
 // codeword lengths {31, 63, 127, 255} and injected error counts
 // {2,3,4,5,10,15,20,25}, with all injected cells failing deterministically
 // (P[error] = 1).
-func Fig8(w io.Writer, scale Scale) error {
+func Fig8(ctx context.Context, w io.Writer, scale Scale) error {
 	lengths := []int{31, 63, 127, 255}
 	if scale == ScaleQuick {
 		lengths = []int{31, 63}
@@ -118,7 +122,7 @@ func Fig8(w io.Writer, scale Scale) error {
 			}
 			row := make([]float64, 0, 2)
 			for _, passes := range []int{1, 2} {
-				res := beep.Evaluate(beep.EvalConfig{
+				res, err := beep.Evaluate(ctx, beep.EvalConfig{
 					CodewordBits:     n,
 					ErrorsPerWord:    ne,
 					PErr:             1.0,
@@ -126,6 +130,9 @@ func Fig8(w io.Writer, scale Scale) error {
 					TrialsPerPattern: 1,
 					Words:            words,
 				}, rand.New(rand.NewPCG(0xF8, uint64(n*1000+ne*10+passes))))
+				if err != nil {
+					return err
+				}
 				row = append(row, res.SuccessRate())
 			}
 			fmt.Fprintf(w, "%-10d %-8d %-8d %-10.2f %-10.2f\n", n, ne, words, row[0], row[1])
@@ -137,7 +144,7 @@ func Fig8(w io.Writer, scale Scale) error {
 
 // Fig9 reproduces Figure 9: single-pass BEEP success rate for per-bit error
 // probabilities {1.0, 0.75, 0.5, 0.25} across codeword lengths {31, 63, 127}.
-func Fig9(w io.Writer, scale Scale) error {
+func Fig9(ctx context.Context, w io.Writer, scale Scale) error {
 	lengths := []int{31, 63, 127}
 	if scale == ScaleQuick {
 		lengths = []int{31, 63}
@@ -158,7 +165,7 @@ func Fig9(w io.Writer, scale Scale) error {
 			}
 			fmt.Fprintf(w, "%-10d %-8d %-8d", n, ne, words)
 			for _, p := range probs {
-				res := beep.Evaluate(beep.EvalConfig{
+				res, err := beep.Evaluate(ctx, beep.EvalConfig{
 					CodewordBits:     n,
 					ErrorsPerWord:    ne,
 					PErr:             p,
@@ -166,6 +173,9 @@ func Fig9(w io.Writer, scale Scale) error {
 					TrialsPerPattern: 1,
 					Words:            words,
 				}, rand.New(rand.NewPCG(0xF9, uint64(n)*100000+uint64(ne)*100+uint64(p*100))))
+				if err != nil {
+					return err
+				}
 				fmt.Fprintf(w, " %-8.2f", res.SuccessRate())
 			}
 			fmt.Fprintln(w)

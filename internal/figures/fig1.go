@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -31,7 +32,7 @@ func init() {
 // parallel engine as one simulation batch (codes x batches jobs); each job
 // draws from its own seeded stream, keeping the figure bit-identical for any
 // worker count.
-func Fig1(w io.Writer, scale Scale) error {
+func Fig1(ctx context.Context, w io.Writer, scale Scale) error {
 	k := 32
 	words, batches, resamples := 40000, 20, 200
 	switch scale {
@@ -82,7 +83,7 @@ func Fig1(w io.Writer, scale Scale) error {
 	}
 	batchShares := make([][]float64, len(jobs))
 	var simErr error
-	for r := range engine().SimulateBatch(jobs) { // drain fully even on error
+	for r := range engine().SimulateBatch(ctx, jobs) { // drain fully even on error
 		if r.Err != nil {
 			if simErr == nil {
 				simErr = r.Err

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -53,7 +54,7 @@ func fig3Chip(m ondie.Manufacturer, scale Scale) (*ondie.Chip, []time.Duration) 
 }
 
 // fig3Counts collects the 1-CHARGED observation counts for one chip.
-func fig3Counts(m ondie.Manufacturer, scale Scale, rounds int) (*core.Counts, error) {
+func fig3Counts(ctx context.Context, m ondie.Manufacturer, scale Scale, rounds int) (*core.Counts, error) {
 	chip, windows := fig3Chip(m, scale)
 	classes := core.DiscoverCellLayout(chip, core.DefaultLayoutOptions())
 	rows := core.TrueRows(classes)
@@ -61,7 +62,7 @@ func fig3Counts(m ondie.Manufacturer, scale Scale, rounds int) (*core.Counts, er
 	if err != nil {
 		return nil, err
 	}
-	return core.CollectCounts(chip, rows, layout, core.OneCharged(layout.K()), core.CollectOptions{
+	return core.CollectCounts(ctx, chip, rows, layout, core.OneCharged(layout.K()), core.CollectOptions{
 		Windows: windows,
 		TempC:   80,
 		Rounds:  rounds,
@@ -74,13 +75,13 @@ func fig3Counts(m ondie.Manufacturer, scale Scale, rounds int) (*core.Counts, er
 // unstructured matrix contrasts with B's and C's repeating patterns, and the
 // diagonal (the charged bit itself) stands out — exactly the paper's
 // qualitative result.
-func Fig3(w io.Writer, scale Scale) error {
+func Fig3(ctx context.Context, w io.Writer, scale Scale) error {
 	mfrs := []ondie.Manufacturer{ondie.MfrA, ondie.MfrB, ondie.MfrC}
 	// The three chips are independent, so their collections fan out over the
 	// engine; rendering stays in manufacturer order.
 	perMfr := make([]*core.Counts, len(mfrs))
-	if err := engine().ForEach(len(mfrs), func(i int) error {
-		counts, err := fig3Counts(mfrs[i], scale, 1)
+	if err := engine().ForEach(ctx, len(mfrs), func(i int) error {
+		counts, err := fig3Counts(ctx, mfrs[i], scale, 1)
 		if err != nil {
 			return err
 		}
@@ -110,7 +111,7 @@ func Fig3(w io.Writer, scale Scale) error {
 // observed miscorrections, aggregated over every 1-CHARGED pattern. Zero and
 // nonzero populations separate cleanly, so a simple threshold filter
 // (the paper's example: 1e-3) classifies miscorrection-susceptible bits.
-func Fig4(w io.Writer, scale Scale) error {
+func Fig4(ctx context.Context, w io.Writer, scale Scale) error {
 	chip, windows := fig3Chip(ondie.MfrB, scale)
 	classes := core.DiscoverCellLayout(chip, core.DefaultLayoutOptions())
 	rows := core.TrueRows(classes)
@@ -127,9 +128,9 @@ func Fig4(w io.Writer, scale Scale) error {
 	// property) reusing the layout discovered above; per-window results are
 	// aggregated in window order, so the figure matches the serial sweep.
 	perWindow := make([]*core.Counts, len(windows))
-	if err := engine().ForEach(len(windows), func(i int) error {
+	if err := engine().ForEach(ctx, len(windows), func(i int) error {
 		windowChip, _ := fig3Chip(ondie.MfrB, scale)
-		counts, err := core.CollectCounts(windowChip, rows, layout, patterns, core.CollectOptions{
+		counts, err := core.CollectCounts(ctx, windowChip, rows, layout, patterns, core.CollectOptions{
 			Windows: []time.Duration{windows[i]},
 			TempC:   80,
 			Rounds:  1,

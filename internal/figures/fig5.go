@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -40,7 +41,7 @@ type Fig5Point struct {
 // cache is what saves rematerializing the quadratic 2-CHARGED families per
 // trial), but repeated sweeps — benchmark iterations, a figure regenerated
 // at another scale sharing (k, set, trial) prefixes — hit it.
-func Fig5Sweep(ks []int, sets []core.PatternSet, trials, cap3 int, seed uint64) ([]Fig5Point, error) {
+func Fig5Sweep(ctx context.Context, ks []int, sets []core.PatternSet, trials, cap3 int, seed uint64) ([]Fig5Point, error) {
 	const solutionCap = 200 // paper's Figure 5 y-axis tops out near 10^2
 
 	type job struct {
@@ -71,12 +72,12 @@ func Fig5Sweep(ks []int, sets []core.PatternSet, trials, cap3 int, seed uint64) 
 
 	eng := engine()
 	answers := make([]answer, len(jobs))
-	err := eng.ForEach(len(jobs), func(i int) error {
+	err := eng.ForEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		rng := rand.New(rand.NewPCG(seed, uint64(j.k)<<32|uint64(int(j.set))<<16|uint64(j.trial)))
 		code := ecc.RandomHamming(j.k, rng)
 		prof := eng.ExactProfile(code, j.set, false)
-		res, err := core.Solve(prof, core.SolveOptions{
+		res, err := core.Solve(ctx, prof, core.SolveOptions{
 			ParityBits:   code.ParityBits(),
 			MaxSolutions: solutionCap,
 		})
@@ -129,7 +130,7 @@ func Fig5Sweep(ks []int, sets []core.PatternSet, trials, cap3 int, seed uint64) 
 
 // Fig5 renders the sweep. The y-values are counts of unique (up to
 // equivalence) ECC functions matching the miscorrection profile.
-func Fig5(w io.Writer, scale Scale) error {
+func Fig5(ctx context.Context, w io.Writer, scale Scale) error {
 	var ks []int
 	trials, cap3 := 4, 8
 	switch scale {
@@ -145,7 +146,7 @@ func Fig5(w io.Writer, scale Scale) error {
 		trials, cap3 = 20, 16
 	}
 	sets := []core.PatternSet{core.Set1, core.Set2, core.Set3, core.Set12}
-	points, err := Fig5Sweep(ks, sets, trials, cap3, 0xF5)
+	points, err := Fig5Sweep(ctx, ks, sets, trials, cap3, 0xF5)
 	if err != nil {
 		return err
 	}

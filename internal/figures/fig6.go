@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -29,14 +30,14 @@ type Fig6Point struct {
 // profiles (the paper's Figure 6 configuration) and reports wall-clock time
 // split into determine-function and check-uniqueness phases plus memory
 // allocated.
-func Fig6Measure(k int, seed uint64) (Fig6Point, error) {
+func Fig6Measure(ctx context.Context, k int, seed uint64) (Fig6Point, error) {
 	rng := rand.New(rand.NewPCG(seed, uint64(k)))
 	code := ecc.RandomHamming(k, rng)
 	prof := core.ExactProfile(code, core.OneCharged(k))
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	res, err := core.Solve(prof, core.SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: 2})
+	res, err := core.Solve(ctx, prof, core.SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: 2})
 	if err != nil {
 		return Fig6Point{}, err
 	}
@@ -57,7 +58,7 @@ func Fig6Measure(k int, seed uint64) (Fig6Point, error) {
 // and 6.3 GiB for 128-bit codes); the pure-Go CDCL solver's absolute numbers
 // differ but the scaling shape — a jump at every added parity bit — is the
 // comparison target.
-func Fig6(w io.Writer, scale Scale) error {
+func Fig6(ctx context.Context, w io.Writer, scale Scale) error {
 	var ks []int
 	switch scale {
 	case ScaleQuick:
@@ -71,7 +72,7 @@ func Fig6(w io.Writer, scale Scale) error {
 	fmt.Fprintf(w, "%-6s %-14s %-14s %-14s %-10s %-8s %s\n",
 		"k", "determine", "uniqueness", "total", "alloc MiB", "vars", "clauses")
 	for _, k := range ks {
-		p, err := Fig6Measure(k, 0xF6)
+		p, err := Fig6Measure(ctx, k, 0xF6)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -42,11 +43,12 @@ func ParseScale(s string) (Scale, error) {
 	return 0, fmt.Errorf("figures: unknown scale %q (want quick, default or paper)", s)
 }
 
-// Generator produces one table or figure.
+// Generator produces one table or figure. Run honors ctx cancellation
+// between (and, for sharded sweeps, within) experiment cells.
 type Generator struct {
 	ID          string
 	Description string
-	Run         func(w io.Writer, scale Scale) error
+	Run         func(ctx context.Context, w io.Writer, scale Scale) error
 }
 
 var registry []Generator

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -19,7 +20,7 @@ func init() {
 // negligible (168 ms to read a full 2 GiB LPDDR4-3200 chip). It also prints
 // the analytic raw bit error rate the retention model yields per window, the
 // planning data for choosing a sweep.
-func RuntimeModel(w io.Writer, _ Scale) error {
+func RuntimeModel(ctx context.Context, w io.Writer, _ Scale) error {
 	var opts core.CollectOptions
 	for m := 2; m <= 22; m++ {
 		opts.Windows = append(opts.Windows, time.Duration(m)*time.Minute)

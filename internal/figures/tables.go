@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -22,7 +23,7 @@ func init() {
 // patterns; the syndrome of each is the XOR of the matching parity-check
 // columns, and the outcome follows from the error count (No error /
 // Correctable / Uncorrectable for a single-error-correcting code).
-func Table1(w io.Writer, _ Scale) error {
+func Table1(ctx context.Context, w io.Writer, _ Scale) error {
 	code := ecc.Hamming74()
 	charged := []int{2, 5, 6} // codeword positions of CHARGED cells (Eq. 3)
 	fmt.Fprintln(w, "Table 1: data-retention error patterns for codeword [D D C D | D C C] (Eq. 3)")
@@ -84,7 +85,7 @@ func classify(errCount int) string {
 
 // Table2 reproduces the paper's Table 2: the 1-CHARGED miscorrection profile
 // of the Equation-1 code, printed with the paper's -, 1, ? notation.
-func Table2(w io.Writer, _ Scale) error {
+func Table2(ctx context.Context, w io.Writer, _ Scale) error {
 	code := ecc.Hamming74()
 	prof := core.ExactProfile(code, core.OneCharged(code.K()))
 	fmt.Fprintln(w, "Table 2: miscorrection profile of the (7,4) Hamming code (Eq. 1)")

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -32,7 +33,7 @@ func BenchmarkParallelSimulate(b *testing.B) {
 	e := Default()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Simulate(cfg, uint64(i)); err != nil {
+		if _, err := e.Simulate(context.Background(), cfg, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,7 +81,7 @@ func BenchmarkParallelCollect(b *testing.B) {
 	e := Default()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.CollectShards(benchCollectChips, func(shard int) (*core.Counts, error) {
+		if _, err := e.CollectShards(context.Background(), benchCollectChips, func(shard int) (*core.Counts, error) {
 			return collectFromChip(benchChip(uint64(shard + 1)))
 		}); err != nil {
 			b.Fatal(err)
@@ -98,7 +99,7 @@ func BenchmarkParallelRecover(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		chips := []core.Chip{testChip(b, 200), testChip(b, 201)}
-		rep, err := e.Recover(chips, opts)
+		rep, err := e.Recover(context.Background(), chips, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

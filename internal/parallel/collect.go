@@ -1,7 +1,9 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -14,13 +16,14 @@ import (
 // self-contained (own chip, own rows) — core.Chip implementations are
 // stateful and not safe to share between shards. The merged result is
 // bit-identical for any worker count because each shard's collection is
-// deterministic in isolation and the merge order is fixed.
-func (e *Engine) CollectShards(n int, collect func(shard int) (*core.Counts, error)) (*core.Counts, error) {
+// deterministic in isolation and the merge order is fixed. Cancelling ctx
+// stops scheduling further shards and returns ctx.Err().
+func (e *Engine) CollectShards(ctx context.Context, n int, collect func(shard int) (*core.Counts, error)) (*core.Counts, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("parallel: no collection shards")
 	}
 	counts := make([]*core.Counts, n)
-	err := e.ForEach(n, func(i int) error {
+	err := e.ForEach(ctx, n, func(i int) error {
 		c, err := collect(i)
 		if err != nil {
 			return err
@@ -49,7 +52,15 @@ func (e *Engine) CollectShards(n int, collect func(shard int) (*core.Counts, err
 // cover the combined parallel phase. The report's discovery fields come from
 // the first chip; every chip must discover the identical word layout, since
 // counts collected under different layouts refer to different physical bits.
-func (e *Engine) Recover(chips []core.Chip, opts core.RecoverOptions) (*core.Report, error) {
+//
+// Cancelling ctx stops every chip's collection at its next pass boundary and
+// interrupts an in-flight SAT solve; the error is ctx.Err(). Progress events
+// (opts.Progress) are stamped with the chip index and serialized: the
+// callback never runs concurrently with itself for one Recover call.
+func (e *Engine) Recover(ctx context.Context, chips []core.Chip, opts core.RecoverOptions) (*core.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(chips) == 0 {
 		return nil, fmt.Errorf("parallel: no chips")
 	}
@@ -57,8 +68,19 @@ func (e *Engine) Recover(chips []core.Chip, opts core.RecoverOptions) (*core.Rep
 
 	start := time.Now()
 	observations := make([]*core.ChipObservations, len(chips))
-	err := e.ForEach(len(chips), func(i int) error {
-		obs, err := core.Observe(chips[i], opts)
+	var progressMu sync.Mutex
+	progress := opts.Progress
+	err := e.ForEach(ctx, len(chips), func(i int) error {
+		chipOpts := opts
+		if progress != nil {
+			chipOpts.Progress = func(ev core.Event) {
+				ev.Chip = i
+				progressMu.Lock()
+				defer progressMu.Unlock()
+				progress(ev)
+			}
+		}
+		obs, err := core.Observe(ctx, chips[i], chipOpts)
 		if err != nil {
 			return fmt.Errorf("chip %d: %w", i, err)
 		}
@@ -103,15 +125,22 @@ func (e *Engine) Recover(chips []core.Chip, opts core.RecoverOptions) (*core.Rep
 	rep.CollectTime = time.Since(start)
 
 	start = time.Now()
+	solveOpts := opts.Solve
+	if solveOpts.Progress == nil {
+		solveOpts.Progress = progress
+	}
 	solve := core.Solve
 	if opts.UseLazySolver {
 		solve = core.SolveLazy
 	}
-	res, err := solve(rep.Profile, opts.Solve)
+	res, err := solve(ctx, rep.Profile, solveOpts)
 	rep.SolveTime = time.Since(start)
 	if err != nil {
 		return rep, fmt.Errorf("parallel: solve: %w", err)
 	}
 	rep.Result = res
+	if progress != nil {
+		progress(core.Event{Stage: core.StageSolve, Candidates: len(res.Codes), Done: true})
+	}
 	return rep, nil
 }

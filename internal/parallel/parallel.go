@@ -20,6 +20,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -66,9 +67,17 @@ func Default() *Engine {
 // Every index runs even when some fail; the returned error is the one from
 // the lowest failing index, so the outcome is deterministic regardless of
 // scheduling.
-func (e *Engine) ForEach(n int, fn func(i int) error) error {
+//
+// Cancelling ctx stops workers from claiming further indices; in-flight fn
+// calls finish (fn implementations that honor ctx themselves return sooner),
+// all spawned goroutines are joined before ForEach returns, and the result
+// is ctx.Err(). A nil ctx means context.Background().
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := e.workers
 	if workers > n {
@@ -77,9 +86,15 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 	if workers == 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		return firstErr
 	}
@@ -101,7 +116,7 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := claim()
 				if i >= n {
 					return
@@ -117,5 +132,8 @@ func (e *Engine) ForEach(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return firstErr
 }

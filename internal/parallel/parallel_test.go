@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -32,7 +33,7 @@ func TestSimulateWorkerCountIndependent(t *testing.T) {
 	cfg := simConfig(3*simShardWords + 100) // uneven tail shard
 	var want *einsim.Result
 	for _, workers := range workerCounts {
-		res, err := New(workers).Simulate(cfg, 42)
+		res, err := New(workers).Simulate(context.Background(), cfg, 42)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -57,11 +58,11 @@ func TestSimulateWorkerCountIndependent(t *testing.T) {
 func TestSimulateSeedSensitivity(t *testing.T) {
 	cfg := simConfig(2 * simShardWords)
 	e := New(4)
-	a, err := e.Simulate(cfg, 1)
+	a, err := e.Simulate(context.Background(), cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.Simulate(cfg, 2)
+	b, err := e.Simulate(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestSimulateBatch(t *testing.T) {
 		{Config: simConfig(2 * simShardWords), Seed: 9},
 	}
 	seen := make([]*einsim.Result, len(jobs))
-	for r := range e.SimulateBatch(jobs) {
+	for r := range e.SimulateBatch(context.Background(), jobs) {
 		if r.Err != nil {
 			t.Fatalf("job %d: %v", r.Index, r.Err)
 		}
@@ -108,7 +109,7 @@ func TestSimulateBatch(t *testing.T) {
 	}
 	// Batch entries use per-entry streams: re-running the batch reproduces it.
 	again := make([]*einsim.Result, len(jobs))
-	for r := range New(1).SimulateBatch(jobs) {
+	for r := range New(1).SimulateBatch(context.Background(), jobs) {
 		again[r.Index] = r.Result
 	}
 	if !reflect.DeepEqual(seen, again) {
@@ -122,7 +123,7 @@ func TestSimulateMerged(t *testing.T) {
 		{Config: simConfig(1000), Seed: 3},
 		{Config: simConfig(1500), Seed: 4},
 	}
-	merged, err := e.SimulateMerged(jobs)
+	merged, err := e.SimulateMerged(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +131,14 @@ func TestSimulateMerged(t *testing.T) {
 		t.Fatalf("merged %d words, want 2500", merged.Words)
 	}
 	bad := append(jobs, SimJob{Config: einsim.Config{}, Seed: 1})
-	if _, err := e.SimulateMerged(bad); err == nil {
+	if _, err := e.SimulateMerged(context.Background(), bad); err == nil {
 		t.Fatal("invalid job did not fail the batch")
 	}
 }
 
 func TestForEachLowestIndexError(t *testing.T) {
 	e := New(8)
-	err := e.ForEach(100, func(i int) error {
+	err := e.ForEach(context.Background(), 100, func(i int) error {
 		if i%7 == 3 {
 			return fmt.Errorf("fail at %d", i)
 		}
@@ -146,7 +147,7 @@ func TestForEachLowestIndexError(t *testing.T) {
 	if err == nil || err.Error() != "fail at 3" {
 		t.Fatalf("got %v, want the lowest-index failure", err)
 	}
-	if err := e.ForEach(0, func(int) error { return fmt.Errorf("never") }); err != nil {
+	if err := e.ForEach(context.Background(), 0, func(int) error { return fmt.Errorf("never") }); err != nil {
 		t.Fatalf("empty ForEach returned %v", err)
 	}
 }
@@ -180,7 +181,7 @@ func collectFromChip(chip *ondie.Chip) (*core.Counts, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.CollectCounts(chip, rows, layout, core.OneCharged(layout.K()), collectOpts())
+	return core.CollectCounts(context.Background(), chip, rows, layout, core.OneCharged(layout.K()), collectOpts())
 }
 
 // TestCollectShardsWorkerCountIndependent: the same set of chips yields the
@@ -195,7 +196,7 @@ func TestCollectShardsWorkerCountIndependent(t *testing.T) {
 		for i := range chips {
 			chips[i] = testChip(t, uint64(100+i))
 		}
-		counts, err := New(workers).CollectShards(shards, func(shard int) (*core.Counts, error) {
+		counts, err := New(workers).CollectShards(context.Background(), shards, func(shard int) (*core.Counts, error) {
 			return collectFromChip(chips[shard])
 		})
 		if err != nil {
@@ -226,10 +227,10 @@ func TestCollectShardsWorkerCountIndependent(t *testing.T) {
 
 func TestCollectShardsErrors(t *testing.T) {
 	e := New(2)
-	if _, err := e.CollectShards(0, nil); err == nil {
+	if _, err := e.CollectShards(context.Background(), 0, nil); err == nil {
 		t.Fatal("zero shards accepted")
 	}
-	_, err := e.CollectShards(2, func(shard int) (*core.Counts, error) {
+	_, err := e.CollectShards(context.Background(), 2, func(shard int) (*core.Counts, error) {
 		if shard == 1 {
 			return nil, fmt.Errorf("shard down")
 		}
@@ -251,7 +252,7 @@ func TestRecoverMultiChip(t *testing.T) {
 	var wantProfile *core.Profile
 	for _, workers := range workerCounts {
 		chips := []core.Chip{testChip(t, 200), testChip(t, 201)}
-		rep, err := New(workers).Recover(chips, opts)
+		rep, err := New(workers).Recover(context.Background(), chips, opts)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -273,7 +274,7 @@ func TestRecoverMultiChip(t *testing.T) {
 }
 
 func TestRecoverNoChips(t *testing.T) {
-	if _, err := New(1).Recover(nil, core.DefaultRecoverOptions()); err == nil {
+	if _, err := New(1).Recover(context.Background(), nil, core.DefaultRecoverOptions()); err == nil {
 		t.Fatal("empty chip list accepted")
 	}
 }
@@ -315,7 +316,7 @@ func TestProfileCacheConcurrent(t *testing.T) {
 	e := New(8)
 	code := ecc.SequentialHamming(16)
 	profs := make([]*core.Profile, 64)
-	if err := e.ForEach(len(profs), func(i int) error {
+	if err := e.ForEach(context.Background(), len(profs), func(i int) error {
 		profs[i] = e.ExactProfile(code, core.Set12, false)
 		return nil
 	}); err != nil {

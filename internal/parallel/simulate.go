@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync/atomic"
@@ -39,15 +40,16 @@ func shardSeed(seed uint64, seq, shard int) *rand.Rand {
 // from its own (seed, shard)-derived PCG, and shard results merge in shard
 // order via einsim.Result.Merge — so the aggregate is bit-identical for any
 // worker count. The per-shard RNG streams differ from a single serial
-// einsim.Run stream, so compare sharded runs with sharded runs.
-func (e *Engine) Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
+// einsim.Run stream, so compare sharded runs with sharded runs. Cancelling
+// ctx stops the run at the next shard boundary and returns ctx.Err().
+func (e *Engine) Simulate(ctx context.Context, cfg einsim.Config, seed uint64) (*einsim.Result, error) {
 	shards := SimShards(cfg.Words)
 	if shards <= 1 {
 		return einsim.Run(cfg, shardSeed(seed, 0, 0))
 	}
 	results := make([]*einsim.Result, shards)
 	errs := make([]error, shards)
-	e.ForEach(shards, func(i int) error {
+	if err := e.ForEach(ctx, shards, func(i int) error {
 		shardCfg := cfg
 		shardCfg.Words = simShardWords
 		if i == shards-1 {
@@ -55,7 +57,9 @@ func (e *Engine) Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error
 		}
 		results[i], errs[i] = einsim.Run(shardCfg, shardSeed(seed, 0, i))
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	res := finishJob(0, results, errs)
 	return res.Result, res.Err
 }
@@ -83,8 +87,12 @@ type SimResult struct {
 // aggregate independent of arrival order.
 //
 // The returned channel closes after all jobs complete. The caller must drain
-// it.
-func (e *Engine) SimulateBatch(jobs []SimJob) <-chan SimResult {
+// it. Cancelling ctx abandons unstarted shards; entries whose shards were cut
+// short surface ctx.Err() as their SimResult.Err.
+func (e *Engine) SimulateBatch(ctx context.Context, jobs []SimJob) <-chan SimResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make(chan SimResult, len(jobs))
 	// Flatten every job into its shard tasks up front. A job with zero or
 	// one shard still gets one task carrying the full config, so invalid
@@ -119,7 +127,7 @@ func (e *Engine) SimulateBatch(jobs []SimJob) <-chan SimResult {
 	}
 	go func() {
 		defer close(out)
-		e.ForEach(total, func(t int) error {
+		e.ForEach(ctx, total, func(t int) error {
 			ji := jobOf[t]
 			st := states[ji]
 			shard := t - st.start
@@ -136,6 +144,15 @@ func (e *Engine) SimulateBatch(jobs []SimJob) <-chan SimResult {
 			}
 			return nil
 		})
+		if err := ctx.Err(); err != nil {
+			// Flush cancelled jobs so the channel still carries one result
+			// per submitted job (callers drain unconditionally).
+			for ji, st := range states {
+				if atomic.LoadInt32(&st.pending) != 0 {
+					out <- SimResult{Index: ji, Err: err}
+				}
+			}
+		}
 	}()
 	return out
 }
@@ -159,11 +176,11 @@ func finishJob(index int, results []*einsim.Result, errs []error) SimResult {
 
 // SimulateMerged runs a batch of same-shape configs and merges every result
 // into one aggregate, failing on the lowest-index job error.
-func (e *Engine) SimulateMerged(jobs []SimJob) (*einsim.Result, error) {
+func (e *Engine) SimulateMerged(ctx context.Context, jobs []SimJob) (*einsim.Result, error) {
 	results := make([]*einsim.Result, len(jobs))
 	var firstErr error
 	errIndex := len(jobs)
-	for r := range e.SimulateBatch(jobs) {
+	for r := range e.SimulateBatch(ctx, jobs) {
 		if r.Err != nil {
 			if r.Index < errIndex {
 				errIndex, firstErr = r.Index, r.Err

@@ -1,6 +1,7 @@
 package ranklevel
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestBaselineAgreesWithBEER(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof := core.ExactProfile(code, core.OneCharged(11))
-	res, err := core.Solve(prof, core.SolveOptions{ParityBits: code.ParityBits()})
+	res, err := core.Solve(context.Background(), prof, core.SolveOptions{ParityBits: code.ParityBits()})
 	if err != nil {
 		t.Fatal(err)
 	}

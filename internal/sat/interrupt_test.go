@@ -1,0 +1,67 @@
+package sat
+
+import (
+	"errors"
+	"testing"
+)
+
+// php builds the pigeonhole principle PHP(pigeons, holes): UNSAT whenever
+// pigeons > holes, and hard enough to guarantee conflicts — which is where
+// the Interrupt hook is polled.
+func php(s *Solver, pigeons, holes int) {
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestInterruptStopsSearch(t *testing.T) {
+	s := New()
+	php(s, 8, 7)
+	fired := false
+	s.Interrupt = func() bool { fired = true; return true }
+	ok, err := s.Solve()
+	if ok || !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Solve = (%v, %v), want (false, ErrInterrupted)", ok, err)
+	}
+	if !fired {
+		t.Fatal("interrupt hook never polled")
+	}
+}
+
+// TestInterruptSolverReusable: after an interrupted Solve the solver must
+// remain usable and produce the correct answer once the interrupt clears.
+func TestInterruptSolverReusable(t *testing.T) {
+	s := New()
+	php(s, 6, 5)
+	calls := 0
+	s.Interrupt = func() bool { calls++; return calls == 1 }
+	if ok, err := s.Solve(); ok || !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("first Solve = (%v, %v), want interrupted", ok, err)
+	}
+	s.Interrupt = nil
+	ok, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("PHP(6,5) reported SAT")
+	}
+}

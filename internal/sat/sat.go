@@ -107,12 +107,24 @@ type Solver struct {
 	// exceeding it makes Solve return ErrBudget. Zero means unlimited.
 	MaxConflicts int64
 
+	// Interrupt, when set, is polled during search (at every conflict and
+	// every restart). When it returns true, Solve unwinds to decision level 0
+	// and returns ErrInterrupted. The solver stays reusable afterwards: the
+	// caller may add clauses and Solve again. This is how context
+	// cancellation reaches a running solve without the solver depending on
+	// the context package.
+	Interrupt func() bool
+
 	Stats Stats
 }
 
 // ErrBudget is returned by Solve when MaxConflicts is exhausted before a
 // definitive answer is found.
 var ErrBudget = fmt.Errorf("sat: conflict budget exhausted")
+
+// ErrInterrupted is returned by Solve when the Interrupt hook fired before a
+// definitive answer was found.
+var ErrInterrupted = fmt.Errorf("sat: solve interrupted")
 
 // New returns an empty solver with no variables.
 func New() *Solver {
@@ -523,6 +535,10 @@ func (s *Solver) Solve() (bool, error) {
 				s.cancelUntil(0)
 				return false, ErrBudget
 			}
+			if s.Interrupt != nil && s.Interrupt() {
+				s.cancelUntil(0)
+				return false, ErrInterrupted
+			}
 			continue
 		}
 		if sinceRestart >= budget {
@@ -531,6 +547,9 @@ func (s *Solver) Solve() (bool, error) {
 			sinceRestart = 0
 			budget = 100 * luby(restart)
 			s.cancelUntil(0)
+			if s.Interrupt != nil && s.Interrupt() {
+				return false, ErrInterrupted
+			}
 			continue
 		}
 		if int64(len(s.learnts)) > maxLearnts {

@@ -1,0 +1,432 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/ecc"
+	"repro/internal/einsim"
+)
+
+// JobSpec is the submission body for POST /api/v1/jobs. Type selects the
+// pipeline; the remaining fields configure it (zero values take the
+// documented defaults). Validation failures are 400s.
+type JobSpec struct {
+	// Type is "recover" (BEER against simulated chips) or "simulate"
+	// (EINSim-style Monte-Carlo).
+	Type string `json:"type"`
+
+	// Recover fields.
+	Manufacturer     string `json:"manufacturer,omitempty"`       // A, B or C (default B)
+	K                int    `json:"k,omitempty"`                  // dataword bits, multiple of 8 (default 16)
+	Chips            int    `json:"chips,omitempty"`              // same-model chips collected in parallel (default 1)
+	Seed             uint64 `json:"seed,omitempty"`               // chip seed (default 1)
+	Patterns         string `json:"patterns,omitempty"`           // "1" or "12" (default "12")
+	Rounds           int    `json:"rounds,omitempty"`             // window-sweep rounds (default 3)
+	MaxWindowMinutes int    `json:"max_window_minutes,omitempty"` // largest refresh window (default 48)
+	UseAntiRows      bool   `json:"use_anti_rows,omitempty"`
+	UseLazySolver    bool   `json:"use_lazy_solver,omitempty"`
+	// Verify compares the recovered function against the simulated chip's
+	// ground truth and reports the outcome in the result.
+	Verify bool `json:"verify,omitempty"`
+
+	// Simulate fields.
+	Words      int     `json:"words,omitempty"`       // Monte-Carlo words (default 100000)
+	RBER       float64 `json:"rber,omitempty"`        // raw bit error rate (default 1e-4)
+	CodeFamily string  `json:"code_family,omitempty"` // sequential, bitreversed or random (default sequential)
+	Pattern    string  `json:"pattern,omitempty"`     // 0xFF, 0x00 or RANDOM (default 0xFF)
+	Model      string  `json:"model,omitempty"`       // uniform or retention (default uniform)
+}
+
+// chipCount returns how many chips a job's progress tracks.
+func (spec JobSpec) chipCount() int {
+	if spec.Type == "recover" {
+		if spec.Chips > 0 {
+			return spec.Chips
+		}
+		return 1
+	}
+	return 0
+}
+
+// Service guardrails: beerd is a multi-tenant front end for a shared
+// engine, so one job may not monopolize it with an unbounded spec.
+const (
+	maxK     = 64
+	maxChips = 32
+	maxWords = 10_000_000
+)
+
+// runner executes one validated job. It reports progress through fn and
+// returns the job's result.
+type runner func(ctx context.Context, engine *repro.Engine, fn repro.ProgressFunc) (*JobResult, error)
+
+// buildRunner validates a spec and compiles it into a runner. All
+// validation happens here, at submission time, so a 202 means the job is
+// well-formed.
+func buildRunner(spec JobSpec) (runner, error) {
+	switch spec.Type {
+	case "recover":
+		return buildRecoverRunner(spec)
+	case "simulate":
+		return buildSimulateRunner(spec)
+	case "":
+		return nil, fmt.Errorf("missing job type (want \"recover\" or \"simulate\")")
+	default:
+		return nil, fmt.Errorf("unknown job type %q (want \"recover\" or \"simulate\")", spec.Type)
+	}
+}
+
+func buildRecoverRunner(spec JobSpec) (runner, error) {
+	mfr := repro.Manufacturer(strings.ToUpper(spec.Manufacturer))
+	if mfr == "" {
+		mfr = repro.MfrB
+	}
+	if mfr != repro.MfrA && mfr != repro.MfrB && mfr != repro.MfrC {
+		return nil, fmt.Errorf("unknown manufacturer %q (want A, B or C)", spec.Manufacturer)
+	}
+	k := spec.K
+	if k == 0 {
+		k = 16
+	}
+	if k < 8 || k%8 != 0 || k > maxK {
+		return nil, fmt.Errorf("k=%d must be a positive multiple of 8 up to %d", spec.K, maxK)
+	}
+	chips := spec.Chips
+	if chips == 0 {
+		chips = 1
+	}
+	if chips < 1 || chips > maxChips {
+		return nil, fmt.Errorf("chips=%d out of range [1, %d]", spec.Chips, maxChips)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	patternSet := repro.Set12
+	switch spec.Patterns {
+	case "", "12":
+	case "1":
+		patternSet = repro.Set1
+	default:
+		return nil, fmt.Errorf("unknown pattern family %q (want \"1\" or \"12\")", spec.Patterns)
+	}
+	rounds := spec.Rounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	if rounds < 1 || rounds > 16 {
+		return nil, fmt.Errorf("rounds=%d out of range [1, 16]", spec.Rounds)
+	}
+	maxWin := spec.MaxWindowMinutes
+	if maxWin == 0 {
+		maxWin = 48
+	}
+	if maxWin < 4 || maxWin > 240 {
+		return nil, fmt.Errorf("max_window_minutes=%d out of range [4, 240]", spec.MaxWindowMinutes)
+	}
+
+	return func(ctx context.Context, engine *repro.Engine, fn repro.ProgressFunc) (*JobResult, error) {
+		opts := []repro.Option{
+			repro.WithEngine(engine),
+			repro.WithPatternSet(patternSet),
+			repro.WithWindowSweep(maxWin),
+			repro.WithRounds(rounds),
+			repro.WithProgress(fn),
+		}
+		if spec.UseAntiRows {
+			opts = append(opts, repro.WithAntiRows())
+		}
+		if spec.UseLazySolver {
+			opts = append(opts, repro.WithLazySolver())
+		}
+		pipe := repro.NewPipeline(opts...)
+
+		fleet := repro.SimulatedChips(mfr, k, chips, seed)
+		report, err := pipe.Recover(ctx, fleet...)
+		if err != nil {
+			return nil, err
+		}
+		res := &JobResult{Recover: &RecoverResult{
+			K:          report.K,
+			Unique:     report.Result.Unique,
+			Candidates: len(report.Result.Codes),
+			CollectMS:  report.CollectTime.Seconds() * 1e3,
+			SolveMS:    report.SolveTime.Seconds() * 1e3,
+		}}
+		if len(report.Result.Codes) > 0 {
+			code := report.Result.Codes[0]
+			res.Recover.H = strings.Split(code.H().String(), "\n")
+			text, err := code.MarshalText()
+			if err != nil {
+				return nil, err
+			}
+			res.Recover.Code = string(text)
+			if spec.Verify {
+				match := code.EquivalentTo(repro.GroundTruth(repro.SimulatedChip(mfr, k, seed)))
+				res.Recover.GroundTruthMatch = &match
+			}
+		} else if spec.Verify {
+			match := false
+			res.Recover.GroundTruthMatch = &match
+		}
+		return res, nil
+	}, nil
+}
+
+func buildSimulateRunner(spec JobSpec) (runner, error) {
+	words := spec.Words
+	if words == 0 {
+		words = 100000
+	}
+	if words < 1 || words > maxWords {
+		return nil, fmt.Errorf("words=%d out of range [1, %d]", spec.Words, maxWords)
+	}
+	rber := spec.RBER
+	if rber == 0 {
+		rber = 1e-4
+	}
+	if rber < 0 || rber > 1 {
+		return nil, fmt.Errorf("rber=%g out of [0, 1]", spec.RBER)
+	}
+	k := spec.K
+	if k == 0 {
+		k = 32
+	}
+	if k < 4 || k > 247 {
+		return nil, fmt.Errorf("k=%d out of range [4, 247]", spec.K)
+	}
+	var code *ecc.Code
+	switch spec.CodeFamily {
+	case "", "sequential":
+		code = ecc.SequentialHamming(k)
+	case "bitreversed":
+		code = ecc.BitReversedHamming(k)
+	case "random":
+		code = ecc.RandomHamming(k, rand.New(rand.NewPCG(spec.Seed, 2)))
+	default:
+		return nil, fmt.Errorf("unknown code family %q", spec.CodeFamily)
+	}
+	cfg := einsim.Config{Code: code, RBER: rber, Words: words}
+	switch spec.Pattern {
+	case "", "0xFF":
+		cfg.Pattern = einsim.PatternAllOnes
+	case "0x00":
+		cfg.Pattern = einsim.PatternAllZeros
+	case "RANDOM":
+		cfg.Pattern = einsim.PatternRandom
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", spec.Pattern)
+	}
+	switch spec.Model {
+	case "", "uniform":
+		cfg.Model = einsim.ModelUniform
+	case "retention":
+		cfg.Model = einsim.ModelRetention
+	default:
+		return nil, fmt.Errorf("unknown model %q", spec.Model)
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	return func(ctx context.Context, engine *repro.Engine, fn repro.ProgressFunc) (*JobResult, error) {
+		pipe := repro.NewPipeline(repro.WithEngine(engine), repro.WithProgress(fn))
+		res, err := pipe.Simulate(ctx, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &JobResult{Simulate: &SimulateResult{
+			N:            res.N,
+			K:            res.K,
+			Words:        res.Words,
+			Correctable:  res.Correctable,
+			Silent:       res.Silent,
+			Partial:      res.Partial,
+			Miscorrected: res.Miscorrected,
+		}}, nil
+	}, nil
+}
+
+// JobResult is the body of GET /api/v1/jobs/{id}/result; exactly one field
+// is set, matching the job type.
+type JobResult struct {
+	Recover  *RecoverResult  `json:"recover,omitempty"`
+	Simulate *SimulateResult `json:"simulate,omitempty"`
+}
+
+// RecoverResult reports a finished recovery job.
+type RecoverResult struct {
+	// K is the discovered dataword length.
+	K int `json:"k"`
+	// Unique is true when exactly one ECC function matches the profile.
+	Unique bool `json:"unique"`
+	// Candidates counts the enumerated matching functions.
+	Candidates int `json:"candidates"`
+	// H holds the recovered parity-check matrix H = [P | I], one bit-string
+	// row per entry (first candidate).
+	H []string `json:"h,omitempty"`
+	// Code is the recovered function in ecc.Code text form, parseable with
+	// Code.UnmarshalText.
+	Code string `json:"code,omitempty"`
+	// GroundTruthMatch reports the verify outcome (recover jobs with
+	// "verify": true against simulated chips only).
+	GroundTruthMatch *bool `json:"ground_truth_match,omitempty"`
+	// CollectMS and SolveMS time the experiment and solver phases.
+	CollectMS float64 `json:"collect_ms"`
+	SolveMS   float64 `json:"solve_ms"`
+}
+
+// SimulateResult reports a finished simulation job.
+type SimulateResult struct {
+	N            int   `json:"n"`
+	K            int   `json:"k"`
+	Words        int64 `json:"words"`
+	Correctable  int64 `json:"correctable"`
+	Silent       int64 `json:"silent"`
+	Partial      int64 `json:"partial"`
+	Miscorrected int64 `json:"miscorrected"`
+}
+
+// StageStatus is one pipeline stage's progress in a status response. Count
+// and Total are monotonic: Count only grows while the job runs.
+type StageStatus struct {
+	Done  bool  `json:"done"`
+	Count int64 `json:"count"`
+	Total int64 `json:"total,omitempty"`
+}
+
+// ProgressStatus is the per-stage progress block of a status response.
+// Updates increments on every pipeline event, so two successive polls can be
+// ordered by it.
+type ProgressStatus struct {
+	Updates  int64       `json:"updates"`
+	Stage    string      `json:"stage,omitempty"`
+	Chips    int         `json:"chips,omitempty"`
+	Discover StageStatus `json:"discover"`
+	Collect  StageStatus `json:"collect"`
+	Solve    StageStatus `json:"solve"`
+}
+
+// JobStatus is the body of GET /api/v1/jobs/{id} and the element type of
+// GET /api/v1/jobs.
+type JobStatus struct {
+	ID       string         `json:"id"`
+	Type     string         `json:"type"`
+	State    State          `json:"state"`
+	Error    string         `json:"error,omitempty"`
+	Created  time.Time      `json:"created"`
+	Started  time.Time      `json:"started,omitzero"`
+	Finished time.Time      `json:"finished,omitzero"`
+	Progress ProgressStatus `json:"progress"`
+}
+
+func (s *Server) status(j *job) JobStatus {
+	state, errText, started, finished := j.snapshotState()
+	return JobStatus{
+		ID:       j.id,
+		Type:     j.spec.Type,
+		State:    state,
+		Error:    errText,
+		Created:  j.created,
+		Started:  started,
+		Finished: finished,
+		Progress: j.progress.snapshot(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job spec: %v", err)
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, s.status(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.list()
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, s.status(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	state, errText, _, _ := j.snapshotState()
+	switch state {
+	case StateRunning:
+		writeError(w, http.StatusConflict, "job %s is still running", j.id)
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job %s failed: %s", j.id, errText)
+	case StateCanceled:
+		writeError(w, http.StatusConflict, "job %s was canceled", j.id)
+	default:
+		j.mu.Lock()
+		result := j.result
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, result)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.engine.Workers(),
+		"jobs":    s.stateCounts(),
+	})
+}

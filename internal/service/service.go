@@ -1,0 +1,290 @@
+// Package service implements beerd, the BEER job server: an HTTP/JSON API
+// for submitting long-running recovery and simulation jobs, polling their
+// per-stage progress, cancelling them, and fetching results.
+//
+// The server is a thin layer over the public Pipeline API: every job runs
+// under its own context.Context (DELETE cancels it; server shutdown cancels
+// all of them) on a single shared parallel experiment engine, so concurrent
+// jobs share one worker pool and one profile cache — the paper's §6.3
+// many-chips-one-lab workflow exposed as a service. Progress arrives through
+// the pipeline's event stream (repro.WithProgress) and is folded into
+// monotonic per-stage counters that status polls read.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// StateRunning marks a job whose pipeline is executing.
+	StateRunning State = "running"
+	// StateSucceeded marks a finished job with a result available.
+	StateSucceeded State = "succeeded"
+	// StateFailed marks a finished job whose pipeline returned an error.
+	StateFailed State = "failed"
+	// StateCanceled marks a job stopped by DELETE or server shutdown.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool { return s != StateRunning }
+
+// Server owns the job table and the shared experiment engine. Construct
+// with New; serve Handler(); Close cancels every running job and waits for
+// their goroutines to exit.
+type Server struct {
+	engine *repro.Engine
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for stable listings
+	seq   int
+
+	baseCtx  context.Context
+	shutdown context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// New builds a Server multiplexing jobs onto the given engine (nil = the
+// process-wide default engine).
+func New(engine *repro.Engine) *Server {
+	if engine == nil {
+		engine = repro.DefaultEngine()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		engine:   engine,
+		jobs:     make(map[string]*job),
+		baseCtx:  ctx,
+		shutdown: cancel,
+	}
+}
+
+// Engine returns the shared experiment engine jobs run on.
+func (s *Server) Engine() *repro.Engine { return s.engine }
+
+// Close cancels every running job and blocks until all job goroutines have
+// exited. The HTTP handler stays functional afterwards (status and results
+// remain readable); new submissions are rejected.
+func (s *Server) Close() {
+	// Cancel under s.mu: submit checks baseCtx and does wg.Add while
+	// holding the same lock, so after this section no new job can slip its
+	// Add past our Wait.
+	s.mu.Lock()
+	s.shutdown()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// job is one submitted unit of work.
+type job struct {
+	id      string
+	spec    JobSpec
+	cancel  context.CancelFunc
+	created time.Time
+
+	progress progressState
+
+	mu       sync.Mutex
+	state    State
+	errText  string
+	started  time.Time
+	finished time.Time
+	result   *JobResult
+}
+
+func (j *job) snapshotState() (State, string, time.Time, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errText, j.started, j.finished
+}
+
+func (j *job) finish(state State, err error, result *JobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	if err != nil {
+		j.errText = err.Error()
+	}
+	j.result = result
+	j.finished = time.Now()
+}
+
+// submit validates a spec, registers a job and starts its goroutine.
+func (s *Server) submit(spec JobSpec) (*job, error) {
+	run, err := buildRunner(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.baseCtx.Err() != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server is shutting down")
+	}
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", s.seq),
+		spec:    spec,
+		created: time.Now(),
+		state:   StateRunning,
+	}
+	j.progress.chips = spec.chipCount()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		result, err := run(ctx, s.engine, j.progress.observe)
+		switch {
+		case err == nil:
+			j.finish(StateSucceeded, nil, result)
+		case ctx.Err() != nil:
+			j.finish(StateCanceled, ctx.Err(), nil)
+		default:
+			j.finish(StateFailed, err, nil)
+		}
+	}()
+	return j, nil
+}
+
+// get returns a job by id.
+func (s *Server) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns all jobs in submission order.
+func (s *Server) list() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// stateCounts tallies jobs per state for /healthz.
+func (s *Server) stateCounts() map[string]int {
+	counts := map[string]int{}
+	for _, j := range s.list() {
+		st, _, _, _ := j.snapshotState()
+		counts[string(st)]++
+	}
+	return counts
+}
+
+// progressState folds the pipeline's event stream into counters that only
+// ever increase, so a poller observing two status snapshots can assert the
+// later one is at least as far along (the beerd smoke test does exactly
+// that). One instance is shared by all chips of a job; events arrive
+// serialized per run (see Engine.Recover) but snapshot reads race with
+// writes, hence the mutex.
+type progressState struct {
+	mu      sync.Mutex
+	updates int64
+	stage   string
+	chips   int
+
+	discoverDone  int
+	collectPasses int64
+	collectTotal  int64
+	collectDone   int
+	candidates    int
+	solveDone     bool
+}
+
+// observe is the repro.ProgressFunc wired into each job's pipeline.
+func (p *progressState) observe(ev repro.ProgressEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.updates++
+	p.stage = ev.Stage.String()
+	switch ev.Stage {
+	case repro.StageDiscover:
+		if ev.Done {
+			p.discoverDone++
+		}
+	case repro.StageCollect:
+		if ev.Done {
+			p.collectDone++
+		} else {
+			p.collectPasses++
+			if total := int64(ev.Passes) * int64(p.chips); total > p.collectTotal {
+				p.collectTotal = total
+			}
+		}
+	case repro.StageSolve:
+		if ev.Candidates > p.candidates {
+			p.candidates = ev.Candidates
+		}
+		if ev.Done {
+			p.solveDone = true
+		}
+	}
+}
+
+// snapshot renders the progress for a status response.
+func (p *progressState) snapshot() ProgressStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProgressStatus{
+		Updates: p.updates,
+		Stage:   p.stage,
+		Chips:   p.chips,
+		Discover: StageStatus{
+			Done:  p.discoverDone >= p.chips && p.updates > 0,
+			Count: int64(p.discoverDone),
+			Total: int64(p.chips),
+		},
+		Collect: StageStatus{
+			Done:  p.collectDone >= p.chips && p.updates > 0,
+			Count: p.collectPasses,
+			Total: p.collectTotal,
+		},
+		Solve: StageStatus{
+			Done:  p.solveDone,
+			Count: int64(p.candidates),
+		},
+	}
+}
+
+// Handler returns the beerd HTTP API:
+//
+//	POST   /api/v1/jobs             submit a job (JobSpec JSON)
+//	GET    /api/v1/jobs             list job statuses
+//	GET    /api/v1/jobs/{id}        one job's status + per-stage progress
+//	GET    /api/v1/jobs/{id}/result a finished job's result
+//	DELETE /api/v1/jobs/{id}        cancel a running job
+//	GET    /healthz                 liveness + engine/job counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}

@@ -1,0 +1,310 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/ecc"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(repro.NewEngine(2))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func do(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func decode[T any](t *testing.T, data []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	return v
+}
+
+// waitTerminal polls a job until it leaves StateRunning.
+func waitTerminal(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, body := do(t, http.MethodGet, base+"/api/v1/jobs/"+id, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s: %s: %s", id, resp.Status, body)
+		}
+		st := decode[JobStatus](t, body)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after 2m", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSubmitStatusResultHappyPath drives the full REST lifecycle of one
+// recovery job: submit -> poll status -> fetch result, checking the
+// recovered function against ground truth.
+func TestSubmitStatusResultHappyPath(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, body := do(t, http.MethodPost, ts.URL+"/api/v1/jobs", JobSpec{
+		Type:         "recover",
+		Manufacturer: "B",
+		K:            16,
+		Seed:         5,
+		Verify:       true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	submitted := decode[JobStatus](t, body)
+	if submitted.ID == "" || submitted.Type != "recover" {
+		t.Fatalf("bad submit response: %+v", submitted)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/api/v1/jobs/"+submitted.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	final := waitTerminal(t, ts.URL, submitted.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	if final.Progress.Updates == 0 || !final.Progress.Collect.Done || !final.Progress.Solve.Done {
+		t.Fatalf("missing progress on finished job: %+v", final.Progress)
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/api/v1/jobs/"+submitted.ID+"/result", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s: %s", resp.Status, body)
+	}
+	res := decode[JobResult](t, body)
+	if res.Recover == nil || !res.Recover.Unique {
+		t.Fatalf("unexpected result payload: %s", body)
+	}
+	if res.Recover.GroundTruthMatch == nil || !*res.Recover.GroundTruthMatch {
+		t.Fatal("server did not verify the recovered function against ground truth")
+	}
+	code := new(ecc.Code)
+	if err := code.UnmarshalText([]byte(res.Recover.Code)); err != nil {
+		t.Fatalf("result code unparseable: %v", err)
+	}
+	if truth := repro.GroundTruth(repro.SimulatedChip(repro.MfrB, 16, 5)); !code.EquivalentTo(truth) {
+		t.Fatal("returned code does not match ground truth")
+	}
+	if len(res.Recover.H) != code.ParityBits() {
+		t.Fatalf("H has %d rows, want %d", len(res.Recover.H), code.ParityBits())
+	}
+
+	// The job shows up in the listing.
+	resp, body = do(t, http.MethodGet, ts.URL+"/api/v1/jobs", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), submitted.ID) {
+		t.Fatalf("listing missing job: %s: %s", resp.Status, body)
+	}
+}
+
+// TestSubmitSimulateJob runs the Monte-Carlo job type end to end.
+func TestSubmitSimulateJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := do(t, http.MethodPost, ts.URL+"/api/v1/jobs", JobSpec{
+		Type:  "simulate",
+		Words: 20000,
+		RBER:  1e-3,
+		K:     32,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	st := waitTerminal(t, ts.URL, decode[JobStatus](t, body).ID)
+	if st.State != StateSucceeded {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	resp, body = do(t, http.MethodGet, ts.URL+"/api/v1/jobs/"+st.ID+"/result", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s: %s", resp.Status, body)
+	}
+	res := decode[JobResult](t, body)
+	if res.Simulate == nil || res.Simulate.Words != 20000 {
+		t.Fatalf("unexpected simulate result: %s", body)
+	}
+}
+
+// TestMalformedSpecs covers the 400 paths: syntactically broken JSON,
+// unknown fields, and semantically invalid specs.
+func TestMalformedSpecs(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"syntax", `{"type": "recover",`},
+		{"unknown field", `{"type": "recover", "voltage": 12}`},
+		{"missing type", `{}`},
+		{"unknown type", `{"type": "espresso"}`},
+		{"bad manufacturer", `{"type": "recover", "manufacturer": "Z"}`},
+		{"k not multiple of 8", `{"type": "recover", "k": 12}`},
+		{"k too large", `{"type": "recover", "k": 4096}`},
+		{"too many chips", `{"type": "recover", "chips": 1000}`},
+		{"bad patterns", `{"type": "recover", "patterns": "99"}`},
+		{"negative rounds", `{"type": "recover", "rounds": -1}`},
+		{"bad rber", `{"type": "simulate", "rber": 2.0}`},
+		{"too many words", `{"type": "simulate", "words": 999999999}`},
+		{"bad code family", `{"type": "simulate", "code_family": "turbo"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("got %s, want 400", resp.Status)
+			}
+			var e map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+				t.Fatalf("400 body carries no error message (%v)", err)
+			}
+		})
+	}
+}
+
+// TestUnknownJobRoutes covers the 404 and 409 paths.
+func TestUnknownJobRoutes(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, route := range []struct{ method, path string }{
+		{http.MethodGet, "/api/v1/jobs/job-999"},
+		{http.MethodGet, "/api/v1/jobs/job-999/result"},
+		{http.MethodDelete, "/api/v1/jobs/job-999"},
+	} {
+		resp, body := do(t, route.method, ts.URL+route.path, nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s: got %s (%s), want 404", route.method, route.path, resp.Status, body)
+		}
+	}
+}
+
+// TestCancelJob cancels a long recovery over HTTP and checks the state
+// transitions plus the 409 on fetching a cancelled job's result.
+func TestCancelJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := do(t, http.MethodPost, ts.URL+"/api/v1/jobs", JobSpec{
+		Type:         "recover",
+		Manufacturer: "B",
+		K:            16,
+		Chips:        2,
+		Rounds:       16, // long enough to still be running when we cancel
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	id := decode[JobStatus](t, body).ID
+
+	resp, body = do(t, http.MethodDelete, ts.URL+"/api/v1/jobs/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s: %s", resp.Status, body)
+	}
+	final := waitTerminal(t, ts.URL, id)
+	if final.State != StateCanceled && final.State != StateSucceeded {
+		t.Fatalf("job finished %s (%s), want canceled (or a photo-finish success)", final.State, final.Error)
+	}
+	if final.State == StateCanceled {
+		resp, _ = do(t, http.MethodGet, ts.URL+"/api/v1/jobs/"+id+"/result", nil)
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("result of cancelled job: got %s, want 409", resp.Status)
+		}
+	}
+}
+
+// TestHealthz checks the liveness endpoint's shape.
+func TestHealthz(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp, body := do(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	health := decode[map[string]any](t, body)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz body: %s", body)
+	}
+	if int(health["workers"].(float64)) != srv.Engine().Workers() {
+		t.Fatalf("healthz workers mismatch: %s", body)
+	}
+}
+
+// TestServerSmoke runs the full smoke suite — the same one CI's serve-smoke
+// job and `beerd -selfcheck` use — against an in-process server: 8
+// concurrent recovery jobs on the shared engine, monotonic progress, all
+// results matching ground truth.
+func TestServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke suite is not short")
+	}
+	_, ts := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	err := Smoke(ctx, SmokeConfig{
+		BaseURL: ts.URL,
+		Jobs:    8,
+		Log: func(format string, args ...any) {
+			t.Logf(format, args...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitAfterClose: a closed server rejects new work but keeps serving
+// status reads.
+func TestSubmitAfterClose(t *testing.T) {
+	srv := New(repro.NewEngine(1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Close()
+	resp, body := do(t, http.MethodPost, ts.URL+"/api/v1/jobs", JobSpec{Type: "simulate"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit after close: %s: %s", resp.Status, body)
+	}
+	if resp, _ := do(t, http.MethodGet, ts.URL+"/api/v1/jobs", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list after close: %s", resp.Status)
+	}
+}

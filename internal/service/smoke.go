@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/ecc"
+)
+
+// SmokeConfig parameterizes Smoke.
+type SmokeConfig struct {
+	// BaseURL is the beerd server to exercise, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Jobs is how many concurrent recovery jobs to submit (default 8).
+	Jobs int
+	// PollInterval between status polls (default 25ms).
+	PollInterval time.Duration
+	// Log, when set, receives human-readable progress lines.
+	Log func(format string, args ...any)
+}
+
+// Smoke is the beerd end-to-end acceptance check (make serve-smoke / CI):
+// it submits N concurrent FastRecovery-style jobs against simulated
+// manufacturer-B chips, polls every job's status asserting that the reported
+// per-stage progress only ever advances, fetches all results, and verifies
+// that every job recovered the chips' secret ECC function (the server
+// compares against ground truth; the client additionally parses the
+// returned codes and checks they all agree).
+func Smoke(ctx context.Context, cfg SmokeConfig) error {
+	if cfg.Jobs == 0 {
+		cfg.Jobs = 8
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Liveness first: a clean error beats N hanging submissions.
+	if err := getJSON(ctx, client, cfg.BaseURL+"/healthz", new(map[string]any)); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// Submit the fleet. Distinct seeds give every job its own simulated
+	// chips; same-model chips share the secret function, so all recovered
+	// codes must agree.
+	ids := make([]string, cfg.Jobs)
+	for i := range ids {
+		spec := JobSpec{
+			Type:         "recover",
+			Manufacturer: "B",
+			K:            16,
+			Chips:        1,
+			Seed:         uint64(1 + i),
+			Verify:       true,
+		}
+		var status JobStatus
+		if err := postJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs", spec, &status); err != nil {
+			return fmt.Errorf("submit job %d: %w", i, err)
+		}
+		ids[i] = status.ID
+		logf("submitted %s (seed %d)", status.ID, spec.Seed)
+	}
+
+	// Poll all jobs to completion, asserting monotonic progress.
+	type watch struct {
+		lastUpdates  int64
+		lastDiscover int64
+		lastCollect  int64
+		lastSolve    int64
+		done         bool
+	}
+	watches := make([]watch, len(ids))
+	pending := len(ids)
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(cfg.PollInterval):
+		}
+		for i, id := range ids {
+			if watches[i].done {
+				continue
+			}
+			var st JobStatus
+			if err := getJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs/"+id, &st); err != nil {
+				return fmt.Errorf("status %s: %w", id, err)
+			}
+			w := &watches[i]
+			p := st.Progress
+			if p.Updates < w.lastUpdates ||
+				p.Discover.Count < w.lastDiscover ||
+				p.Collect.Count < w.lastCollect ||
+				p.Solve.Count < w.lastSolve {
+				return fmt.Errorf("%s: progress went backwards: %+v after updates=%d discover=%d collect=%d solve=%d",
+					id, p, w.lastUpdates, w.lastDiscover, w.lastCollect, w.lastSolve)
+			}
+			w.lastUpdates = p.Updates
+			w.lastDiscover = p.Discover.Count
+			w.lastCollect = p.Collect.Count
+			w.lastSolve = p.Solve.Count
+			if st.State.Terminal() {
+				if st.State != StateSucceeded {
+					return fmt.Errorf("%s finished %s: %s", id, st.State, st.Error)
+				}
+				if p.Updates == 0 || p.Collect.Count == 0 {
+					return fmt.Errorf("%s succeeded without reporting progress: %+v", id, p)
+				}
+				if !p.Discover.Done || !p.Collect.Done || !p.Solve.Done {
+					return fmt.Errorf("%s succeeded with unfinished stages: %+v", id, p)
+				}
+				w.done = true
+				pending--
+				logf("%s succeeded after %d progress updates (%d collection passes)",
+					id, p.Updates, p.Collect.Count)
+			}
+		}
+	}
+
+	// Fetch results: every job must have recovered the unique secret
+	// function, matching ground truth, and all codes must agree.
+	var reference *ecc.Code
+	for _, id := range ids {
+		var res JobResult
+		if err := getJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs/"+id+"/result", &res); err != nil {
+			return fmt.Errorf("result %s: %w", id, err)
+		}
+		rec := res.Recover
+		if rec == nil {
+			return fmt.Errorf("%s: result carries no recovery payload", id)
+		}
+		if !rec.Unique {
+			return fmt.Errorf("%s: expected a unique ECC function, got %d candidates", id, rec.Candidates)
+		}
+		if rec.GroundTruthMatch == nil || !*rec.GroundTruthMatch {
+			return fmt.Errorf("%s: recovered function does not match ground truth", id)
+		}
+		code := new(ecc.Code)
+		if err := code.UnmarshalText([]byte(rec.Code)); err != nil {
+			return fmt.Errorf("%s: unparseable recovered code: %w", id, err)
+		}
+		if reference == nil {
+			reference = code
+		} else if !code.EquivalentTo(reference) {
+			return fmt.Errorf("%s: recovered a different function than the other jobs", id)
+		}
+	}
+	truth := repro.GroundTruth(repro.SimulatedChip(repro.MfrB, 16, 1))
+	if !reference.EquivalentTo(truth) {
+		return fmt.Errorf("recovered codes do not match the client-side ground truth")
+	}
+	logf("all %d jobs recovered the secret ECC function (H verified against ground truth)", cfg.Jobs)
+	return nil
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(client, req, out)
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

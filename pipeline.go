@@ -1,0 +1,261 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/einsim"
+	"repro/internal/parallel"
+)
+
+// Progress types, re-exported from internal/core. A ProgressFunc passed via
+// WithProgress receives one ProgressEvent per stage transition, collection
+// pass and solver candidate; see the core documentation for the concurrency
+// contract.
+type (
+	// ProgressEvent is one progress report from a running pipeline.
+	ProgressEvent = core.Event
+	// ProgressFunc consumes pipeline progress events.
+	ProgressFunc = core.ProgressFunc
+	// PipelineStage identifies a pipeline phase in a ProgressEvent.
+	PipelineStage = core.Stage
+	// PatternSet selects a test-pattern family (WithPatternSet).
+	PatternSet = core.PatternSet
+)
+
+// Pipeline stages, in execution order.
+const (
+	StageDiscover = core.StageDiscover
+	StageCollect  = core.StageCollect
+	StageSolve    = core.StageSolve
+)
+
+// Pattern families (WithPatternSet).
+const (
+	Set1  = core.Set1
+	Set2  = core.Set2
+	Set3  = core.Set3
+	Set12 = core.Set12
+)
+
+// Pipeline is the configured entry point for everything long-running in this
+// repository: BEER recovery (Recover), EINSim-style Monte-Carlo simulation
+// (Simulate) and BEEP profiling (ProfileWord). A Pipeline is immutable after
+// construction and safe for concurrent use; every run takes a
+// context.Context and stops promptly — within one collection pass, one
+// simulation shard, one profiled bit, or one SAT conflict — when the context
+// is cancelled.
+//
+// Construct with NewPipeline and functional options:
+//
+//	pipe := repro.NewPipeline(
+//		repro.WithFastWindows(),
+//		repro.WithWorkers(8),
+//		repro.WithProgress(func(ev repro.ProgressEvent) { ... }),
+//	)
+//	report, err := pipe.Recover(ctx, chips...)
+type Pipeline struct {
+	engine  *parallel.Engine
+	recover RecoverOptions
+	beep    BEEPOptions
+}
+
+// Option configures a Pipeline (functional options).
+type Option func(*Pipeline)
+
+// NewPipeline builds a Pipeline from the paper's default experimental
+// configuration (core.DefaultRecoverOptions) plus the given options.
+func NewPipeline(opts ...Option) *Pipeline {
+	p := &Pipeline{
+		recover: core.DefaultRecoverOptions(),
+		beep:    beep.DefaultOptions(),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.engine == nil {
+		p.engine = parallel.Default()
+	}
+	return p
+}
+
+// WithEngine routes the pipeline's sharded work through a specific parallel
+// experiment engine (sharing an engine between pipelines shares its worker
+// pool and profile caches — what the beerd job service does).
+func WithEngine(e *Engine) Option { return func(p *Pipeline) { p.engine = e } }
+
+// WithWorkers gives the pipeline its own engine with the given worker-pool
+// width (0 = all cores). Overrides WithEngine.
+func WithWorkers(n int) Option { return func(p *Pipeline) { p.engine = parallel.New(n) } }
+
+// WithPatternSet selects the test-pattern family collected during recovery.
+// The paper's recommendation: Set1 suffices for full-length codes; Set12
+// (the default) uniquely identifies shortened codes too.
+func WithPatternSet(ps PatternSet) Option { return func(p *Pipeline) { p.recover.PatternSet = ps } }
+
+// WithWindows sets the refresh-window sweep collected during recovery.
+func WithWindows(windows ...time.Duration) Option {
+	return func(p *Pipeline) { p.recover.Collect.Windows = append([]time.Duration(nil), windows...) }
+}
+
+// sweepTo builds the canonical simulated-chip window sweep: 4-minute steps
+// up to maxMinutes — deep enough into the compressed retention distribution
+// that thousands of words cover every possible miscorrection.
+func sweepTo(maxMinutes int) []time.Duration {
+	var windows []time.Duration
+	for m := 4; m <= maxMinutes; m += 4 {
+		windows = append(windows, time.Duration(m)*time.Minute)
+	}
+	return windows
+}
+
+// WithWindowSweep sets the refresh-window sweep to 4-minute steps up to
+// maxMinutes — the canonical sweep for simulated chips, shared by
+// WithFastWindows, cmd/beer -max-window and beerd's max_window_minutes.
+func WithWindowSweep(maxMinutes int) Option {
+	return func(p *Pipeline) { p.recover.Collect.Windows = sweepTo(maxMinutes) }
+}
+
+// WithRounds sets how many times the whole window sweep repeats with rotated
+// pattern-to-word assignments.
+func WithRounds(n int) Option { return func(p *Pipeline) { p.recover.Collect.Rounds = n } }
+
+// WithTemperature sets the ambient temperature of the sweep in Celsius.
+func WithTemperature(celsius float64) Option {
+	return func(p *Pipeline) { p.recover.Collect.TempC = celsius }
+}
+
+// WithFastWindows tunes the sweep for small simulated chips (the
+// configuration FastRecovery used to return): the canonical sweep up to 48
+// minutes, three rounds.
+func WithFastWindows() Option {
+	return func(p *Pipeline) {
+		p.recover.Collect.Windows = sweepTo(48)
+		p.recover.Collect.Rounds = 3
+	}
+}
+
+// WithMaxRows caps how many true-cell rows recovery collects from (0 = all).
+func WithMaxRows(n int) Option { return func(p *Pipeline) { p.recover.MaxRows = n } }
+
+// WithAntiRows additionally collects inverted-pattern profiles from
+// anti-cell rows (extension; see core.RecoverOptions.UseAntiRows).
+func WithAntiRows() Option { return func(p *Pipeline) { p.recover.UseAntiRows = true } }
+
+// WithLazySolver switches recovery to the CEGAR-style lazy SAT solver.
+func WithLazySolver() Option { return func(p *Pipeline) { p.recover.UseLazySolver = true } }
+
+// WithThreshold configures the §5.2 miscorrection filter: minFraction is the
+// per-word observation-rate cutoff, minCount the absolute floor.
+func WithThreshold(minFraction float64, minCount int64) Option {
+	return func(p *Pipeline) {
+		p.recover.ThresholdFraction = minFraction
+		p.recover.ThresholdMinCount = minCount
+	}
+}
+
+// WithParityBits fixes the number of parity-check bits r the solver assumes
+// (0 selects the minimum for the dataword length, as all publicly known
+// on-die ECC designs use).
+func WithParityBits(r int) Option {
+	return func(p *Pipeline) { p.recover.Solve.ParityBits = r }
+}
+
+// WithSolveBudget bounds SAT effort per solve call in conflicts
+// (0 = unlimited).
+func WithSolveBudget(maxConflicts int64) Option {
+	return func(p *Pipeline) { p.recover.Solve.MaxConflicts = maxConflicts }
+}
+
+// WithMaxSolutions caps how many candidate codes the solver enumerates
+// (0 means 2 — enough to answer "unique or not"; negative means unlimited).
+func WithMaxSolutions(n int) Option {
+	return func(p *Pipeline) { p.recover.Solve.MaxSolutions = n }
+}
+
+// WithProgress registers a callback for pipeline progress events: stage
+// entered/completed, collection pass finished, solver candidate found. The
+// callback must be fast and safe for concurrent use across jobs sharing it.
+func WithProgress(fn ProgressFunc) Option { return func(p *Pipeline) { p.recover.Progress = fn } }
+
+// WithRecoverOptions replaces the pipeline's whole recovery configuration
+// with a legacy options struct — the migration escape hatch for callers that
+// assembled core.RecoverOptions by hand. Options applied after this one
+// mutate the replaced configuration.
+func WithRecoverOptions(opts RecoverOptions) Option {
+	return func(p *Pipeline) {
+		progress := p.recover.Progress
+		p.recover = opts
+		if p.recover.Progress == nil {
+			p.recover.Progress = progress
+		}
+	}
+}
+
+// WithBEEPOptions configures BEEP profiling (ProfileWord).
+func WithBEEPOptions(opts BEEPOptions) Option { return func(p *Pipeline) { p.beep = opts } }
+
+// Engine returns the parallel experiment engine the pipeline runs on.
+func (p *Pipeline) Engine() *Engine { return p.engine }
+
+// RecoverOptions returns a copy of the pipeline's effective recovery
+// configuration (the legacy struct form, for inspection and for
+// ExperimentRuntime-style analysis).
+func (p *Pipeline) RecoverOptions() RecoverOptions { return p.recover }
+
+// Recover runs the complete BEER methodology (paper §5) against one or more
+// same-model chips: discover the cell and dataword layouts, collect a
+// miscorrection profile with crafted test patterns over the refresh-window
+// sweep, filter it, and solve for the ECC function with the uniqueness
+// check. Multiple chips fan out one-per-worker and their observation counts
+// merge before a single solve (§6.3).
+//
+// Cancelling ctx returns ctx.Err() within one collection round; progress is
+// reported via WithProgress.
+func (p *Pipeline) Recover(ctx context.Context, chips ...Chip) (*Report, error) {
+	if len(chips) == 0 {
+		return nil, fmt.Errorf("repro: Recover needs at least one chip")
+	}
+	return p.engine.Recover(ctx, chips, p.recover)
+}
+
+// Observe runs only the experimental front half of recovery against one chip
+// (discovery + raw profile collection), leaving thresholding and solving to
+// the caller — the building block for custom multi-chip aggregation.
+func (p *Pipeline) Observe(ctx context.Context, chip Chip) (*core.ChipObservations, error) {
+	return core.Observe(ctx, chip, p.recover)
+}
+
+// Solve searches for every ECC function consistent with a miscorrection
+// profile (paper §5.3) under the pipeline's solver configuration,
+// reporting candidate counts via WithProgress.
+func (p *Pipeline) Solve(ctx context.Context, profile *Profile) (*SolveResult, error) {
+	solveOpts := p.recover.Solve
+	if solveOpts.Progress == nil {
+		solveOpts.Progress = p.recover.Progress
+	}
+	if p.recover.UseLazySolver {
+		return core.SolveLazy(ctx, profile, solveOpts)
+	}
+	return core.Solve(ctx, profile, solveOpts)
+}
+
+// Simulate runs an EINSim-style word-level Monte-Carlo experiment sharded
+// across the pipeline's engine; results are bit-identical for any worker
+// count. Cancelling ctx stops at the next shard boundary.
+func (p *Pipeline) Simulate(ctx context.Context, cfg einsim.Config, seed uint64) (*einsim.Result, error) {
+	return p.engine.Simulate(ctx, cfg, seed)
+}
+
+// ProfileWord runs BEEP (paper §7.1) against one testable ECC word using a
+// known (typically BEER-recovered) code, returning the bit-exact positions
+// of the identified pre-correction error-prone cells. Cancelling ctx stops
+// at the next target bit.
+func (p *Pipeline) ProfileWord(ctx context.Context, code *Code, word beep.WordTester, seed uint64) (*BEEPOutcome, error) {
+	prof := beep.NewProfiler(code, p.beep, rand.New(rand.NewPCG(seed, 0xBEEB)))
+	return prof.Run(ctx, word)
+}

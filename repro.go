@@ -12,20 +12,34 @@
 //   - internal/ondie:  simulated LPDDR4-like chips with secret on-die ECC.
 //   - internal/dram:   the raw DRAM retention-error substrate.
 //   - internal/einsim: EINSim-style word-level Monte-Carlo simulation.
+//   - internal/parallel: the worker-pool experiment engine.
+//   - internal/service:  the beerd HTTP job service (cmd/beerd).
 //
 // # Quick start
 //
-//	chip := repro.SimulatedChip(repro.MfrB, 16, 1)
-//	report, err := repro.RecoverECCFunction(chip, repro.FastRecovery())
+// The supported entry point is the context-aware Pipeline, configured with
+// functional options:
+//
+//	chips := repro.SimulatedChips(repro.MfrB, 16, 2, 1)
+//	pipe := repro.NewPipeline(repro.WithFastWindows())
+//	report, err := pipe.Recover(ctx, chips...)
 //	if err != nil { ... }
 //	fmt.Println(report.Result.Codes[0].H()) // the chip's secret ECC function
+//
+// Cancelling ctx stops a run within one collection round; WithProgress
+// streams stage/round/candidate events to the caller (the CLIs and the beerd
+// job service consume them for live status).
+//
+// The pre-Pipeline one-shot helpers (RecoverECCFunction, SolveProfile,
+// ProfileWord, Simulate, ...) remain as thin deprecated shims that run with
+// context.Background(); see README.md for the migration table.
 //
 // See examples/ for complete programs and DESIGN.md for the experiment map.
 package repro
 
 import (
+	"context"
 	"math/rand/v2"
-	"time"
 
 	"repro/internal/beep"
 	"repro/internal/core"
@@ -51,7 +65,9 @@ type (
 	// Profile is a miscorrection profile: the ECC-function fingerprint BEER
 	// solves from.
 	Profile = core.Profile
-	// RecoverOptions configures the end-to-end BEER pipeline.
+	// RecoverOptions is the legacy struct form of the pipeline
+	// configuration; new code configures a Pipeline with functional options
+	// instead (WithRecoverOptions accepts the struct form for migration).
 	RecoverOptions = core.RecoverOptions
 	// Report is the output of an end-to-end BEER run.
 	Report = core.Report
@@ -104,30 +120,20 @@ func SimulatedChip(m Manufacturer, k int, seed uint64) *ondie.Chip {
 	})
 }
 
+// SimulatedChips builds n same-model chips (same manufacturer, same secret
+// ECC function, independent cells) for parallel profile collection, mirroring
+// the paper's §6.3 observation that BEER parallelizes across chips.
+func SimulatedChips(m Manufacturer, k, n int, seed uint64) []Chip {
+	chips := make([]Chip, n)
+	for i := range chips {
+		chips[i] = SimulatedChip(m, k, seed+uint64(i))
+	}
+	return chips
+}
+
 // GroundTruth exposes a simulated chip's secret ECC function for validation.
 // Real chips have no equivalent — that is the point of BEER.
 func GroundTruth(chip *ondie.Chip) *Code { return chip.GroundTruthCode() }
-
-// FastRecovery returns recovery options tuned for small simulated chips:
-// refresh windows deep enough into the compressed retention distribution
-// that thousands of words cover every possible miscorrection.
-func FastRecovery() RecoverOptions {
-	opts := core.DefaultRecoverOptions()
-	opts.Collect.Windows = nil
-	for m := 4; m <= 48; m += 4 {
-		opts.Collect.Windows = append(opts.Collect.Windows, time.Duration(m)*time.Minute)
-	}
-	opts.Collect.Rounds = 3
-	return opts
-}
-
-// RecoverECCFunction runs the complete BEER methodology (paper §5) against
-// any Chip: discover the cell and dataword layouts, collect a miscorrection
-// profile with crafted test patterns, filter it, and solve for the ECC
-// function with a SAT solver, including the uniqueness check.
-func RecoverECCFunction(chip Chip, opts RecoverOptions) (*Report, error) {
-	return core.Recover(chip, opts)
-}
 
 // ExactProfile computes a known code's miscorrection profile analytically
 // (no simulation) for the given pattern family — the oracle used by the
@@ -143,20 +149,6 @@ func OneChargedPatterns(k int) []Pattern { return core.OneCharged(k) }
 // TwoChargedPatterns returns all 2-CHARGED patterns for k data bits.
 func TwoChargedPatterns(k int) []Pattern { return core.TwoCharged(k) }
 
-// SolveProfile searches for every ECC function consistent with a
-// miscorrection profile (paper §5.3).
-func SolveProfile(p *Profile, opts core.SolveOptions) (*SolveResult, error) {
-	return core.Solve(p, opts)
-}
-
-// ProfileWord runs BEEP (paper §7.1) against one testable ECC word using a
-// known (typically BEER-recovered) code, returning the bit-exact positions
-// of the identified pre-correction error-prone cells.
-func ProfileWord(code *Code, word beep.WordTester, opts BEEPOptions, seed uint64) *BEEPOutcome {
-	prof := beep.NewProfiler(code, opts, rand.New(rand.NewPCG(seed, 0xBEEB)))
-	return prof.Run(word)
-}
-
 // SimulatedWord builds a BEEP-testable ECC word with the given error-prone
 // cells, each failing with probability pErr per test when charged.
 func SimulatedWord(code *Code, errorCells []int, pErr float64, seed uint64) *beep.SimWord {
@@ -168,12 +160,6 @@ func SimulatedWord(code *Code, errorCells []int, pErr float64, seed uint64) *bee
 	}
 }
 
-// Simulate runs an EINSim-style word-level Monte-Carlo experiment (used for
-// the paper's Figure 1 and for secondary-ECC co-design studies, §7.2.1).
-func Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
-	return einsim.Run(cfg, rand.New(rand.NewPCG(seed, 0x51E)))
-}
-
 // NewEngine builds a parallel experiment engine with the given worker-pool
 // width (0 = all cores). DefaultEngine returns the shared process-wide one.
 func NewEngine(workers int) *Engine { return parallel.New(workers) }
@@ -181,30 +167,78 @@ func NewEngine(workers int) *Engine { return parallel.New(workers) }
 // DefaultEngine returns the shared parallel experiment engine.
 func DefaultEngine() *Engine { return parallel.Default() }
 
-// SimulateParallel is Simulate sharded across the default engine's worker
-// pool: the word budget splits into fixed shards with per-shard seeded RNGs,
-// so the result is bit-identical regardless of core count (but drawn from
-// different streams than the serial Simulate).
-func SimulateParallel(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
-	return parallel.Default().Simulate(cfg, seed)
+// FastRecovery returns recovery options tuned for small simulated chips.
+//
+// Deprecated: use NewPipeline(WithFastWindows()) — the Pipeline carries the
+// same configuration plus a context and progress stream. FastRecovery
+// remains for callers still on the struct-options shims.
+func FastRecovery() RecoverOptions {
+	opts := core.DefaultRecoverOptions()
+	opts.Collect.Windows = sweepTo(48)
+	opts.Collect.Rounds = 3
+	return opts
 }
 
-// SimulatedChips builds n same-model chips (same manufacturer, same secret
-// ECC function, independent cells) for parallel profile collection, mirroring
-// the paper's §6.3 observation that BEER parallelizes across chips.
-func SimulatedChips(m Manufacturer, k, n int, seed uint64) []Chip {
-	chips := make([]Chip, n)
-	for i := range chips {
-		chips[i] = SimulatedChip(m, k, seed+uint64(i))
-	}
-	return chips
+// RecoverECCFunction runs the complete BEER methodology (paper §5) against
+// any Chip with the legacy struct options.
+//
+// Deprecated: use NewPipeline(...).Recover(ctx, chip) — it adds
+// cancellation, progress reporting and multi-chip fan-out. This shim runs
+// with context.Background() (uncancellable).
+func RecoverECCFunction(chip Chip, opts RecoverOptions) (*Report, error) {
+	return core.Recover(context.Background(), chip, opts)
 }
 
 // RecoverECCFunctionParallel runs the complete BEER methodology against
-// several chips of the same model on the default engine: discovery and
-// profile collection fan out one-chip-per-worker, the observation counts
-// merge (they simply add for same-model chips), and one SAT solve recovers
-// the shared ECC function.
+// several chips of the same model on the default engine.
+//
+// Deprecated: use NewPipeline(WithRecoverOptions(opts)).Recover(ctx,
+// chips...). This shim runs with context.Background() (uncancellable).
 func RecoverECCFunctionParallel(chips []Chip, opts RecoverOptions) (*Report, error) {
-	return parallel.Default().Recover(chips, opts)
+	return parallel.Default().Recover(context.Background(), chips, opts)
+}
+
+// SolveProfile searches for every ECC function consistent with a
+// miscorrection profile (paper §5.3).
+//
+// Deprecated: use NewPipeline(...).Solve(ctx, profile), which supports
+// cancellation mid-search. This shim runs with context.Background().
+func SolveProfile(p *Profile, opts core.SolveOptions) (*SolveResult, error) {
+	return core.Solve(context.Background(), p, opts)
+}
+
+// ProfileWord runs BEEP (paper §7.1) against one testable ECC word using a
+// known (typically BEER-recovered) code.
+//
+// Deprecated: use NewPipeline(WithBEEPOptions(opts)).ProfileWord(ctx, code,
+// word, seed). This shim runs with context.Background().
+func ProfileWord(code *Code, word beep.WordTester, opts BEEPOptions, seed uint64) *BEEPOutcome {
+	prof := beep.NewProfiler(code, opts, rand.New(rand.NewPCG(seed, 0xBEEB)))
+	out, err := prof.Run(context.Background(), word)
+	if err != nil {
+		// Unreachable: Background() never cancels and Run has no other
+		// error path.
+		panic(err)
+	}
+	return out
+}
+
+// Simulate runs an EINSim-style word-level Monte-Carlo experiment serially
+// (used for the paper's Figure 1 and secondary-ECC co-design studies,
+// §7.2.1).
+//
+// Deprecated: use NewPipeline(...).Simulate(ctx, cfg, seed). The Pipeline
+// form shards across the engine's worker pool (bit-identical for any worker
+// count, but drawn from different streams than this serial shim).
+func Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
+	return einsim.Run(cfg, rand.New(rand.NewPCG(seed, 0x51E)))
+}
+
+// SimulateParallel is Simulate sharded across the default engine's worker
+// pool.
+//
+// Deprecated: use NewPipeline(...).Simulate(ctx, cfg, seed) — identical
+// results, plus cancellation. This shim runs with context.Background().
+func SimulateParallel(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
+	return parallel.Default().Simulate(context.Background(), cfg, seed)
 }

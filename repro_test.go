@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -99,7 +100,7 @@ func TestFacadeSimulateParallel(t *testing.T) {
 		t.Fatalf("implausible simulation result: %+v", res)
 	}
 	// A 1-worker engine must reproduce the default engine bit for bit.
-	serial, err := repro.NewEngine(1).Simulate(cfg, 6)
+	serial, err := repro.NewEngine(1).Simulate(context.Background(), cfg, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
