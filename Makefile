@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench fmt serve-smoke
+.PHONY: all build test lint bench bench-baseline fmt serve-smoke
 
 all: build lint test
 
@@ -21,6 +21,16 @@ lint:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# One-shot benchmark sweep parsed into a JSON baseline (tools/benchjson).
+# CI uploads BENCH_pr3.json as an artifact, seeding the bench trajectory.
+# Two steps (not a pipe) so a bench compile failure fails the target instead
+# of silently writing an empty baseline.
+bench-baseline:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.out
+	$(GO) run ./tools/benchjson < bench.out > BENCH_pr3.json
+	@rm -f bench.out
+	@echo "wrote BENCH_pr3.json"
 
 # Boot an ephemeral beerd, submit 8 concurrent FastRecovery jobs against
 # simulated MfrB chips, assert monotonic per-stage progress and that every

@@ -8,6 +8,12 @@
 //	beer -mfr C -k 32 -patterns 1 -max-rows 128
 //	beer -mfr B -k 16 -chips 4 -verify     # parallel collection across 4 same-model chips
 //	beer -mfr B -k 16 -progress            # live per-stage status on stderr
+//	beer -mfr B -k 16 -o code.json         # export the recovered function (einsim -code reads it)
+//
+// The -o export uses the shared code wire format (internal/store.CodeExport,
+// the same JSON beerd's GET /codes serves), stamped with the miscorrection
+// profile's canonical hash so the file can be matched against a BEER
+// database entry.
 //
 // The run is cancellable: Ctrl-C stops collection at the next pass boundary
 // and interrupts an in-flight SAT solve.
@@ -26,6 +32,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/ondie"
+	"repro/internal/store"
 )
 
 func main() {
@@ -44,6 +51,7 @@ func main() {
 		useAnti  = flag.Bool("anti", false, "also collect inverted patterns from anti-cell rows (extension)")
 		useLazy  = flag.Bool("lazy", false, "use the CEGAR-style lazy solver (extension)")
 		progress = flag.Bool("progress", false, "stream live pipeline progress to stderr")
+		outFile  = flag.String("o", "", "write the recovered function as a code-export JSON file")
 	)
 	flag.Parse()
 
@@ -147,6 +155,25 @@ func main() {
 			len(rep.Result.Codes))
 	}
 	fmt.Println(rep.Result.Codes[0].H())
+
+	if *outFile != "" {
+		exp := store.ExportCode(rep.Result.Codes[0])
+		exp.ProfileHash = rep.Profile.Hash()
+		unique := rep.Result.Unique
+		exp.Unique = &unique
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.WriteExport(f, exp); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (uid %s, profile %.12s...)\n", *outFile, exp.UID, exp.ProfileHash)
+	}
 
 	if *verify {
 		truth := chip.GroundTruthCode()

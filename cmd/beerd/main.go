@@ -6,19 +6,29 @@
 // Usage:
 //
 //	beerd -addr :8080 -workers 0
+//	beerd -store /var/lib/beerd      # durable jobs + code registry (JSON on disk)
 //	beerd -selfcheck                 # start an ephemeral server, run the smoke suite, exit
 //
-// API (see internal/service):
+// API (full schemas in docs/API.md; see internal/service):
 //
 //	POST   /api/v1/jobs             {"type":"recover","manufacturer":"B","k":16,"verify":true}
 //	GET    /api/v1/jobs             list job statuses
 //	GET    /api/v1/jobs/{id}        status + per-stage progress
 //	GET    /api/v1/jobs/{id}/result recovered H matrix / simulation counters
 //	DELETE /api/v1/jobs/{id}        cancel
-//	GET    /healthz                 liveness + job counters
+//	GET    /codes                   registry of recovered ECC functions
+//	GET    /codes/{hash}            one registry record, all candidates
+//	GET    /healthz                 liveness + job/solver counters
+//
+// With -store, jobs and recovered codes persist across restarts: completed
+// jobs replay from disk, jobs interrupted by a shutdown or crash resume, and
+// a submission whose miscorrection profile was solved before returns the
+// cached result without running the SAT solver. Without it the same
+// machinery runs on an in-memory store scoped to the process.
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight jobs are
-// cancelled (they stop within one collection pass) before the process exits.
+// cancelled (they stop within one collection pass) and persisted as
+// resumable before the process exits.
 package main
 
 import (
@@ -36,18 +46,29 @@ import (
 
 	"repro"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		workers   = flag.Int("workers", 0, "shared engine worker-pool width (0 = all cores)")
+		storeDir  = flag.String("store", "", "directory for the durable job + code store (empty = in-memory)")
 		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run the smoke suite against it, and exit")
 		smokeJobs = flag.Int("selfcheck-jobs", 8, "concurrent recovery jobs the selfcheck submits")
 	)
 	flag.Parse()
 
-	srv := service.New(repro.NewEngine(*workers))
+	var opts []service.Option
+	if *storeDir != "" {
+		backend, err := store.NewFileBackend(*storeDir)
+		if err != nil {
+			log.Fatalf("beerd: %v", err)
+		}
+		opts = append(opts, service.WithStore(store.New(backend)))
+	}
+	srv := service.New(repro.NewEngine(*workers), opts...)
+	defer srv.Store().Close()
 
 	if *selfcheck {
 		os.Exit(runSelfcheck(srv, *smokeJobs))
@@ -64,7 +85,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("beerd: listening on %s (%d workers)", *addr, srv.Engine().Workers())
+	log.Printf("beerd: listening on %s (%d workers, store %s)", *addr, srv.Engine().Workers(), srv.Store().Describe())
 
 	select {
 	case err := <-errCh:

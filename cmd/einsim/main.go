@@ -5,6 +5,13 @@
 //
 //	einsim -k 32 -rber 1e-4 -words 1000000 -pattern 0xFF -model uniform
 //	einsim -k 128 -rber 1e-3 -model retention -family sequential
+//	einsim -code recovered.json -rber 1e-4   # simulate a BEER-recovered function
+//
+// -code loads a function from the shared code wire format
+// (internal/store.CodeExport) — the file `beer -o` writes and beerd's
+// GET /codes serves — closing the paper's loop: recover a chip's secret ECC
+// function, then study its post-correction error characteristics in
+// simulation.
 package main
 
 import (
@@ -20,19 +27,21 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/einsim"
 	"repro/internal/parallel"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		k       = flag.Int("k", 32, "dataword length in bits")
-		rber    = flag.Float64("rber", 1e-4, "raw (pre-correction) bit error rate")
-		words   = flag.Int("words", 100000, "number of ECC words to simulate")
-		pattern = flag.String("pattern", "0xFF", "data pattern: 0xFF, 0x00 or RANDOM")
-		model   = flag.String("model", "uniform", "error model: uniform or retention")
-		family  = flag.String("family", "sequential", "code family: sequential, bitreversed or random")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		minErr  = flag.Int("min-errors", 0, "condition sampling on at least this many errors per word")
-		workers = flag.Int("workers", 0, "worker-pool width for sharded simulation (0 = all cores)")
+		k        = flag.Int("k", 32, "dataword length in bits")
+		rber     = flag.Float64("rber", 1e-4, "raw (pre-correction) bit error rate")
+		words    = flag.Int("words", 100000, "number of ECC words to simulate")
+		pattern  = flag.String("pattern", "0xFF", "data pattern: 0xFF, 0x00 or RANDOM")
+		model    = flag.String("model", "uniform", "error model: uniform or retention")
+		family   = flag.String("family", "sequential", "code family: sequential, bitreversed or random")
+		codeFile = flag.String("code", "", "code-export JSON file to simulate (overrides -family/-k; see beer -o)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		minErr   = flag.Int("min-errors", 0, "condition sampling on at least this many errors per word")
+		workers  = flag.Int("workers", 0, "worker-pool width for sharded simulation (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -40,15 +49,31 @@ func main() {
 	defer stop()
 
 	var code *ecc.Code
-	switch *family {
-	case "sequential":
-		code = ecc.SequentialHamming(*k)
-	case "bitreversed":
-		code = ecc.BitReversedHamming(*k)
-	case "random":
-		code = ecc.RandomHamming(*k, rand.New(rand.NewPCG(*seed, 2)))
-	default:
-		fatal(fmt.Errorf("unknown code family %q", *family))
+	if *codeFile != "" {
+		f, err := os.Open(*codeFile)
+		if err != nil {
+			fatal(err)
+		}
+		exp, err := store.ReadExport(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if code, err = exp.Code(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s from %s\n", exp.UID, *codeFile)
+	} else {
+		switch *family {
+		case "sequential":
+			code = ecc.SequentialHamming(*k)
+		case "bitreversed":
+			code = ecc.BitReversedHamming(*k)
+		case "random":
+			code = ecc.RandomHamming(*k, rand.New(rand.NewPCG(*seed, 2)))
+		default:
+			fatal(fmt.Errorf("unknown code family %q", *family))
+		}
 	}
 	cfg := einsim.Config{
 		Code:               code,

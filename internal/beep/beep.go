@@ -23,6 +23,12 @@
 // patterns are miscorrection-prone for whatever errors happen to exist; once
 // real errors are identified, crafting narrows to them as the paper
 // describes.
+//
+// Entry points: NewProfiler + Profiler.Run profile one WordTester
+// (facade: repro.Pipeline.ProfileWord); Evaluate reproduces the paper's
+// Figure 8/9 success-rate grids. SimWord is the simulated WordTester;
+// adapters over real chip rows would implement the same two-method
+// interface. Run takes a context and stops at the next target bit.
 package beep
 
 import (

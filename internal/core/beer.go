@@ -27,6 +27,11 @@ type RecoverOptions struct {
 	UseAntiRows bool
 	// UseLazySolver switches to the CEGAR-style SolveLazy (see lazy.go).
 	UseLazySolver bool
+	// SolveCache, when set, short-circuits the solve stage: a profile whose
+	// canonical hash (Profile.Hash) was solved before replays the cached
+	// Result with zero SAT invocations, and fresh successful solves are
+	// offered back to the cache. See the SolveCache interface contract.
+	SolveCache SolveCache
 	// Progress, when set, receives pipeline events: stage entries and
 	// completions, per-(round, window) collection passes, and solver
 	// candidate counts. See ProgressFunc for the concurrency contract.
@@ -181,6 +186,31 @@ func Recover(ctx context.Context, chip Chip, opts RecoverOptions) (*Report, erro
 	}
 
 	start := time.Now()
+	res, err := SolveStage(ctx, rep.Profile, opts)
+	rep.SolveTime = time.Since(start)
+	if err != nil {
+		return rep, fmt.Errorf("core: solve: %w", err)
+	}
+	rep.Result = res
+	opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes), Done: true})
+	return rep, nil
+}
+
+// SolveStage runs the solve stage of Recover: consult the SolveCache (if
+// any) for a result under the profile's canonical hash, otherwise run the
+// configured solver (eager or lazy per UseLazySolver) and offer the result
+// back. A cache hit replays the original Result — including its recorded
+// solver timings — without any SAT invocation; the surrounding Report's
+// SolveTime then measures only the lookup. Shared by core.Recover and
+// parallel.Engine.Recover so single-chip and multi-chip runs hit the same
+// registry.
+func SolveStage(ctx context.Context, profile *Profile, opts RecoverOptions) (*Result, error) {
+	if opts.SolveCache != nil {
+		if res, ok := opts.SolveCache.Lookup(profile); ok {
+			opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})
+			return res, nil
+		}
+	}
 	solveOpts := opts.Solve
 	if solveOpts.Progress == nil {
 		solveOpts.Progress = opts.Progress
@@ -189,14 +219,14 @@ func Recover(ctx context.Context, chip Chip, opts RecoverOptions) (*Report, erro
 	if opts.UseLazySolver {
 		solve = SolveLazy
 	}
-	res, err := solve(ctx, rep.Profile, solveOpts)
-	rep.SolveTime = time.Since(start)
+	res, err := solve(ctx, profile, solveOpts)
 	if err != nil {
-		return rep, fmt.Errorf("core: solve: %w", err)
+		return nil, err
 	}
-	rep.Result = res
-	opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes), Done: true})
-	return rep, nil
+	if opts.SolveCache != nil {
+		opts.SolveCache.Store(profile, res)
+	}
+	return res, nil
 }
 
 // ExperimentRuntime implements the paper's §6.3 analytical runtime model:

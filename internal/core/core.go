@@ -21,6 +21,21 @@
 // The package also provides an exact miscorrection-profile oracle
 // (ExactProfile) derived analytically from the retention-error model, used
 // for the correctness evaluation (paper §6.1) without Monte-Carlo noise.
+//
+// Entry points: Recover is the whole methodology against one Chip; Observe
+// is its experimental front half (discovery + collection) for callers that
+// aggregate across chips (internal/parallel does); Solve/SolveLazy search
+// for consistent codes; SolveStage is the cache-aware solve used by both
+// Recover paths. Profile.Canonical/Profile.Hash define the profile's
+// content address — the key of the recovered-code registry (internal/store)
+// — and SolveCache is the interface through which a registry short-circuits
+// repeated solves of the same fingerprint.
+//
+// Invariants: every long-running entry point takes a context and stops at
+// the next safe boundary (collection pass, SAT conflict); partial
+// experimental data is discarded on cancellation, because an unevenly
+// sampled profile would bias the §5.2 threshold filter; progress callbacks
+// (ProgressFunc) are serialized per run.
 package core
 
 import (

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+)
+
+// ExampleProfile_Hash demonstrates the canonical content address of a
+// miscorrection profile: the hash ignores collection order and duplicate
+// observations (two sweeps of the same chip address the same registry
+// entry), while any change to the observed information — here, one extra
+// susceptible bit — produces a different address.
+func ExampleProfile_Hash() {
+	code := ecc.Hamming74()
+	profile := core.ExactProfile(code, core.OneCharged(4))
+
+	// Reversing entry order does not change the content address...
+	reversed := &core.Profile{K: profile.K}
+	for i := len(profile.Entries) - 1; i >= 0; i-- {
+		reversed.Entries = append(reversed.Entries, profile.Entries[i])
+	}
+	fmt.Println("order-invariant:", profile.Hash() == reversed.Hash())
+
+	// ...and neither does observing everything twice.
+	fmt.Println("duplicate-invariant:", profile.Hash() == profile.Append(profile).Hash())
+
+	// Different information means a different address.
+	mutated := core.ExactProfile(code, core.OneCharged(4))
+	mutated.Entries[1].Possible.Set(2, true)
+	fmt.Println("sensitive to content:", profile.Hash() != mutated.Hash())
+	// Output:
+	// order-invariant: true
+	// duplicate-invariant: true
+	// sensitive to content: true
+}

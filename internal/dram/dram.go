@@ -26,6 +26,12 @@
 // millions of ECC words, so rare error patterns are still observed; a
 // simulated chip offers thousands, so the tail mass is raised to keep the
 // same coverage. All of the properties above are preserved.
+//
+// Entry point: New builds a Chip from a Config (rows, layout, seed);
+// internal/ondie layers the secret ECC on top and is what experiments
+// actually talk to. Determinism invariant: two chips built from equal
+// configs exhibit identical cell retention times forever — the substrate
+// carries no global RNG state.
 package dram
 
 import (

@@ -8,6 +8,16 @@
 // equivalence, and every equivalence class of a systematic code has exactly
 // one standard-form representative (paper §4.2.1), so P fully identifies a
 // code in this package.
+//
+// Entry points: New validates and builds a code from its P block;
+// SequentialHamming/BitReversedHamming/RandomHamming construct the families
+// the evaluation sweeps (Hamming74 is the paper's Eq. 1 running example);
+// Encode/Decode implement the §3.3 system model, with Decode blindly
+// flipping the bit whose H column matches the syndrome — the behavior that
+// produces miscorrections. Equal compares canonical representatives;
+// EquivalentTo compares up to parity-row relabeling (what an external
+// observer can distinguish). MarshalText/UnmarshalText are the text form
+// stored by internal/store and served by beerd.
 package ecc
 
 import (

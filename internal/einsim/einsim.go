@@ -9,6 +9,13 @@
 // pre-correction errors at RBER 1e-4, and 10^9 simulated words show that the
 // post-correction error distribution across bit positions is a fingerprint
 // of the specific parity-check matrix.
+//
+// Entry points: Run simulates one Config serially from a caller-supplied
+// RNG; parallel.Engine.Simulate shards the same computation bit-identically
+// across a worker pool (facade: repro.Pipeline.Simulate; CLI: cmd/einsim,
+// which can also load a BEER-recovered function via -code). Same-shape
+// Results combine with Result.Merge — the associativity the sharded path
+// relies on.
 package einsim
 
 import (

@@ -7,6 +7,11 @@
 //
 // cmd/figures exposes these on the command line; the repository-root
 // benchmarks invoke them with io.Discard to time each experiment.
+//
+// Entry points: All lists the registered Generators, ByID fetches one, and
+// each Generator's Run writes the artifact; SetEngine routes every sweep
+// through a caller-bounded parallel engine (cmd/figures -workers).
+// DESIGN.md §3 maps each generator id to its paper artifact.
 package figures
 
 import (

@@ -7,6 +7,14 @@
 //
 // The package is the foundation for internal/ecc (linear block codes) and
 // internal/core (BEER's parity-check matrix inference).
+//
+// Entry points: NewVec/ParseVec and NewMat/MatFromRows construct values;
+// Vec.String renders the bit-string form that flows through ecc's text
+// serialization, the store's export format and the profile's canonical
+// hash, so its rendering ("0"/"1", index 0 first) is effectively a wire
+// format and must stay stable. Vectors and matrices are mutable; functions
+// here return fresh values and never alias their inputs unless documented
+// (Clone exists for defensive copies).
 package gf2
 
 import (

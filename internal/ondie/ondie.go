@@ -19,6 +19,13 @@
 //
 // Methods prefixed with GroundTruth expose the chip's hidden internals for
 // validation only; the BEER implementation (internal/core) never calls them.
+//
+// Entry points: New/MustNew build a Chip from a Config (facade:
+// repro.SimulatedChip / repro.SimulatedChips); the Chip satisfies
+// core.Chip, which is the entire surface BEER may touch. Invariant: chips
+// with equal Config (including Seed) are byte-identical forever, and chips
+// differing only in Seed share the manufacturer's secret ECC function while
+// drawing independent cells — what makes §6.3 multi-chip merging sound.
 package ondie
 
 import (

@@ -1,12 +1,17 @@
 package parallel
 
 import (
-	"container/list"
-	"sync"
-
 	"repro/internal/core"
 	"repro/internal/ecc"
+	"repro/internal/store"
 )
+
+// The engine's hot-object caches are instances of store.LRU, the
+// repository's one bounded single-flight cache primitive (the same type
+// fronts the durable recovered-code registry inside store.Store). The engine
+// keeps its caches at the object layer — sharing *core.Profile pointers, no
+// serialization — because exact profiles are recomputed many times within a
+// process (Figure 5 sweeps, ablations) but never need to survive it.
 
 const (
 	defaultProfileCacheSize = 256
@@ -48,69 +53,14 @@ func codeFingerprint(c *ecc.Code) uint64 {
 	return h
 }
 
-// profileEntry is one cache slot. ready is closed once prof is computed, so
-// concurrent requests for the same key compute it exactly once and share the
-// result (single-flight).
-type profileEntry struct {
-	key   profileKey
-	ready chan struct{}
-	prof  *core.Profile
-}
-
-type profileCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used; values are *profileEntry
-	items map[profileKey]*list.Element
-	hits  int64
-	reqs  int64
-}
-
-func newProfileCache(max int) *profileCache {
-	return &profileCache{max: max, ll: list.New(), items: make(map[profileKey]*list.Element)}
-}
-
-// get returns the cached profile for key, computing it via compute on a miss.
-// Exactly one caller computes per key; the rest block on the ready channel.
-func (c *profileCache) get(key profileKey, compute func() *core.Profile) *core.Profile {
-	c.mu.Lock()
-	c.reqs++
-	if el, ok := c.items[key]; ok {
-		c.hits++
-		c.ll.MoveToFront(el)
-		entry := el.Value.(*profileEntry)
-		c.mu.Unlock()
-		<-entry.ready
-		return entry.prof
-	}
-	entry := &profileEntry{key: key, ready: make(chan struct{})}
-	c.items[key] = c.ll.PushFront(entry)
-	for c.ll.Len() > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*profileEntry).key)
-	}
-	c.mu.Unlock()
-	entry.prof = compute()
-	close(entry.ready)
-	return entry.prof
-}
-
-// stats returns (hits, requests) since construction.
-func (c *profileCache) stats() (int64, int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.reqs
-}
-
 // ExactProfile returns the analytic miscorrection profile of a known code for
 // a pattern family and cell polarity, memoized in the engine's LRU cache.
 // Repeated queries for the same (code, polarity, pattern family) return the
-// same *core.Profile object without recomputation, so callers must treat the
-// result as read-only.
+// same *core.Profile object without recomputation — concurrent first
+// requests single-flight — so callers must treat the result as read-only.
 func (e *Engine) ExactProfile(code *ecc.Code, set core.PatternSet, anti bool) *core.Profile {
 	key := profileKey{fp: codeFingerprint(code), n: code.N(), k: code.K(), set: set, anti: anti}
-	return e.profiles.get(key, func() *core.Profile {
+	return e.profiles.Get(key, func() *core.Profile {
 		patterns := e.Patterns(set, code.K())
 		if anti {
 			return core.ExactProfileAnti(code, patterns)
@@ -121,7 +71,7 @@ func (e *Engine) ExactProfile(code *ecc.Code, set core.PatternSet, anti bool) *c
 
 // CacheStats reports the profile cache's (hits, requests) counters.
 func (e *Engine) CacheStats() (hits, requests int64) {
-	return e.profiles.stats()
+	return e.profiles.Stats()
 }
 
 // patternKey identifies a materialized pattern family.
@@ -130,48 +80,20 @@ type patternKey struct {
 	k   int
 }
 
-type patternCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List
-	items map[patternKey]*list.Element
-}
-
-type patternEntry struct {
-	key  patternKey
-	pats []core.Pattern
-}
-
-func newPatternCache(max int) *patternCache {
-	return &patternCache{max: max, ll: list.New(), items: make(map[patternKey]*list.Element)}
-}
-
 // Patterns materializes a pattern family for dataword length k, memoized.
 // The 2-CHARGED family is quadratic in k and sweeps like Figure 5 request it
 // once per trial; callers must not mutate the returned slice.
 func (e *Engine) Patterns(set core.PatternSet, k int) []core.Pattern {
-	key := patternKey{set: set, k: k}
-	c := e.patterns
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		pats := el.Value.(*patternEntry).pats
-		c.mu.Unlock()
-		return pats
-	}
-	c.mu.Unlock()
-	// Materialize outside the lock; pattern generation is pure, so a rare
-	// duplicate computation is harmless.
-	pats := set.Patterns(k)
-	c.mu.Lock()
-	if _, ok := c.items[key]; !ok {
-		c.items[key] = c.ll.PushFront(&patternEntry{key: key, pats: pats})
-		for c.ll.Len() > c.max {
-			oldest := c.ll.Back()
-			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*patternEntry).key)
-		}
-	}
-	c.mu.Unlock()
-	return pats
+	return e.patterns.Get(patternKey{set: set, k: k}, func() []core.Pattern {
+		return set.Patterns(k)
+	})
+}
+
+// newProfileCache and newPatternCache size the engine's caches.
+func newProfileCache() *store.LRU[profileKey, *core.Profile] {
+	return store.NewLRU[profileKey, *core.Profile](defaultProfileCacheSize)
+}
+
+func newPatternCache() *store.LRU[patternKey, []core.Pattern] {
+	return store.NewLRU[patternKey, []core.Pattern](defaultPatternCacheSize)
 }

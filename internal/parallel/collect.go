@@ -125,15 +125,9 @@ func (e *Engine) Recover(ctx context.Context, chips []core.Chip, opts core.Recov
 	rep.CollectTime = time.Since(start)
 
 	start = time.Now()
-	solveOpts := opts.Solve
-	if solveOpts.Progress == nil {
-		solveOpts.Progress = progress
-	}
-	solve := core.Solve
-	if opts.UseLazySolver {
-		solve = core.SolveLazy
-	}
-	res, err := solve(ctx, rep.Profile, solveOpts)
+	// SolveStage consults opts.SolveCache first: a previously solved
+	// canonical profile hash replays its Result with no SAT invocation.
+	res, err := core.SolveStage(ctx, rep.Profile, opts)
 	rep.SolveTime = time.Since(start)
 	if err != nil {
 		return rep, fmt.Errorf("parallel: solve: %w", err)

@@ -13,16 +13,27 @@
 // safe to put under every experiment path: tests and figures stay
 // reproducible while wall-clock scales with cores.
 //
-// The engine also carries a small LRU cache of exact miscorrection profiles
-// keyed on (code, polarity/error model, pattern family) and of materialized
-// pattern families, because sweeps like Figure 5 and the ablations recompute
-// identical profiles many times.
+// The engine also carries small LRU caches — instances of store.LRU, the
+// repository's shared single-flight cache primitive — of exact
+// miscorrection profiles keyed on (code, polarity/error model, pattern
+// family) and of materialized pattern families, because sweeps like
+// Figure 5 and the ablations recompute identical profiles many times.
+//
+// Entry points: New/Default build or share an engine; ForEach is the
+// scheduling primitive (bounded workers, deterministic lowest-index error,
+// full goroutine join even on cancellation); Simulate/SimulateBatch shard
+// EINSim runs; CollectShards and Recover implement the §6.3 multi-chip
+// merge, with Recover also consulting core.RecoverOptions.SolveCache so
+// same-fingerprint chips skip the SAT solve.
 package parallel
 
 import (
 	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // Engine schedules sharded experiments over a bounded worker pool and caches
@@ -30,8 +41,8 @@ import (
 // An Engine is safe for concurrent use.
 type Engine struct {
 	workers  int
-	profiles *profileCache
-	patterns *patternCache
+	profiles *store.LRU[profileKey, *core.Profile]
+	patterns *store.LRU[patternKey, []core.Pattern]
 }
 
 // New returns an engine with the given worker-pool width. workers <= 0 means
@@ -42,8 +53,8 @@ func New(workers int) *Engine {
 	}
 	return &Engine{
 		workers:  workers,
-		profiles: newProfileCache(defaultProfileCacheSize),
-		patterns: newPatternCache(defaultPatternCacheSize),
+		profiles: newProfileCache(),
+		patterns: newPatternCache(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/einsim"
 	"repro/internal/ondie"
+	"repro/internal/store"
 )
 
 // workerCounts are the pool widths every determinism test sweeps: serial,
@@ -330,17 +331,17 @@ func TestProfileCacheConcurrent(t *testing.T) {
 }
 
 func TestProfileCacheEviction(t *testing.T) {
-	c := newProfileCache(2)
+	c := store.NewLRU[profileKey, *core.Profile](2)
 	compute := func(id int) func() *core.Profile {
 		return func() *core.Profile { return &core.Profile{K: id} }
 	}
 	k1 := profileKey{fp: 1}
 	k2 := profileKey{fp: 2}
 	k3 := profileKey{fp: 3}
-	p1 := c.get(k1, compute(1))
-	c.get(k2, compute(2))
-	c.get(k3, compute(3)) // evicts k1
-	if got := c.get(k1, compute(101)); got == p1 {
+	p1 := c.Get(k1, compute(1))
+	c.Get(k2, compute(2))
+	c.Get(k3, compute(3)) // evicts k1
+	if got := c.Get(k1, compute(101)); got == p1 {
 		t.Fatal("evicted entry survived")
 	} else if got.K != 101 {
 		t.Fatal("recompute did not run after eviction")

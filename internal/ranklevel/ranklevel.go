@@ -14,7 +14,10 @@
 //
 // DirectRecovery exercises exactly that flow and recovers H column by
 // column. BEER (internal/core) needs neither capability, which is why it —
-// and not this baseline — works for on-die ECC.
+// and not this baseline — works for on-die ECC. Entry points: New builds
+// the simulated controller-side rank, DirectRecovery runs the baseline
+// (examples/rank_level_baseline narrates it; figures' table1 summarizes the
+// capability comparison).
 package ranklevel
 
 import (

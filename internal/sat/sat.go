@@ -9,6 +9,13 @@
 // clause database reduction. Solvers are reusable: clauses may be added
 // between Solve calls, which is how model enumeration (BEER's uniqueness
 // check) adds blocking clauses.
+//
+// Entry points: New + AddClause + Solve; ReifyXor/ReifyAnd/ReifyOr build
+// the Tseitin gadgets the §5.3 encoding needs; BlockModel excludes the
+// current model for enumeration. The Interrupt hook is polled at every
+// conflict and restart — internal/core wires context cancellation into it
+// — and MaxConflicts bounds effort per call. Solvers are single-goroutine:
+// one Solver must never be shared across concurrent solves.
 package sat
 
 import (

@@ -12,6 +12,7 @@ import (
 	"repro"
 	"repro/internal/ecc"
 	"repro/internal/einsim"
+	"repro/internal/store"
 )
 
 // JobSpec is the submission body for POST /api/v1/jobs. Type selects the
@@ -63,9 +64,10 @@ const (
 	maxWords = 10_000_000
 )
 
-// runner executes one validated job. It reports progress through fn and
-// returns the job's result.
-type runner func(ctx context.Context, engine *repro.Engine, fn repro.ProgressFunc) (*JobResult, error)
+// runner executes one validated job. It reports progress through fn,
+// consults cache (the server's content-addressed solver cache; may be nil)
+// before any SAT search, and returns the job's result.
+type runner func(ctx context.Context, engine *repro.Engine, cache repro.SolveCache, fn repro.ProgressFunc) (*JobResult, error)
 
 // buildRunner validates a spec and compiles it into a runner. All
 // validation happens here, at submission time, so a 202 means the job is
@@ -132,13 +134,16 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 		return nil, fmt.Errorf("max_window_minutes=%d out of range [4, 240]", spec.MaxWindowMinutes)
 	}
 
-	return func(ctx context.Context, engine *repro.Engine, fn repro.ProgressFunc) (*JobResult, error) {
+	return func(ctx context.Context, engine *repro.Engine, cache repro.SolveCache, fn repro.ProgressFunc) (*JobResult, error) {
 		opts := []repro.Option{
 			repro.WithEngine(engine),
 			repro.WithPatternSet(patternSet),
 			repro.WithWindowSweep(maxWin),
 			repro.WithRounds(rounds),
 			repro.WithProgress(fn),
+		}
+		if cache != nil {
+			opts = append(opts, repro.WithSolveCache(cache))
 		}
 		if spec.UseAntiRows {
 			opts = append(opts, repro.WithAntiRows())
@@ -154,11 +159,12 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 			return nil, err
 		}
 		res := &JobResult{Recover: &RecoverResult{
-			K:          report.K,
-			Unique:     report.Result.Unique,
-			Candidates: len(report.Result.Codes),
-			CollectMS:  report.CollectTime.Seconds() * 1e3,
-			SolveMS:    report.SolveTime.Seconds() * 1e3,
+			K:           report.K,
+			ProfileHash: report.Profile.Hash(),
+			Unique:      report.Result.Unique,
+			Candidates:  len(report.Result.Codes),
+			CollectMS:   report.CollectTime.Seconds() * 1e3,
+			SolveMS:     report.SolveTime.Seconds() * 1e3,
 		}}
 		if len(report.Result.Codes) > 0 {
 			code := report.Result.Codes[0]
@@ -237,7 +243,7 @@ func buildSimulateRunner(spec JobSpec) (runner, error) {
 		seed = 1
 	}
 
-	return func(ctx context.Context, engine *repro.Engine, fn repro.ProgressFunc) (*JobResult, error) {
+	return func(ctx context.Context, engine *repro.Engine, _ repro.SolveCache, fn repro.ProgressFunc) (*JobResult, error) {
 		pipe := repro.NewPipeline(repro.WithEngine(engine), repro.WithProgress(fn))
 		res, err := pipe.Simulate(ctx, cfg, seed)
 		if err != nil {
@@ -266,6 +272,11 @@ type JobResult struct {
 type RecoverResult struct {
 	// K is the discovered dataword length.
 	K int `json:"k"`
+	// ProfileHash is the canonical content address of the collected
+	// miscorrection profile (core.Profile.Hash) — the key of the recovered
+	// function in the GET /codes registry, and what a later submission with
+	// an identical profile dedupes on.
+	ProfileHash string `json:"profile_hash,omitempty"`
 	// Unique is true when exactly one ECC function matches the profile.
 	Unique bool `json:"unique"`
 	// Candidates counts the enumerated matching functions.
@@ -419,14 +430,122 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
+	j.markUserCanceled() // DELETE is terminal: never resumed after a restart
 	j.cancel()
+	// Record the terminal intent durably NOW: the goroutine persists the
+	// final state only at its next pass boundary, and a crash in between
+	// must not resurrect a user-cancelled job.
+	s.persistCancelIntent(j)
 	writeJSON(w, http.StatusOK, s.status(j))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	invocations, hits := s.SolveCounters()
+	codes := 0
+	if keys, err := s.store.Backend().Keys(store.BucketCodes); err == nil {
+		codes = len(keys)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"workers": s.engine.Workers(),
 		"jobs":    s.stateCounts(),
+		"store":   s.store.Describe(),
+		"codes":   codes,
+		"solver": map[string]int64{
+			"invocations": invocations,
+			"cache_hits":  hits,
+		},
+	})
+}
+
+// CodeListing is one entry of the GET /codes registry listing: the first
+// candidate function in the export wire format (store.CodeExport) plus the
+// record's registry metadata.
+type CodeListing struct {
+	store.CodeExport
+	// Candidates counts every function consistent with the profile; the
+	// embedded export is the first. GET /codes/{profile_hash} returns all.
+	Candidates int `json:"candidates"`
+	// CreatedAt and Source record when and by which job the profile was
+	// first solved.
+	CreatedAt time.Time `json:"created_at"`
+	Source    string    `json:"source,omitempty"`
+	// DetermineMS and UniquenessMS replay the original solver timings.
+	DetermineMS  float64 `json:"determine_ms"`
+	UniquenessMS float64 `json:"uniqueness_ms"`
+}
+
+// CodeDetail is the body of GET /codes/{profile_hash}: the full registry
+// record with every candidate exported.
+type CodeDetail struct {
+	ProfileHash  string             `json:"profile_hash"`
+	K            int                `json:"k"`
+	N            int                `json:"n"`
+	Unique       bool               `json:"unique"`
+	Exhausted    bool               `json:"exhausted"`
+	Candidates   int                `json:"candidates"`
+	CreatedAt    time.Time          `json:"created_at"`
+	Source       string             `json:"source,omitempty"`
+	DetermineMS  float64            `json:"determine_ms"`
+	UniquenessMS float64            `json:"uniqueness_ms"`
+	Codes        []store.CodeExport `json:"codes"`
+}
+
+// handleCodes lists the recovered-code registry, oldest record first.
+// Records whose search proved the profile unsatisfiable carry no codes and
+// are omitted from the listing (they remain readable by hash).
+func (s *Server) handleCodes(w http.ResponseWriter, r *http.Request) {
+	recs, err := s.store.Codes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading code registry: %v", err)
+		return
+	}
+	listings := make([]CodeListing, 0, len(recs))
+	for _, rec := range recs {
+		exps, err := rec.Export()
+		if err != nil || len(exps) == 0 {
+			continue
+		}
+		listings = append(listings, CodeListing{
+			CodeExport:   exps[0],
+			Candidates:   len(rec.Codes),
+			CreatedAt:    rec.CreatedAt,
+			Source:       rec.Source,
+			DetermineMS:  rec.DetermineMS,
+			UniquenessMS: rec.UniquenessMS,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"codes": listings})
+}
+
+// handleCode returns one registry record with every candidate function.
+func (s *Server) handleCode(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	rec, ok, err := s.store.GetCode(hash)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading code registry: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no recovered code for profile hash %q", hash)
+		return
+	}
+	exps, err := rec.Export()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "exporting record: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CodeDetail{
+		ProfileHash:  rec.ProfileHash,
+		K:            rec.K,
+		N:            rec.N,
+		Unique:       rec.Unique,
+		Exhausted:    rec.Exhausted,
+		Candidates:   len(rec.Codes),
+		CreatedAt:    rec.CreatedAt,
+		Source:       rec.Source,
+		DetermineMS:  rec.DetermineMS,
+		UniquenessMS: rec.UniquenessMS,
+		Codes:        exps,
 	})
 }

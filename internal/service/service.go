@@ -1,6 +1,7 @@
 // Package service implements beerd, the BEER job server: an HTTP/JSON API
 // for submitting long-running recovery and simulation jobs, polling their
-// per-stage progress, cancelling them, and fetching results.
+// per-stage progress, cancelling them, fetching results, and browsing the
+// registry of recovered ECC functions.
 //
 // The server is a thin layer over the public Pipeline API: every job runs
 // under its own context.Context (DELETE cancels it; server shutdown cancels
@@ -9,6 +10,16 @@
 // many-chips-one-lab workflow exposed as a service. Progress arrives through
 // the pipeline's event stream (repro.WithProgress) and is folded into
 // monotonic per-stage counters that status polls read.
+//
+// Every server also owns a result store (internal/store; in-memory by
+// default, file-backed via WithStore and `beerd -store`): jobs persist as
+// they run and finish, so a restarted server replays completed jobs and
+// resumes interrupted ones, and every successful recovery lands in a
+// content-addressed registry keyed by the canonical profile hash
+// (core.Profile.Hash). The registry doubles as a solver cache — a submission
+// whose miscorrection profile was solved before replays the recorded result
+// with zero SAT invocations — and is browsable at GET /codes, the paper's §7
+// "BEER database". docs/API.md documents the wire format of every endpoint.
 package service
 
 import (
@@ -19,6 +30,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/store"
 )
 
 // State is a job's lifecycle state.
@@ -38,11 +50,13 @@ const (
 // Terminal reports whether a state is final.
 func (s State) Terminal() bool { return s != StateRunning }
 
-// Server owns the job table and the shared experiment engine. Construct
-// with New; serve Handler(); Close cancels every running job and waits for
-// their goroutines to exit.
+// Server owns the job table, the shared experiment engine and the result
+// store. Construct with New; serve Handler(); Close cancels every running
+// job and waits for their goroutines to exit.
 type Server struct {
 	engine *repro.Engine
+	store  *store.Store
+	solve  solveCounter
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -54,20 +68,86 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithStore backs the server with an existing result store. The default is
+// a store over an in-memory backend: jobs then dedupe and replay within one
+// process but do not survive a restart. Pass a store over a FileBackend
+// (what `beerd -store <dir>` does) for durability — New then replays the
+// store's completed jobs into the job table and resumes its interrupted
+// ones.
+func WithStore(st *store.Store) Option { return func(s *Server) { s.store = st } }
+
 // New builds a Server multiplexing jobs onto the given engine (nil = the
-// process-wide default engine).
-func New(engine *repro.Engine) *Server {
+// process-wide default engine). If the configured store already holds job
+// records (a file-backed store from a previous run), New replays terminal
+// jobs — their statuses and results are immediately readable — and restarts
+// interrupted ones from their persisted specs.
+func New(engine *repro.Engine, opts ...Option) *Server {
 	if engine == nil {
 		engine = repro.DefaultEngine()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		engine:   engine,
 		jobs:     make(map[string]*job),
 		baseCtx:  ctx,
 		shutdown: cancel,
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.store == nil {
+		s.store = store.New(store.NewMemBackend())
+	}
+	s.recoverPersistedJobs()
+	return s
 }
+
+// Store returns the server's result store (never nil).
+func (s *Server) Store() *store.Store { return s.store }
+
+// SolveCounters reports how many times recovery jobs reached the solve
+// stage and how many of those were served from the content-addressed
+// registry without invoking the SAT solver. invocations counts actual
+// solver runs: lookups minus hits.
+func (s *Server) SolveCounters() (invocations, cacheHits int64) {
+	return s.solve.counters()
+}
+
+// solveCounter tallies solve-stage traffic across all jobs.
+type solveCounter struct {
+	mu            sync.Mutex
+	lookups, hits int64
+}
+
+func (c *solveCounter) counters() (invocations, cacheHits int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookups - c.hits, c.hits
+}
+
+// countingCache wraps a job's store-backed solve cache with the server-wide
+// counters. Every recovery job gets one, so a cache hit is observable as
+// "zero new solver invocations" on /healthz and SolveCounters.
+type countingCache struct {
+	counter *solveCounter
+	inner   repro.SolveCache
+}
+
+func (c countingCache) Lookup(p *repro.Profile) (*repro.SolveResult, bool) {
+	res, ok := c.inner.Lookup(p)
+	c.counter.mu.Lock()
+	c.counter.lookups++
+	if ok {
+		c.counter.hits++
+	}
+	c.counter.mu.Unlock()
+	return res, ok
+}
+
+func (c countingCache) Store(p *repro.Profile, res *repro.SolveResult) { c.inner.Store(p, res) }
 
 // Engine returns the shared experiment engine jobs run on.
 func (s *Server) Engine() *repro.Engine { return s.engine }
@@ -89,8 +169,12 @@ func (s *Server) Close() {
 type job struct {
 	id      string
 	spec    JobSpec
+	runCtx  context.Context
 	cancel  context.CancelFunc
 	created time.Time
+	// replayed marks a terminal job restored from the store on startup (its
+	// pipeline did not run in this process).
+	replayed bool
 
 	progress progressState
 
@@ -100,6 +184,25 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	result   *JobResult
+	// userCanceled marks a DELETE-initiated cancellation. It decides how a
+	// cancelled job persists: DELETE is terminal ("canceled", never
+	// resumes), while shutdown-initiated cancellation persists as resumable.
+	userCanceled bool
+
+	// persistMu serializes snapshot+write cycles against the store, so a
+	// DELETE handler's cancel-intent write cannot interleave with the job
+	// goroutine's terminal persist and clobber a succeeded record with a
+	// stale "canceled" one. Always acquired before (never while holding)
+	// j.mu.
+	persistMu sync.Mutex
+}
+
+// markUserCanceled records that the job's cancellation was requested via
+// DELETE rather than server shutdown.
+func (j *job) markUserCanceled() {
+	j.mu.Lock()
+	j.userCanceled = true
+	j.mu.Unlock()
 }
 
 func (j *job) snapshotState() (State, string, time.Time, time.Time) {
@@ -119,7 +222,8 @@ func (j *job) finish(state State, err error, result *JobResult) {
 	j.finished = time.Now()
 }
 
-// submit validates a spec, registers a job and starts its goroutine.
+// submit validates a spec, registers a new job, persists it and starts its
+// goroutine.
 func (s *Server) submit(spec JobSpec) (*job, error) {
 	run, err := buildRunner(spec)
 	if err != nil {
@@ -139,31 +243,55 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		state:   StateRunning,
 	}
 	j.progress.chips = spec.chipCount()
+	s.registerLocked(j)
+	s.mu.Unlock()
+
+	s.start(j, run)
+	return j, nil
+}
+
+// registerLocked adds a job to the table and claims its WaitGroup slot;
+// callers hold s.mu (the shutdown check and the Add must be atomic against
+// Close).
+func (s *Server) registerLocked(j *job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.runCtx = ctx
 	j.cancel = cancel
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.wg.Add(1)
-	s.mu.Unlock()
+}
 
+// start persists the job's running record and launches its goroutine. The
+// record is written before the goroutine exists, so a crash at any later
+// point leaves a "running" record for the next boot to resume.
+func (s *Server) start(j *job, run runner) {
 	j.mu.Lock()
 	j.started = time.Now()
 	j.mu.Unlock()
+	s.persistJob(j)
 
 	go func() {
 		defer s.wg.Done()
-		defer cancel()
-		result, err := run(ctx, s.engine, j.progress.observe)
+		defer j.cancel()
+		result, err := run(j.runCtx, s.engine, s.jobCache(j), j.progress.observe)
 		switch {
 		case err == nil:
 			j.finish(StateSucceeded, nil, result)
-		case ctx.Err() != nil:
-			j.finish(StateCanceled, ctx.Err(), nil)
+		case j.runCtx.Err() != nil:
+			j.finish(StateCanceled, j.runCtx.Err(), nil)
 		default:
 			j.finish(StateFailed, err, nil)
 		}
+		s.persistJob(j)
 	}()
-	return j, nil
+}
+
+// jobCache builds the job's solve cache: the store's content-addressed
+// registry labeled with the job id (so the registry records provenance),
+// wrapped with the server-wide solver counters.
+func (s *Server) jobCache(j *job) repro.SolveCache {
+	return countingCache{counter: &s.solve, inner: s.store.SolveCache(j.id)}
 }
 
 // get returns a job by id.
@@ -270,14 +398,17 @@ func (p *progressState) snapshot() ProgressStatus {
 	}
 }
 
-// Handler returns the beerd HTTP API:
+// Handler returns the beerd HTTP API (full request/response schemas in
+// docs/API.md):
 //
 //	POST   /api/v1/jobs             submit a job (JobSpec JSON)
 //	GET    /api/v1/jobs             list job statuses
 //	GET    /api/v1/jobs/{id}        one job's status + per-stage progress
 //	GET    /api/v1/jobs/{id}/result a finished job's result
 //	DELETE /api/v1/jobs/{id}        cancel a running job
-//	GET    /healthz                 liveness + engine/job counters
+//	GET    /codes                   the recovered-code registry (export format)
+//	GET    /codes/{hash}            one registry record, all candidates
+//	GET    /healthz                 liveness + engine/job/solver counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -285,6 +416,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /codes", s.handleCodes)
+	mux.HandleFunc("GET /codes/{hash}", s.handleCode)
+	// The registry is also reachable under the versioned prefix for clients
+	// that mount everything below /api/v1.
+	mux.HandleFunc("GET /api/v1/codes", s.handleCodes)
+	mux.HandleFunc("GET /api/v1/codes/{hash}", s.handleCode)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }

@@ -1,8 +1,15 @@
 // Package stats provides the statistical helpers the reproduction needs:
-// five-number summaries and bootstrap confidence intervals for the figures,
-// and deterministic hash-based random variates for the DRAM retention model
-// (each cell's retention time must be a repeatable function of its address,
-// mirroring how real cells have fixed-but-random retention behavior).
+// five-number summaries and bootstrap confidence intervals for the figures
+// (paper §6 reports medians with min/max whiskers), and deterministic
+// hash-based random variates for the DRAM retention model (each cell's
+// retention time must be a repeatable function of its address, mirroring
+// how real cells have fixed-but-random retention behavior, paper §3.2).
+//
+// Entry points: Summarize/Bootstrap for the figure pipelines; SplitMix64/
+// HashN + Uniform01/NormalInv for address-keyed variates (internal/dram
+// draws retention times through them). The hash-based variates carry the
+// repository-wide determinism invariant: same address + seed, same value,
+// on every platform.
 package stats
 
 import (

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ecc"
+)
+
+// CodeExport is the JSON wire format for a single ECC function, modeled on
+// the EINSim tool's code descriptions (uid + scheme + dimensions + check
+// matrix) so recovered functions can flow between tools: `cmd/beer -o`
+// writes it, `cmd/einsim -code` reads it back for simulation, and beerd's
+// GET /codes lists the registry in it. The P block rows are bit strings
+// ("0101...", k characters each), exactly the rows of the standard-form
+// parity-check matrix H = [P | I] over the data bits.
+type CodeExport struct {
+	// UID deterministically identifies the function:
+	// "secham-<n>-<k>-<12 hex of SHA-256 over the P rows>".
+	UID string `json:"uid"`
+	// Scheme is the ECC scheme tag; "HSC" (Hamming single-error correction)
+	// is the only scheme this repository produces, matching EINSim's name
+	// for SEC Hamming codes.
+	Scheme string `json:"scheme"`
+	N      int    `json:"n"`
+	K      int    `json:"k"`
+	// P holds the parity-check P block, one bit-string row per parity bit.
+	P []string `json:"p"`
+	// ProfileHash links the export to the miscorrection profile it was
+	// recovered from, when it came out of BEER rather than construction.
+	ProfileHash string `json:"profile_hash,omitempty"`
+	// Unique reports whether the BEER search proved this is the only
+	// function consistent with the profile (absent for constructed codes).
+	Unique *bool `json:"unique,omitempty"`
+}
+
+// ExportCode renders a code in the wire format.
+func ExportCode(code *ecc.Code) CodeExport {
+	r := code.ParityBits()
+	rows := make([]string, r)
+	p := code.P()
+	for i := 0; i < r; i++ {
+		rows[i] = p.Row(i).String()
+	}
+	return CodeExport{
+		UID:    codeUID(code.N(), code.K(), rows),
+		Scheme: "HSC",
+		N:      code.N(),
+		K:      code.K(),
+		P:      rows,
+	}
+}
+
+// codeUID derives the deterministic export identifier.
+func codeUID(n, k int, rows []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "secham %d %d\n", n, k)
+	for _, row := range rows {
+		io.WriteString(h, row)
+		io.WriteString(h, "\n")
+	}
+	return fmt.Sprintf("secham-%d-%d-%s", n, k, hex.EncodeToString(h.Sum(nil))[:12])
+}
+
+// Code reconstructs the ecc.Code, validating shape, scheme and the SEC
+// invariants.
+func (e CodeExport) Code() (*ecc.Code, error) {
+	if e.Scheme != "" && e.Scheme != "HSC" {
+		return nil, fmt.Errorf("store: unsupported scheme %q (want HSC)", e.Scheme)
+	}
+	if len(e.P) != e.N-e.K {
+		return nil, fmt.Errorf("store: export has %d P rows, want n-k=%d", len(e.P), e.N-e.K)
+	}
+	var text strings.Builder
+	fmt.Fprintf(&text, "secham %d %d\n", e.N, e.K)
+	for _, row := range e.P {
+		text.WriteString(row)
+		text.WriteByte('\n')
+	}
+	code := new(ecc.Code)
+	if err := code.UnmarshalText([]byte(text.String())); err != nil {
+		return nil, err
+	}
+	return code, nil
+}
+
+// Export renders the registry record's candidates in the wire format, each
+// stamped with the record's profile hash and uniqueness verdict.
+func (r *CodeRecord) Export() ([]CodeExport, error) {
+	out := make([]CodeExport, 0, len(r.Codes))
+	for i, text := range r.Codes {
+		code := new(ecc.Code)
+		if err := code.UnmarshalText([]byte(text)); err != nil {
+			return nil, fmt.Errorf("store: record %s code %d: %w", r.ProfileHash, i, err)
+		}
+		exp := ExportCode(code)
+		exp.ProfileHash = r.ProfileHash
+		unique := r.Unique
+		exp.Unique = &unique
+		out = append(out, exp)
+	}
+	return out, nil
+}
+
+// WriteExport writes one export as indented JSON (the `beer -o` file
+// format).
+func WriteExport(w io.Writer, e CodeExport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadExport parses a single export document (the `einsim -code` input).
+// Unknown fields are ignored so any superset of the wire format imports —
+// in particular, an entry copied straight out of beerd's GET /codes listing
+// (which adds registry metadata alongside the export fields) round-trips
+// into a simulation. Shape and scheme are still validated by Code.
+func ReadExport(r io.Reader) (CodeExport, error) {
+	var e CodeExport
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return CodeExport{}, fmt.Errorf("store: parse code export: %w", err)
+	}
+	return e, nil
+}

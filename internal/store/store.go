@@ -1,0 +1,258 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+)
+
+// Bucket names the Store layer uses on any Backend.
+const (
+	// BucketCodes holds CodeRecords keyed by canonical profile hash — the
+	// content-addressed registry of recovered ECC functions (the paper's §7
+	// "BEER database").
+	BucketCodes = "codes"
+	// BucketJobs holds JobRecords keyed by job id — the beerd job log that
+	// makes submissions survive restarts.
+	BucketJobs = "jobs"
+)
+
+// Store is the typed layer over a Backend: recovered-code records addressed
+// by profile hash, and job records addressed by job id. A Store is safe for
+// concurrent use if its Backend is (both shipped backends are).
+type Store struct {
+	backend Backend
+	// results caches reconstructed solver results per profile hash so
+	// repeated lookups of a hot hash skip the backend read and code
+	// re-parsing. Shared by every SolveCache view of this Store.
+	results *LRU[string, *core.Result]
+}
+
+// resultCacheSize bounds the in-memory result cache fronting the backend. A
+// result is a handful of parsed codes — hundreds are cheap, and the durable
+// record remains behind every eviction.
+const resultCacheSize = 512
+
+// New wraps a Backend in the typed Store layer.
+func New(b Backend) *Store {
+	return &Store{backend: b, results: NewLRU[string, *core.Result](resultCacheSize)}
+}
+
+// Backend returns the underlying persistence backend.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Describe renders the backend for logs and healthz ("mem", "file:<dir>").
+func (s *Store) Describe() string { return describeBackend(s.backend) }
+
+// Close releases the backend.
+func (s *Store) Close() error { return s.backend.Close() }
+
+// CodeRecord is one entry of the recovered-code registry: every candidate
+// ECC function consistent with a miscorrection profile, plus the solver
+// statistics of the run that found them. Records are keyed by the profile's
+// canonical hash (core.Profile.Hash), so two experiments observing the same
+// fingerprint share one record.
+type CodeRecord struct {
+	// ProfileHash is the canonical content address (lowercase hex SHA-256 of
+	// the profile's normalized serialization).
+	ProfileHash string `json:"profile_hash"`
+	// K and N describe the code shape (dataword and codeword bits).
+	K int `json:"k"`
+	N int `json:"n"`
+	// Codes holds every candidate in ecc.Code text form (parseable with
+	// ecc.Code.UnmarshalText), in solver discovery order. Empty means the
+	// profile was proven unsatisfiable.
+	Codes []string `json:"codes"`
+	// Unique and Exhausted mirror core.Result: Unique means exactly one
+	// function matches and the search proved it.
+	Unique    bool `json:"unique"`
+	Exhausted bool `json:"exhausted"`
+	// Solver statistics of the original run, replayed on cache hits.
+	Vars            int     `json:"vars"`
+	Clauses         int     `json:"clauses"`
+	LazyRefinements int     `json:"lazy_refinements,omitempty"`
+	DetermineMS     float64 `json:"determine_ms"`
+	UniquenessMS    float64 `json:"uniqueness_ms"`
+	// CreatedAt stamps the first successful solve; Source identifies the
+	// producer (a beerd job id, "cmd/beer", ...).
+	CreatedAt time.Time `json:"created_at"`
+	Source    string    `json:"source,omitempty"`
+}
+
+// RecordFromResult converts a successful solve into a registry record.
+func RecordFromResult(profileHash string, k int, res *core.Result, source string) *CodeRecord {
+	rec := &CodeRecord{
+		ProfileHash:     profileHash,
+		K:               k,
+		Unique:          res.Unique,
+		Exhausted:       res.Exhausted,
+		Vars:            res.Vars,
+		Clauses:         res.Clauses,
+		LazyRefinements: res.LazyRefinements,
+		DetermineMS:     res.DetermineTime.Seconds() * 1e3,
+		UniquenessMS:    res.UniquenessTime.Seconds() * 1e3,
+		CreatedAt:       time.Now().UTC(),
+		Source:          source,
+	}
+	for _, code := range res.Codes {
+		rec.N = code.N()
+		text, err := code.MarshalText()
+		if err != nil {
+			continue // MarshalText has no failing path today; skip defensively
+		}
+		rec.Codes = append(rec.Codes, string(text))
+	}
+	return rec
+}
+
+// Result reconstructs the core.Result the record was created from. Timing
+// and encoding statistics replay from the original run; per-conflict SAT
+// stats are not persisted and come back zero.
+func (r *CodeRecord) Result() (*core.Result, error) {
+	res := &core.Result{
+		Unique:          r.Unique,
+		Exhausted:       r.Exhausted,
+		Vars:            r.Vars,
+		Clauses:         r.Clauses,
+		LazyRefinements: r.LazyRefinements,
+		DetermineTime:   time.Duration(r.DetermineMS * float64(time.Millisecond)),
+		UniquenessTime:  time.Duration(r.UniquenessMS * float64(time.Millisecond)),
+	}
+	for i, text := range r.Codes {
+		code := new(ecc.Code)
+		if err := code.UnmarshalText([]byte(text)); err != nil {
+			return nil, fmt.Errorf("store: record %s code %d: %w", r.ProfileHash, i, err)
+		}
+		res.Codes = append(res.Codes, code)
+	}
+	return res, nil
+}
+
+// PutCode writes a registry record under its profile hash, overwriting any
+// previous record for the hash.
+func (s *Store) PutCode(rec *CodeRecord) error {
+	if rec.ProfileHash == "" {
+		return fmt.Errorf("store: code record without profile hash")
+	}
+	return s.putJSON(BucketCodes, rec.ProfileHash, rec)
+}
+
+// GetCode returns the registry record for a profile hash.
+func (s *Store) GetCode(profileHash string) (*CodeRecord, bool, error) {
+	rec := new(CodeRecord)
+	ok, err := s.getJSON(BucketCodes, profileHash, rec)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return rec, true, nil
+}
+
+// Codes lists every registry record, oldest first (ties break on hash).
+// Records that fail to read or parse are skipped: one corrupt file must not
+// take down the whole listing (direct GetCode still reports the error, and
+// the solve-cache path overwrites corrupt records on the next solve).
+func (s *Store) Codes() ([]*CodeRecord, error) {
+	keys, err := s.backend.Keys(BucketCodes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*CodeRecord, 0, len(keys))
+	for _, key := range keys {
+		rec, ok, err := s.GetCode(key)
+		if err != nil || !ok {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ProfileHash < out[j].ProfileHash
+	})
+	return out, nil
+}
+
+// JobRecord is the durable form of one beerd job. The spec and result are
+// stored as raw JSON — the service owns their schemas — so the store stays
+// decoupled from the HTTP layer while still replaying both verbatim after a
+// restart.
+type JobRecord struct {
+	ID   string `json:"id"`
+	Type string `json:"type"`
+	// Spec is the submitted JobSpec, verbatim; a restarted server re-runs
+	// non-terminal jobs from it.
+	Spec json.RawMessage `json:"spec"`
+	// State is the job lifecycle state ("running", "succeeded", "failed",
+	// "canceled"). A record persisted as "running" marks a job interrupted
+	// by a shutdown or crash; restart resumes it from the spec.
+	State    string    `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Result is the JobResult JSON of a succeeded job.
+	Result json.RawMessage `json:"result,omitempty"`
+	// ProfileHash links a succeeded recovery job to its BucketCodes record.
+	ProfileHash string `json:"profile_hash,omitempty"`
+}
+
+// PutJob writes a job record under its id.
+func (s *Store) PutJob(rec *JobRecord) error {
+	if rec.ID == "" {
+		return fmt.Errorf("store: job record without id")
+	}
+	return s.putJSON(BucketJobs, rec.ID, rec)
+}
+
+// GetJob returns the job record for an id.
+func (s *Store) GetJob(id string) (*JobRecord, bool, error) {
+	rec := new(JobRecord)
+	ok, err := s.getJSON(BucketJobs, id, rec)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return rec, true, nil
+}
+
+// Jobs lists every job record in key order (the service re-sorts by
+// submission sequence). As with Codes, records that fail to read or parse
+// are skipped so one corrupt file cannot block replaying every other job.
+func (s *Store) Jobs() ([]*JobRecord, error) {
+	keys, err := s.backend.Keys(BucketJobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*JobRecord, 0, len(keys))
+	for _, key := range keys {
+		rec, ok, err := s.GetJob(key)
+		if err != nil || !ok {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (s *Store) putJSON(bucket, key string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal %s/%s: %w", bucket, key, err)
+	}
+	return s.backend.Put(bucket, key, append(data, '\n'))
+}
+
+func (s *Store) getJSON(bucket, key string, v any) (bool, error) {
+	data, ok, err := s.backend.Get(bucket, key)
+	if !ok || err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("store: unmarshal %s/%s: %w", bucket, key, err)
+	}
+	return true, nil
+}

@@ -182,6 +182,16 @@ func WithMaxSolutions(n int) Option {
 // callback must be fast and safe for concurrent use across jobs sharing it.
 func WithProgress(fn ProgressFunc) Option { return func(p *Pipeline) { p.recover.Progress = fn } }
 
+// WithSolveCache installs a solver-result cache consulted between the
+// threshold filter and the SAT search: a profile whose canonical hash
+// (Profile.Hash) was solved before replays the cached result with zero SAT
+// invocations, and fresh successful solves are offered back. The
+// content-addressed store (internal/store, what beerd persists to) provides
+// the standard implementation. The cache keys on the profile alone — do not
+// share one across pipelines with different solver limits (see the
+// SolveCache contract).
+func WithSolveCache(c SolveCache) Option { return func(p *Pipeline) { p.recover.SolveCache = c } }
+
 // WithRecoverOptions replaces the pipeline's whole recovery configuration
 // with a legacy options struct — the migration escape hatch for callers that
 // assembled core.RecoverOptions by hand. Options applied after this one

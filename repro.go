@@ -13,7 +13,11 @@
 //   - internal/dram:   the raw DRAM retention-error substrate.
 //   - internal/einsim: EINSim-style word-level Monte-Carlo simulation.
 //   - internal/parallel: the worker-pool experiment engine.
-//   - internal/service:  the beerd HTTP job service (cmd/beerd).
+//   - internal/store:  the durable result store — a content-addressed
+//     registry of recovered codes keyed by canonical profile hash (the
+//     paper's §7 "BEER database") behind a pluggable backend interface.
+//   - internal/service:  the beerd HTTP job service (cmd/beerd), with
+//     persistent jobs and solver-result deduplication on top of the store.
 //
 // # Quick start
 //
@@ -73,6 +77,10 @@ type (
 	Report = core.Report
 	// SolveResult lists the code(s) consistent with a profile.
 	SolveResult = core.Result
+	// SolveCache short-circuits the solve stage for profiles whose canonical
+	// hash (Profile.Hash) was solved before; install one with WithSolveCache.
+	// internal/store provides the durable, content-addressed implementation.
+	SolveCache = core.SolveCache
 	// BEEPOptions configures BEEP profiling.
 	BEEPOptions = beep.Options
 	// BEEPOutcome reports BEEP's findings for one word.
@@ -169,7 +177,7 @@ func DefaultEngine() *Engine { return parallel.Default() }
 
 // FastRecovery returns recovery options tuned for small simulated chips.
 //
-// Deprecated: use NewPipeline(WithFastWindows()) — the Pipeline carries the
+// Deprecated: Use NewPipeline(WithFastWindows()) — the Pipeline carries the
 // same configuration plus a context and progress stream. FastRecovery
 // remains for callers still on the struct-options shims.
 func FastRecovery() RecoverOptions {
@@ -182,9 +190,9 @@ func FastRecovery() RecoverOptions {
 // RecoverECCFunction runs the complete BEER methodology (paper §5) against
 // any Chip with the legacy struct options.
 //
-// Deprecated: use NewPipeline(...).Recover(ctx, chip) — it adds
-// cancellation, progress reporting and multi-chip fan-out. This shim runs
-// with context.Background() (uncancellable).
+// Deprecated: Use NewPipeline(WithRecoverOptions(opts)).Recover(ctx, chip)
+// — it adds cancellation, progress reporting (WithProgress) and multi-chip
+// fan-out. This shim runs with context.Background() (uncancellable).
 func RecoverECCFunction(chip Chip, opts RecoverOptions) (*Report, error) {
 	return core.Recover(context.Background(), chip, opts)
 }
@@ -192,7 +200,7 @@ func RecoverECCFunction(chip Chip, opts RecoverOptions) (*Report, error) {
 // RecoverECCFunctionParallel runs the complete BEER methodology against
 // several chips of the same model on the default engine.
 //
-// Deprecated: use NewPipeline(WithRecoverOptions(opts)).Recover(ctx,
+// Deprecated: Use NewPipeline(WithRecoverOptions(opts)).Recover(ctx,
 // chips...). This shim runs with context.Background() (uncancellable).
 func RecoverECCFunctionParallel(chips []Chip, opts RecoverOptions) (*Report, error) {
 	return parallel.Default().Recover(context.Background(), chips, opts)
@@ -201,7 +209,9 @@ func RecoverECCFunctionParallel(chips []Chip, opts RecoverOptions) (*Report, err
 // SolveProfile searches for every ECC function consistent with a
 // miscorrection profile (paper §5.3).
 //
-// Deprecated: use NewPipeline(...).Solve(ctx, profile), which supports
+// Deprecated: Use NewPipeline(WithParityBits(opts.ParityBits),
+// WithMaxSolutions(opts.MaxSolutions),
+// WithSolveBudget(opts.MaxConflicts)).Solve(ctx, profile), which supports
 // cancellation mid-search. This shim runs with context.Background().
 func SolveProfile(p *Profile, opts core.SolveOptions) (*SolveResult, error) {
 	return core.Solve(context.Background(), p, opts)
@@ -210,7 +220,7 @@ func SolveProfile(p *Profile, opts core.SolveOptions) (*SolveResult, error) {
 // ProfileWord runs BEEP (paper §7.1) against one testable ECC word using a
 // known (typically BEER-recovered) code.
 //
-// Deprecated: use NewPipeline(WithBEEPOptions(opts)).ProfileWord(ctx, code,
+// Deprecated: Use NewPipeline(WithBEEPOptions(opts)).ProfileWord(ctx, code,
 // word, seed). This shim runs with context.Background().
 func ProfileWord(code *Code, word beep.WordTester, opts BEEPOptions, seed uint64) *BEEPOutcome {
 	prof := beep.NewProfiler(code, opts, rand.New(rand.NewPCG(seed, 0xBEEB)))
@@ -227,9 +237,11 @@ func ProfileWord(code *Code, word beep.WordTester, opts BEEPOptions, seed uint64
 // (used for the paper's Figure 1 and secondary-ECC co-design studies,
 // §7.2.1).
 //
-// Deprecated: use NewPipeline(...).Simulate(ctx, cfg, seed). The Pipeline
-// form shards across the engine's worker pool (bit-identical for any worker
-// count, but drawn from different streams than this serial shim).
+// Deprecated: Use NewPipeline().Simulate(ctx, cfg, seed). The Pipeline form
+// shards across the engine's worker pool (bit-identical for any worker
+// count, but drawn from different streams than this serial shim); keep the
+// shim only where stream-exact compatibility with old serial results
+// matters.
 func Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
 	return einsim.Run(cfg, rand.New(rand.NewPCG(seed, 0x51E)))
 }
@@ -237,7 +249,7 @@ func Simulate(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
 // SimulateParallel is Simulate sharded across the default engine's worker
 // pool.
 //
-// Deprecated: use NewPipeline(...).Simulate(ctx, cfg, seed) — identical
+// Deprecated: Use NewPipeline().Simulate(ctx, cfg, seed) — identical
 // results, plus cancellation. This shim runs with context.Background().
 func SimulateParallel(cfg einsim.Config, seed uint64) (*einsim.Result, error) {
 	return parallel.Default().Simulate(context.Background(), cfg, seed)
