@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-baseline fmt serve-smoke
+.PHONY: all build test lint bench bench-baseline fmt serve-smoke cluster-smoke
 
 all: build lint test
 
@@ -23,20 +23,29 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # One-shot benchmark sweep parsed into a JSON baseline (tools/benchjson).
-# CI uploads BENCH_pr3.json as an artifact, seeding the bench trajectory.
+# CI uploads BENCH_pr4.json as an artifact, extending the bench trajectory
+# (now including the cluster-vs-standalone recovery throughput pair).
 # Two steps (not a pipe) so a bench compile failure fails the target instead
 # of silently writing an empty baseline.
 bench-baseline:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.out
-	$(GO) run ./tools/benchjson < bench.out > BENCH_pr3.json
+	$(GO) run ./tools/benchjson < bench.out > BENCH_pr4.json
 	@rm -f bench.out
-	@echo "wrote BENCH_pr3.json"
+	@echo "wrote BENCH_pr4.json"
 
 # Boot an ephemeral beerd, submit 8 concurrent FastRecovery jobs against
 # simulated MfrB chips, assert monotonic per-stage progress and that every
 # recovered H matches ground truth (see internal/service/smoke.go).
 serve-smoke:
 	$(GO) run ./cmd/beerd -selfcheck -selfcheck-jobs 8
+
+# Spin up a real local cluster — this process as coordinator plus two
+# spawned beerd worker processes — submit 8 distinct-profile recovery jobs
+# with one worker SIGKILLed mid-run (failover must be observed), then
+# resubmit the same profiles and require zero additional SAT solver
+# invocations (see internal/cluster/smoke.go).
+cluster-smoke:
+	$(GO) run ./cmd/beerd -clustercheck -clustercheck-jobs 8
 
 fmt:
 	gofmt -w .

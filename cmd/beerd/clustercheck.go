@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// runClusterCheck is `beerd -clustercheck`, the cluster acceptance smoke
+// (make cluster-smoke / CI): this process becomes the coordinator and
+// spawns two real worker processes of the same binary, then drives
+// cluster.Smoke against the fleet — ≥8 distinct-profile jobs with one
+// worker SIGKILLed mid-run (failover must be observed), followed by a
+// duplicate-profile phase that must incur zero additional SAT solver
+// invocations. Three OS processes, real sockets, real deaths.
+func runClusterCheck(jobs int, beat, ttl time.Duration) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beerd clustercheck:", err)
+		return 1
+	}
+
+	st := store.New(store.NewMemBackend())
+	coord := cluster.NewCoordinator(st, cluster.CoordinatorConfig{
+		HeartbeatEvery: beat,
+		TTL:            ttl,
+		Log:            log.Printf,
+	})
+	srv := service.New(repro.NewEngine(0), service.WithStore(st), service.WithExecutor(coord))
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beerd clustercheck:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: coord.Handler(srv.Handler()), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "beerd clustercheck:", err)
+		}
+	}()
+	defer httpSrv.Close()
+	coordURL := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Spawn the worker fleet: real beerd processes joining over loopback.
+	procs := make(map[string]*exec.Cmd)
+	for _, id := range []string{"w1", "w2"} {
+		cmd := exec.CommandContext(ctx, exe,
+			"-role", "worker",
+			"-addr", "127.0.0.1:0",
+			"-join", coordURL,
+			"-worker-id", id,
+			"-max-jobs", "4",
+			"-heartbeat", beat.String(),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "beerd clustercheck: starting %s: %v\n", id, err)
+			return 1
+		}
+		procs[id] = cmd
+		defer func() {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}()
+	}
+	log.Printf("beerd clustercheck: coordinator %s, workers w1 (pid %d) + w2 (pid %d)",
+		coordURL, procs["w1"].Process.Pid, procs["w2"].Process.Pid)
+
+	err = cluster.Smoke(ctx, cluster.SmokeConfig{
+		BaseURL: coordURL,
+		Jobs:    jobs,
+		Log:     log.Printf,
+		KillWorker: func(id string) error {
+			cmd, ok := procs[id]
+			if !ok {
+				return fmt.Errorf("unknown worker %q", id)
+			}
+			log.Printf("beerd clustercheck: SIGKILLing %s (pid %d)", id, cmd.Process.Pid)
+			if err := cmd.Process.Kill(); err != nil {
+				return err
+			}
+			_ = cmd.Wait()
+			return nil
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beerd clustercheck FAILED:", err)
+		return 1
+	}
+	fmt.Printf("beerd clustercheck OK: %d jobs + %d duplicates across 2 workers, 1 killed mid-run, failover observed, zero duplicate solver invocations\n", jobs, jobs)
+	return 0
+}

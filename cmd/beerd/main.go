@@ -1,34 +1,43 @@
 // Command beerd serves BEER as a job service: an HTTP/JSON API that accepts
-// long-running recovery and simulation jobs, multiplexes them onto one
-// shared parallel experiment engine, streams per-stage progress through
-// status polls, and hands back recovered ECC functions.
+// long-running recovery and simulation jobs, streams per-stage progress
+// through status polls, and hands back recovered ECC functions. It runs in
+// three roles:
+//
+//	beerd                                        # standalone: jobs run on the local engine
+//	beerd -role coordinator -addr :8080          # cluster front end: jobs shard across workers
+//	beerd -role worker -join http://host:8080    # fleet member: registers, heartbeats, executes
 //
 // Usage:
 //
 //	beerd -addr :8080 -workers 0
-//	beerd -store /var/lib/beerd      # durable jobs + code registry (JSON on disk)
-//	beerd -selfcheck                 # start an ephemeral server, run the smoke suite, exit
+//	beerd -store /var/lib/beerd          # durable jobs + code registry (JSON on disk)
+//	beerd -max-jobs 4                    # admission cap: 429 + Retry-After when saturated
+//	beerd -selfcheck                     # ephemeral server + smoke suite, then exit
+//	beerd -clustercheck                  # 1 coordinator + 2 worker processes + kill-one smoke, then exit
 //
-// API (full schemas in docs/API.md; see internal/service):
+// API (full schemas in docs/API.md; see internal/service and
+// internal/cluster):
 //
 //	POST   /api/v1/jobs             {"type":"recover","manufacturer":"B","k":16,"verify":true}
 //	GET    /api/v1/jobs             list job statuses
-//	GET    /api/v1/jobs/{id}        status + per-stage progress
+//	GET    /api/v1/jobs/{id}        status + per-stage progress (+ worker/dispatches in cluster)
 //	GET    /api/v1/jobs/{id}/result recovered H matrix / simulation counters
 //	DELETE /api/v1/jobs/{id}        cancel
 //	GET    /codes                   registry of recovered ECC functions
 //	GET    /codes/{hash}            one registry record, all candidates
-//	GET    /healthz                 liveness + job/solver counters
+//	GET    /healthz                 liveness + job/solver/cluster counters
+//	/cluster/v1/*                   coordinator control plane (register, heartbeat, workers, codes)
 //
-// With -store, jobs and recovered codes persist across restarts: completed
-// jobs replay from disk, jobs interrupted by a shutdown or crash resume, and
-// a submission whose miscorrection profile was solved before returns the
-// cached result without running the SAT solver. Without it the same
-// machinery runs on an in-memory store scoped to the process.
+// A coordinator shards jobs across its registered workers by consistent
+// hashing on the job's miscorrection-profile hash, fails jobs over when a
+// worker dies, spills on 429 backpressure, and aggregates every worker's
+// recovered codes into its own GET /codes.
 //
-// SIGINT/SIGTERM shut the server down gracefully: in-flight jobs are
-// cancelled (they stop within one collection pass) and persisted as
-// resumable before the process exits.
+// SIGINT/SIGTERM shut every role down gracefully: the server stops
+// accepting jobs (503), drains in-flight ones up to -drain-timeout while
+// status polls keep answering, persists what remains as resumable, and — in
+// the worker role — deregisters from the coordinator first so nothing new
+// is dispatched its way.
 package main
 
 import (
@@ -41,65 +50,217 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/store"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "shared engine worker-pool width (0 = all cores)")
-		storeDir  = flag.String("store", "", "directory for the durable job + code store (empty = in-memory)")
-		selfcheck = flag.Bool("selfcheck", false, "start an ephemeral server, run the smoke suite against it, and exit")
-		smokeJobs = flag.Int("selfcheck-jobs", 8, "concurrent recovery jobs the selfcheck submits")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "engine worker-pool width (0 = all cores)")
+		storeDir = flag.String("store", "", "directory for the durable job + code store (empty = in-memory)")
+		role     = flag.String("role", "standalone", "process role: standalone, coordinator or worker")
+		join     = flag.String("join", "", "coordinator URL to join (worker role)")
+		advert   = flag.String("advertise", "", "base URL the coordinator should dispatch to (worker role; default http://127.0.0.1:<port>)")
+		workerID = flag.String("worker-id", "", "stable worker identity on the hash ring (default: random)")
+		maxJobs  = flag.Int("max-jobs", 0, "admission cap on concurrently executing jobs (0 = unlimited)")
+		drain    = flag.Duration("drain-timeout", 45*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
+		beat     = flag.Duration("heartbeat", cluster.DefaultHeartbeatEvery, "cluster heartbeat interval (coordinator hands it to workers)")
+		ttl      = flag.Duration("ttl", cluster.DefaultTTL, "cluster liveness TTL (coordinator role)")
+
+		selfcheck  = flag.Bool("selfcheck", false, "start an ephemeral server, run the smoke suite against it, and exit")
+		smokeJobs  = flag.Int("selfcheck-jobs", 8, "concurrent recovery jobs the selfcheck submits")
+		clustCheck = flag.Bool("clustercheck", false, "spin up a local 1-coordinator/2-worker cluster, run the kill-one smoke, and exit")
+		clustJobs  = flag.Int("clustercheck-jobs", 8, "distinct-profile jobs per clustercheck phase")
 	)
 	flag.Parse()
 
-	var opts []service.Option
+	if *clustCheck {
+		// The check wants a fast liveness clock, but an explicit flag — an
+		// operator slowing things down to debug — always wins.
+		beatSet, ttlSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "heartbeat":
+				beatSet = true
+			case "ttl":
+				ttlSet = true
+			}
+		})
+		if !beatSet {
+			*beat = 250 * time.Millisecond
+		}
+		if !ttlSet {
+			*ttl = time.Second
+		}
+		os.Exit(runClusterCheck(*clustJobs, *beat, *ttl))
+	}
+
+	st := store.New(store.NewMemBackend())
 	if *storeDir != "" {
 		backend, err := store.NewFileBackend(*storeDir)
 		if err != nil {
 			log.Fatalf("beerd: %v", err)
 		}
-		opts = append(opts, service.WithStore(store.New(backend)))
+		st = store.New(backend)
 	}
-	srv := service.New(repro.NewEngine(*workers), opts...)
-	defer srv.Store().Close()
+	opts := []service.Option{service.WithStore(st)}
+	if *maxJobs > 0 {
+		opts = append(opts, service.WithMaxConcurrent(*maxJobs))
+	}
 
 	if *selfcheck {
+		// Selfcheck never uses -addr (it serves on an ephemeral loopback
+		// port), so it must run before the listener binds.
+		srv := service.New(repro.NewEngine(*workers), opts...)
+		defer srv.Store().Close()
 		os.Exit(runSelfcheck(srv, *smokeJobs))
 	}
 
+	// The listener comes first so the worker role can derive a dialable
+	// advertise URL from the bound port before anything registers.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("beerd: %v", err)
+	}
+
+	var (
+		coord     *cluster.Coordinator
+		agent     *cluster.Worker
+		workerCfg *cluster.WorkerConfig
+	)
+	switch *role {
+	case "standalone":
+	case "coordinator":
+		// The coordinator shares the server's store, so codes synced from
+		// workers land on the public GET /codes.
+		coord = cluster.NewCoordinator(st, cluster.CoordinatorConfig{
+			HeartbeatEvery: *beat,
+			TTL:            *ttl,
+			Log:            log.Printf,
+		})
+		opts = append(opts, service.WithExecutor(coord))
+	case "worker":
+		if *join == "" {
+			log.Fatalf("beerd: -role worker requires -join <coordinator-url>")
+		}
+		id := *workerID
+		if id == "" {
+			id = cluster.RandomWorkerID()
+		}
+		advertise := *advert
+		if advertise == "" {
+			advertise = defaultAdvertise(ln)
+		}
+		workerCfg = &cluster.WorkerConfig{
+			ID:             id,
+			CoordinatorURL: *join,
+			AdvertiseURL:   advertise,
+			Capacity:       *maxJobs,
+			HeartbeatEvery: *beat,
+			Log:            log.Printf,
+		}
+		// The remote solve-cache tier is wired at construction so even the
+		// first job consults the fleet registry before solving.
+		opts = append(opts, service.WithSolveCacheTier(cluster.NewRemoteCache(*join, id)))
+	default:
+		log.Fatalf("beerd: unknown role %q (want standalone, coordinator or worker)", *role)
+	}
+
+	srv := service.New(repro.NewEngine(*workers), opts...)
+	defer srv.Store().Close()
+
+	handler := srv.Handler()
+	switch {
+	case coord != nil:
+		handler = coord.Handler(handler)
+	case workerCfg != nil:
+		// Workers expose the raw registry read endpoints so the
+		// coordinator's pull sweep can reconcile every record.
+		handler = cluster.RegistryHandler(st, handler)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if workerCfg != nil {
+		var err error
+		agent, err = cluster.NewWorker(*workerCfg, srv)
+		if err != nil {
+			log.Fatalf("beerd: %v", err)
+		}
+		go func() {
+			if err := agent.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("beerd: cluster agent: %v", err)
+			}
+		}()
+	}
+
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("beerd: listening on %s (%d workers, store %s)", *addr, srv.Engine().Workers(), srv.Store().Describe())
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("beerd: %s listening on %s (%d engine workers, store %s, executor %s)",
+		*role, ln.Addr(), srv.Engine().Workers(), srv.Store().Describe(), srv.Executor().Describe())
 
 	select {
 	case err := <-errCh:
 		log.Fatalf("beerd: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("beerd: shutting down, cancelling running jobs")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	shutdown(srv, httpSrv, agent, *drain)
+}
+
+// shutdown runs the graceful sequence: deregister (worker), drain while
+// status polls keep answering, stop the listener, cancel what remains.
+func shutdown(srv *service.Server, httpSrv *http.Server, agent *cluster.Worker, drainTimeout time.Duration) {
+	if agent != nil {
+		dctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		if err := agent.Deregister(dctx); err != nil {
+			log.Printf("beerd: deregister: %v", err)
+		}
+		cancel()
+	}
+	log.Printf("beerd: draining (up to %v) — new submissions get 503, in-flight jobs finish", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("beerd: %v; cancelling the rest (they persist as resumable)", err)
+	} else {
+		log.Printf("beerd: drained cleanly")
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("beerd: http shutdown: %v", err)
 	}
 	srv.Close()
 	log.Printf("beerd: bye")
+}
+
+// defaultAdvertise derives a dialable loopback URL from the bound listener
+// (the listen address ":8080" binds every interface; dispatchers need a
+// concrete host).
+func defaultAdvertise(ln net.Listener) string {
+	addr := ln.Addr().String()
+	if host, port, err := net.SplitHostPort(addr); err == nil {
+		if host == "" || host == "::" || host == "0.0.0.0" {
+			return "http://127.0.0.1:" + port
+		}
+		if strings.Contains(host, ":") {
+			return "http://[" + host + "]:" + port
+		}
+		return "http://" + host + ":" + port
+	}
+	return "http://" + addr
 }
 
 // runSelfcheck boots an ephemeral server on a loopback port and drives the

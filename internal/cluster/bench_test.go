@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// benchCluster boots a coordinator with n in-process workers, suppressing
+// logs.
+func benchCluster(b *testing.B, n int) (base string, shutdown func()) {
+	b.Helper()
+	st := store.New(store.NewMemBackend())
+	coord := NewCoordinator(st, CoordinatorConfig{
+		HeartbeatEvery: 100 * time.Millisecond,
+		TTL:            time.Second,
+		PollInterval:   5 * time.Millisecond,
+	})
+	srv := service.New(repro.NewEngine(0), service.WithStore(st), service.WithExecutor(coord))
+	ts := httptest.NewServer(coord.Handler(srv.Handler()))
+
+	var closers []func()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("bench-w%d", i)
+		wst := store.New(store.NewMemBackend())
+		wsrv := service.New(repro.NewEngine(0),
+			service.WithStore(wst),
+			service.WithSolveCacheTier(NewRemoteCache(ts.URL, id)))
+		wts := httptest.NewServer(RegistryHandler(wst, wsrv.Handler()))
+		agent, err := NewWorker(WorkerConfig{
+			ID:             id,
+			CoordinatorURL: ts.URL,
+			AdvertiseURL:   wts.URL,
+			HeartbeatEvery: 100 * time.Millisecond,
+		}, wsrv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() { _ = agent.Run(ctx) }()
+		closers = append(closers, func() { cancel(); wts.Close(); wsrv.Close() })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Registry().LiveCount() < n {
+		if time.Now().After(deadline) {
+			b.Fatal("workers never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return ts.URL, func() {
+		for _, c := range closers {
+			c()
+		}
+		ts.Close()
+		srv.Close()
+	}
+}
+
+// BenchmarkClusterRecoverThroughput measures end-to-end recovery jobs per
+// second through a 1-coordinator/2-worker cluster: dispatch, remote
+// execution, progress proxying and result fetch, with distinct chip seeds
+// per job (collection always runs; the solve is cached after the first
+// job per profile — the steady-state shape of a BEER fleet).
+func BenchmarkClusterRecoverThroughput(b *testing.B) {
+	base, shutdown := benchCluster(b, 2)
+	defer shutdown()
+	client := &http.Client{Timeout: 30 * time.Second}
+	ctx := context.Background()
+	b.ResetTimer()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, b.N)
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := service.JobSpec{Type: "recover", Manufacturer: "B", K: 8, Seed: uint64(1 + i), Verify: true}
+			var st service.JobStatus
+			if err := doJSON(ctx, client, http.MethodPost, base+"/api/v1/jobs", spec, &st); err != nil {
+				errs <- err
+				return
+			}
+			for {
+				time.Sleep(10 * time.Millisecond)
+				if err := doJSON(ctx, client, http.MethodGet, base+"/api/v1/jobs/"+st.ID, nil, &st); err != nil {
+					errs <- err
+					return
+				}
+				if st.State.Terminal() {
+					if st.State != service.StateSucceeded {
+						errs <- fmt.Errorf("%s finished %s: %s", st.ID, st.State, st.Error)
+					}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStandaloneRecoverThroughput is the single-node baseline for the
+// cluster benchmark: the same jobs against one standalone server.
+func BenchmarkStandaloneRecoverThroughput(b *testing.B) {
+	srv := service.New(repro.NewEngine(0))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+	ctx := context.Background()
+	b.ResetTimer()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, b.N)
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := service.JobSpec{Type: "recover", Manufacturer: "B", K: 8, Seed: uint64(1 + i), Verify: true}
+			var st service.JobStatus
+			if err := doJSON(ctx, client, http.MethodPost, ts.URL+"/api/v1/jobs", spec, &st); err != nil {
+				errs <- err
+				return
+			}
+			for {
+				time.Sleep(10 * time.Millisecond)
+				if err := doJSON(ctx, client, http.MethodGet, ts.URL+"/api/v1/jobs/"+st.ID, nil, &st); err != nil {
+					errs <- err
+					return
+				}
+				if st.State.Terminal() {
+					if st.State != service.StateSucceeded {
+						errs <- fmt.Errorf("%s finished %s: %s", st.ID, st.State, st.Error)
+					}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies the coordinator accepts, mirroring
+// the service layer's cap.
+const maxBodyBytes = 1 << 20
+
+// maxRespBytes bounds response reads. Registry listings (/codes) grow with
+// the fleet's lifetime discoveries and can far exceed the request cap; a
+// truncated read here would permanently break registry pull sweeps, so the
+// ceiling is sized as a sanity backstop, not a working limit.
+const maxRespBytes = 256 << 20
+
+// httpError is a non-2xx response with enough structure for the dispatcher
+// to tell backpressure (429), refusal (503) and not-found (404) apart from
+// plain failure.
+type httpError struct {
+	status     int
+	retryAfter time.Duration
+	body       string
+	method     string
+	path       string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("%s %s: %d: %s", e.method, e.path, e.status, e.body)
+}
+
+// retryAfterOr returns the server's Retry-After hint, or def without one.
+func (e *httpError) retryAfterOr(def time.Duration) time.Duration {
+	if e.retryAfter > 0 {
+		return e.retryAfter
+	}
+	return def
+}
+
+func isStatus(err error, status int) bool {
+	he, ok := err.(*httpError)
+	return ok && he.status == status
+}
+
+// doJSON performs a request with a JSON body (nil for none) and decodes a
+// JSON response into out (nil to discard).
+func doJSON(ctx context.Context, client *http.Client, method, url string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		he := &httpError{
+			status: resp.StatusCode,
+			body:   string(bytes.TrimSpace(data)),
+			method: method,
+			path:   req.URL.Path,
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			he.retryAfter = time.Duration(secs) * time.Second
+		}
+		return he
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

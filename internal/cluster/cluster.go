@@ -1,0 +1,143 @@
+// Package cluster turns beerd into a multi-node system: a coordinator that
+// owns the public job API and a fleet of workers that execute jobs on their
+// local parallel engines.
+//
+// The paper's own evaluation already has this shape — §6.3 observes that
+// BEER parallelizes across chips because same-model observation counts
+// simply add, and the dominant per-profile cost is the SAT search (§5.3),
+// which is embarrassingly parallel across profiles. A coordinator therefore
+// needs no shared state beyond the content-addressed code registry
+// (internal/store, the paper's §7 "BEER database"): every job is
+// independent, and the only cross-job win is never solving the same
+// miscorrection profile twice.
+//
+// # Roles
+//
+//   - The coordinator (Coordinator, `beerd -role coordinator`) serves the
+//     ordinary beerd HTTP API. It implements service.Executor, so the
+//     service layer's job table, persistence and progress handling are
+//     unchanged — Prepare validates the spec, and the returned Execution
+//     dispatches it to a worker over the same HTTP/JSON API instead of
+//     running it locally. The coordinator additionally mounts the
+//     /cluster/v1 control endpoints (register, heartbeat, worker listing,
+//     registry push/pull).
+//   - A worker (Worker, `beerd -role worker -join <coordinator-url>`) is a
+//     complete standalone beerd — engine, job table, store, admission cap —
+//     plus an agent that registers with the coordinator and heartbeats
+//     liveness, load and registry size. Its solve cache is tiered through
+//     the coordinator (RemoteCache), which is what keeps the fleet-wide
+//     "zero duplicate solver invocations" property across worker failures.
+//
+// # Routing
+//
+// Jobs shard across workers by consistent hashing (Ring) on the job's
+// routing key (RoutingKey): for recovery jobs the canonical hash
+// (core.Profile.Hash) of the analytically computed miscorrection profile —
+// the §4 closed form evaluated on the chip model's ECC function — so two
+// submissions that will observe identical profiles land on the same worker
+// and its solve cache stays hot, regardless of chip seed or chip count.
+// Membership changes move only the keys adjacent to the joining or leaving
+// worker, preserving the rest of the fleet's cache locality.
+//
+// # Failure model
+//
+// Workers are expendable; the coordinator is the durability point. A worker
+// proves liveness by heartbeating; missing heartbeats past the TTL, or
+// failing enough consecutive in-dispatch requests, marks it dead. Jobs
+// in flight on a dead worker are redispatched from scratch to the next
+// worker on the ring (bounded by MaxDispatches) — partial collection is
+// discarded by design, mirroring the single-node resume semantics, but a
+// profile the dead worker already solved survives in the coordinator's
+// registry, so the replacement worker skips the SAT search. A saturated
+// worker (429 + Retry-After) is not dead: the dispatcher spills to ring
+// successors and backs off when the whole fleet is saturated. Codes
+// recovered anywhere are pushed into the coordinator's store (and pulled
+// as a fallback when a job completes), so the coordinator's GET /codes is
+// the union of the fleet's discoveries.
+package cluster
+
+import "time"
+
+// Control-plane paths mounted by Coordinator.Handler. The data plane —
+// dispatching jobs, polling their status and fetching results — is the
+// ordinary service API on each worker.
+const (
+	PathRegister  = "/cluster/v1/register"
+	PathHeartbeat = "/cluster/v1/heartbeat"
+	PathWorkers   = "/cluster/v1/workers"
+	PathCodes     = "/cluster/v1/codes"
+)
+
+// Liveness defaults. Registration returns the coordinator's actual values
+// so a fleet follows one clock.
+const (
+	// DefaultHeartbeatEvery is how often workers heartbeat.
+	DefaultHeartbeatEvery = 2 * time.Second
+	// DefaultTTL is how long after the last heartbeat a worker is presumed
+	// alive. Three missed beats mark it dead.
+	DefaultTTL = 6 * time.Second
+	// DefaultMaxDispatches bounds how many workers one job may be
+	// dispatched to before the coordinator gives up and fails the job
+	// (1 initial dispatch + retries after worker deaths).
+	DefaultMaxDispatches = 4
+)
+
+// WorkerInfo is a worker's registration: identity, dial address and
+// capacity.
+type WorkerInfo struct {
+	// ID is the worker's stable identity on the hash ring. Re-registering
+	// under the same ID (a restarted worker) replaces the previous entry
+	// without moving any keys.
+	ID string `json:"id"`
+	// URL is the base URL the coordinator dispatches to
+	// (e.g. "http://10.0.0.7:8081").
+	URL string `json:"url"`
+	// Capacity is the worker's admission cap (0 = unlimited), as
+	// configured by `beerd -max-jobs`.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// RegisterResponse tells a registering worker the coordinator's liveness
+// clock.
+type RegisterResponse struct {
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	TTLMS       int64 `json:"ttl_ms"`
+}
+
+// Heartbeat is a worker's periodic liveness report.
+type Heartbeat struct {
+	ID string `json:"id"`
+	// Running is how many jobs the worker is executing.
+	Running int `json:"running"`
+	// InFlight is the worker engine's sharded-computation gauge
+	// (parallel.Engine.InFlight).
+	InFlight int `json:"in_flight"`
+	// Codes is the size of the worker's local code registry. The
+	// coordinator uses a change in it as a cue that a push may have been
+	// missed and the registries have diverged.
+	Codes int `json:"codes"`
+	// Draining reports that the worker is shutting down gracefully: still
+	// finishing in-flight jobs, but refusing new ones.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// WorkerStatus is one entry of GET /cluster/v1/workers: the registration
+// plus the coordinator's live view of the worker.
+type WorkerStatus struct {
+	WorkerInfo
+	// Alive is false once the TTL lapsed or the dispatcher declared the
+	// worker dead.
+	Alive bool `json:"alive"`
+	// Draining mirrors the worker's last heartbeat.
+	Draining bool `json:"draining,omitempty"`
+	// Running, InFlight and Codes mirror the last heartbeat.
+	Running  int `json:"running"`
+	InFlight int `json:"in_flight"`
+	Codes    int `json:"codes"`
+	// Active is the coordinator's own count of jobs currently dispatched
+	// to this worker (it can differ transiently from Running, which is the
+	// worker's self-report).
+	Active int `json:"active"`
+	// LastHeartbeat is when the coordinator last heard from the worker.
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+}

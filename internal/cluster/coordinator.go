@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// CoordinatorConfig tunes a Coordinator. The zero value selects the
+// documented defaults.
+type CoordinatorConfig struct {
+	// HeartbeatEvery and TTL set the fleet's liveness clock, handed to
+	// every registering worker.
+	HeartbeatEvery time.Duration
+	TTL            time.Duration
+	// MaxDispatches bounds how many workers one job may be dispatched to
+	// (1 + failovers after worker deaths) before the job fails.
+	MaxDispatches int
+	// PollInterval is the status-poll cadence while a job runs remotely.
+	PollInterval time.Duration
+	// DispatchWait is how long a job waits for a live, unsaturated worker
+	// (none registered yet, or the whole fleet saturated) before failing.
+	DispatchWait time.Duration
+	// Log, when set, receives coordinator events (registrations, deaths,
+	// failovers, registry syncs).
+	Log func(format string, args ...any)
+}
+
+func (cfg CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.MaxDispatches <= 0 {
+		cfg.MaxDispatches = DefaultMaxDispatches
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	if cfg.DispatchWait <= 0 {
+		cfg.DispatchWait = 30 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	return cfg
+}
+
+// Coordinator is the cluster's front end: a service.Executor that shards
+// submitted jobs across registered workers by consistent hashing on the
+// job's routing key, with failover, backpressure handling and registry
+// sync. Wire one into a service.Server with service.WithExecutor and mount
+// Handler over the server's API.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	store  *store.Store
+	reg    *Registry
+	client *http.Client
+
+	// counters feed HealthStats (and the cluster smoke's assertions).
+	dispatches atomic.Int64 // jobs successfully submitted to a worker
+	failovers  atomic.Int64 // redispatches after a worker died mid-job
+	spills     atomic.Int64 // dispatches diverted off the key's owner by saturation
+	syncPulls  atomic.Int64 // registry records pulled from workers
+	syncPushes atomic.Int64 // registry records pushed by workers
+
+	syncMu     sync.Mutex
+	syncActive map[string]bool // worker IDs with a pull sweep in flight
+}
+
+// NewCoordinator builds a coordinator over the given result store — the
+// same store the service.Server persists to, so synced codes appear on the
+// public GET /codes.
+func NewCoordinator(st *store.Store, cfg CoordinatorConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	return &Coordinator{
+		cfg:        cfg,
+		store:      st,
+		reg:        NewRegistry(cfg.TTL),
+		client:     &http.Client{Timeout: 15 * time.Second},
+		syncActive: make(map[string]bool),
+	}
+}
+
+// Registry exposes the membership table (tests, health).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Describe implements service.Executor.
+func (c *Coordinator) Describe() string {
+	return fmt.Sprintf("cluster:%d-live-workers", c.reg.LiveCount())
+}
+
+// Prepare implements service.Executor: validate the spec exactly as a
+// local server would, then compile a dispatching Execution keyed for the
+// ring. Validation happens here, on the coordinator, so a worker rejecting
+// the same spec later is a version-skew bug, not a user error.
+func (c *Coordinator) Prepare(spec service.JobSpec) (service.Execution, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return c.dispatchExecution(spec, RoutingKey(spec)), nil
+}
+
+// HealthStats implements the service layer's optional health extension:
+// the fleet and dispatch counters shown under "cluster" on /healthz.
+func (c *Coordinator) HealthStats() map[string]any {
+	return map[string]any{
+		"live_workers": c.reg.LiveCount(),
+		"workers":      len(c.reg.Snapshot()),
+		"dispatches":   c.dispatches.Load(),
+		"failovers":    c.failovers.Load(),
+		"spills":       c.spills.Load(),
+		"sync_pulls":   c.syncPulls.Load(),
+		"sync_pushes":  c.syncPushes.Load(),
+	}
+}
+
+// Handler mounts the /cluster/v1 control plane in front of the ordinary
+// service API (pass service.Server.Handler as api):
+//
+//	POST   /cluster/v1/register      worker joins (WorkerInfo)
+//	POST   /cluster/v1/heartbeat     worker liveness report (Heartbeat)
+//	GET    /cluster/v1/workers       fleet listing (WorkerStatus)
+//	DELETE /cluster/v1/workers/{id}  graceful worker departure
+//	GET    /cluster/v1/codes/{hash}  one raw registry record (store.CodeRecord)
+//	POST   /cluster/v1/codes         push a solved record into the registry
+func (c *Coordinator) Handler(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	mux.HandleFunc("POST "+PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("GET "+PathWorkers, c.handleWorkers)
+	mux.HandleFunc("DELETE "+PathWorkers+"/{id}", c.handleDeregister)
+	mountRegistryRead(mux, c.store)
+	mux.HandleFunc("POST "+PathCodes, c.handlePushCode)
+	mux.Handle("/", api)
+	return mux
+}
+
+// RegistryHandler mounts the read half of the registry wire protocol —
+// hash listing and raw-record fetch — in front of a server's API. Workers
+// serve it so the coordinator's pull sweep can reconcile *every* record,
+// including unsatisfiable-profile ones that the public /codes listing
+// deliberately omits (they carry no exportable candidates but still spare
+// the fleet a full UNSAT search).
+func RegistryHandler(st *store.Store, api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mountRegistryRead(mux, st)
+	mux.Handle("/", api)
+	return mux
+}
+
+// mountRegistryRead wires GET /cluster/v1/codes (hash listing) and
+// GET /cluster/v1/codes/{hash} (raw store.CodeRecord) over a store.
+func mountRegistryRead(mux *http.ServeMux, st *store.Store) {
+	mux.HandleFunc("GET "+PathCodes, func(w http.ResponseWriter, r *http.Request) {
+		hashes, err := st.Backend().Keys(store.BucketCodes)
+		if err != nil {
+			clusterError(w, http.StatusInternalServerError, "listing registry: %v", err)
+			return
+		}
+		clusterJSON(w, http.StatusOK, map[string]any{"hashes": hashes})
+	})
+	mux.HandleFunc("GET "+PathCodes+"/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		rec, ok, err := st.GetCode(hash)
+		if err != nil {
+			clusterError(w, http.StatusInternalServerError, "reading registry: %v", err)
+			return
+		}
+		if !ok {
+			clusterError(w, http.StatusNotFound, "no record for profile hash %q", hash)
+			return
+		}
+		clusterJSON(w, http.StatusOK, rec)
+	})
+}
+
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, status int, format string, args ...any) {
+	clusterJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var info WorkerInfo
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&info); err != nil {
+		clusterError(w, http.StatusBadRequest, "malformed registration: %v", err)
+		return
+	}
+	if info.ID == "" || info.URL == "" {
+		clusterError(w, http.StatusBadRequest, "registration needs id and url")
+		return
+	}
+	c.reg.Register(info)
+	c.cfg.Log("cluster: worker %s registered at %s (capacity %d)", info.ID, info.URL, info.Capacity)
+	clusterJSON(w, http.StatusOK, RegisterResponse{
+		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
+		TTLMS:       c.cfg.TTL.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&hb); err != nil {
+		clusterError(w, http.StatusBadRequest, "malformed heartbeat: %v", err)
+		return
+	}
+	known, syncNeeded := c.reg.Heartbeat(hb)
+	if !known {
+		// A coordinator restart empties the registry; the worker
+		// re-registers on this signal.
+		clusterError(w, http.StatusNotFound, "unknown worker %q (re-register)", hb.ID)
+		return
+	}
+	if syncNeeded {
+		// The worker's registry size moved without a push landing here (or
+		// before this coordinator (re)started): reconcile in the background.
+		c.startSync(hb.ID, hb.Codes)
+	}
+	clusterJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	clusterJSON(w, http.StatusOK, map[string]any{"workers": c.reg.Snapshot()})
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.reg.Deregister(id)
+	c.cfg.Log("cluster: worker %s deregistered", id)
+	clusterJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handlePushCode accepts a worker's freshly solved record. First writer
+// wins, matching the store's SolveCacheView semantics: a record that
+// already loads cleanly keeps its provenance.
+func (c *Coordinator) handlePushCode(w http.ResponseWriter, r *http.Request) {
+	var rec store.CodeRecord
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&rec); err != nil {
+		clusterError(w, http.StatusBadRequest, "malformed record: %v", err)
+		return
+	}
+	if rec.ProfileHash == "" {
+		clusterError(w, http.StatusBadRequest, "record without profile hash")
+		return
+	}
+	if existing, ok, err := c.store.GetCode(rec.ProfileHash); err == nil && ok {
+		if _, err := existing.Result(); err == nil {
+			clusterJSON(w, http.StatusOK, map[string]string{"status": "kept"})
+			return
+		}
+	}
+	if err := c.store.PutCode(&rec); err != nil {
+		clusterError(w, http.StatusInternalServerError, "storing record: %v", err)
+		return
+	}
+	c.syncPushes.Add(1)
+	clusterJSON(w, http.StatusOK, map[string]string{"status": "stored"})
+}
+
+// startSync launches (at most one per worker) a background pull sweep of
+// the worker's code registry — the fallback half of registry sync for
+// records whose push never arrived.
+func (c *Coordinator) startSync(id string, codes int) {
+	info, ok := c.reg.Get(id)
+	if !ok {
+		return
+	}
+	c.syncMu.Lock()
+	if c.syncActive[id] {
+		c.syncMu.Unlock()
+		return
+	}
+	c.syncActive[id] = true
+	c.syncMu.Unlock()
+
+	go func() {
+		defer func() {
+			c.syncMu.Lock()
+			delete(c.syncActive, id)
+			c.syncMu.Unlock()
+		}()
+		if err := c.pullRegistry(info); err != nil {
+			c.cfg.Log("cluster: registry sync from %s: %v", id, err)
+			return
+		}
+		c.reg.MarkSynced(id, codes)
+	}()
+}
+
+// pullRegistry copies every record the worker has and the coordinator
+// lacks, via the worker's RegistryHandler: the hash listing covers every
+// record — including unsatisfiable-profile ones the public /codes listing
+// omits — so a reconciled worker really is reconciled.
+func (c *Coordinator) pullRegistry(info WorkerInfo) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var listing struct {
+		Hashes []string `json:"hashes"`
+	}
+	if err := doJSON(ctx, c.client, http.MethodGet, info.URL+PathCodes, nil, &listing); err != nil {
+		return err
+	}
+	for _, hash := range listing.Hashes {
+		if hash == "" {
+			continue
+		}
+		if _, ok, err := c.store.GetCode(hash); err == nil && ok {
+			continue
+		}
+		rec, err := c.fetchRecord(ctx, info.URL, hash)
+		if err != nil {
+			return fmt.Errorf("record %s: %w", hash, err)
+		}
+		if err := c.store.PutCode(rec); err != nil {
+			return err
+		}
+		c.syncPulls.Add(1)
+	}
+	return nil
+}
+
+// fetchRecord pulls one raw store.CodeRecord from a worker's
+// RegistryHandler.
+func (c *Coordinator) fetchRecord(ctx context.Context, base, hash string) (*store.CodeRecord, error) {
+	rec := new(store.CodeRecord)
+	if err := doJSON(ctx, c.client, http.MethodGet, base+PathCodes+"/"+hash, nil, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+)
+
+// This file is the coordinator's data plane: one dispatched job's life.
+// The transport is deliberately the ordinary beerd service API — a worker
+// is just a standalone beerd, so dispatch is submit + status polls +
+// result fetch, and everything the single-node service already guarantees
+// (monotonic progress, persistence, solve caching) holds per worker for
+// free. What the dispatcher adds is placement (the ring), backpressure
+// handling (429 spills + fleet-wide backoff) and failover (redispatch when
+// a worker stops answering or loses the job).
+
+// pollFailureLimit is how many consecutive status-poll failures declare
+// the executing worker dead, independent of the heartbeat TTL (polls are
+// much more frequent than heartbeats, so this usually fires first).
+const pollFailureLimit = 3
+
+// noWorkerRetryEvery paces re-picking when no dispatchable worker exists.
+const noWorkerRetryEvery = 200 * time.Millisecond
+
+// errWorkerDown marks a dispatch attempt that ended because the worker
+// died or lost the job — the retryable class of failure.
+var errWorkerDown = errors.New("worker down")
+
+// dispatchExecution compiles a spec into the Execution the service layer
+// runs on the coordinator's job goroutine.
+func (c *Coordinator) dispatchExecution(spec service.JobSpec, key string) service.Execution {
+	return func(ctx context.Context, env service.ExecEnv) (*service.JobResult, error) {
+		excluded := make(map[string]bool)
+		dispatched := 0
+		var lastErr error
+		idleSince := time.Now()
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			candidates := c.reg.Sequence(key, excluded)
+			if len(candidates) == 0 && len(excluded) > 0 {
+				// Every live worker already failed this job once; give the
+				// ring a second pass rather than dying with idle workers.
+				clear(excluded)
+				candidates = c.reg.Sequence(key, excluded)
+			}
+			if len(candidates) == 0 {
+				if time.Since(idleSince) > c.cfg.DispatchWait {
+					return nil, fmt.Errorf("no live workers after %v (last error: %v)", c.cfg.DispatchWait, lastErr)
+				}
+				if err := sleepCtx(ctx, noWorkerRetryEvery); err != nil {
+					return nil, err
+				}
+				continue
+			}
+
+			saturatedWait := time.Duration(0)
+			progressed := false
+			for i, w := range candidates {
+				if dispatched >= c.cfg.MaxDispatches {
+					return nil, fmt.Errorf("job dispatched to %d workers without completing (last error: %v)", dispatched, lastErr)
+				}
+				res, err := c.runOn(ctx, w, spec, env, dispatched+1)
+				switch {
+				case err == nil:
+					return res, nil
+				case ctx.Err() != nil:
+					return nil, ctx.Err()
+				case isStatus(err, http.StatusTooManyRequests):
+					// Saturated, not dead: remember the backoff hint and
+					// spill to the next ring successor.
+					if i == 0 {
+						c.spills.Add(1)
+					}
+					if he, ok := err.(*httpError); ok {
+						saturatedWait = max(saturatedWait, he.retryAfterOr(time.Second))
+					}
+					lastErr = err
+				case errors.Is(err, errWorkerDown):
+					// Redispatch elsewhere. If the job had been accepted,
+					// this is a failover; count it and keep the worker out
+					// of this job's candidate set.
+					excluded[w.ID] = true
+					if wasDispatched(err) {
+						dispatched++
+						c.failovers.Add(1)
+						c.cfg.Log("cluster: job %s failing over off %s: %v", env.JobID, w.ID, err)
+						// Only an accepted-then-lost dispatch resets the
+						// idle clock; mere refusals must not keep the job
+						// waiting forever.
+						progressed = true
+					}
+					lastErr = err
+				default:
+					// A deterministic job failure (the spec fails the same
+					// way anywhere): surface it, don't burn the fleet.
+					return nil, err
+				}
+			}
+			if progressed {
+				idleSince = time.Now()
+				continue
+			}
+			// Whole fleet saturated (or every candidate refused): honor the
+			// largest Retry-After before re-picking.
+			if time.Since(idleSince) > c.cfg.DispatchWait {
+				return nil, fmt.Errorf("no worker accepted the job within %v (last error: %v)", c.cfg.DispatchWait, lastErr)
+			}
+			if saturatedWait <= 0 {
+				saturatedWait = noWorkerRetryEvery
+			}
+			if err := sleepCtx(ctx, saturatedWait); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// dispatchedError wraps errWorkerDown for deaths that happened after the
+// worker accepted the job (these count against MaxDispatches; pre-accept
+// connection failures do not).
+type dispatchedError struct{ err error }
+
+func (e *dispatchedError) Error() string { return e.err.Error() }
+func (e *dispatchedError) Unwrap() error { return errWorkerDown }
+
+func wasDispatched(err error) bool {
+	var de *dispatchedError
+	return errors.As(err, &de)
+}
+
+// runOn executes one dispatch attempt against one worker: submit, poll to
+// terminal, fetch the result, sync the registry. The error classes the
+// caller switches on: nil (done), *httpError 429 (saturated), errWorkerDown
+// possibly wrapped in dispatchedError (retry elsewhere), ctx.Err(), and
+// anything else (deterministic job failure).
+func (c *Coordinator) runOn(ctx context.Context, w WorkerInfo, spec service.JobSpec, env service.ExecEnv, attempt int) (*service.JobResult, error) {
+	var accepted service.JobStatus
+	err := doJSON(ctx, c.client, http.MethodPost, w.URL+"/api/v1/jobs", spec, &accepted)
+	if err != nil {
+		if he, ok := err.(*httpError); ok {
+			switch he.status {
+			case http.StatusTooManyRequests:
+				return nil, err
+			case http.StatusServiceUnavailable:
+				// Draining or shutting down: not dead yet, but not taking
+				// work — treat like a death without the dispatch count.
+				return nil, fmt.Errorf("%s refused the job: %v: %w", w.ID, err, errWorkerDown)
+			case http.StatusBadRequest:
+				// The coordinator validated this spec; a worker 400 is
+				// version skew. Fail deterministically with the evidence.
+				return nil, fmt.Errorf("worker %s rejected a coordinator-validated spec (version skew?): %v", w.ID, err)
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		c.reg.MarkDead(w.ID)
+		return nil, fmt.Errorf("submitting to %s: %v: %w", w.ID, err, errWorkerDown)
+	}
+	c.dispatches.Add(1)
+	c.reg.AddActive(w.ID, 1)
+	defer c.reg.AddActive(w.ID, -1)
+	c.cfg.Log("cluster: job %s dispatched to %s as %s (attempt %d)", env.JobID, w.ID, accepted.ID, attempt)
+
+	report := func(p service.ProgressStatus) {
+		p.Worker = w.ID
+		p.Dispatches = attempt
+		env.Report(p)
+	}
+	report(accepted.Progress)
+
+	statusURL := w.URL + "/api/v1/jobs/" + accepted.ID
+	failures := 0
+	for {
+		if err := sleepCtx(ctx, c.cfg.PollInterval); err != nil {
+			// The coordinator-side job was cancelled (DELETE or shutdown):
+			// propagate the cancellation to the worker so it stops burning
+			// cycles. Best-effort with a fresh, short-lived context.
+			c.cancelRemote(statusURL)
+			return nil, err
+		}
+		var st service.JobStatus
+		if err := doJSON(ctx, c.client, http.MethodGet, statusURL, nil, &st); err != nil {
+			if ctx.Err() != nil {
+				c.cancelRemote(statusURL)
+				return nil, ctx.Err()
+			}
+			if isStatus(err, http.StatusNotFound) {
+				// The worker restarted and lost the job (memory store):
+				// it is alive but the work is gone.
+				return nil, &dispatchedError{err: fmt.Errorf("%s lost job %s", w.ID, accepted.ID)}
+			}
+			failures++
+			if failures >= pollFailureLimit || !c.reg.Alive(w.ID) {
+				c.reg.MarkDead(w.ID)
+				// The worker is presumed dead, but a merely-slow or briefly
+				// partitioned one may still be executing the job. Before the
+				// replacement dispatch, best-effort-cancel the original so
+				// a zombie cannot race the failover (duplicate solves, a
+				// leaked capacity slot). If the worker is truly dead this
+				// fails instantly.
+				c.cancelRemote(statusURL)
+				return nil, &dispatchedError{err: fmt.Errorf("%s stopped answering status polls: %v", w.ID, err)}
+			}
+			continue
+		}
+		failures = 0
+		report(st.Progress)
+		switch st.State {
+		case service.StateSucceeded:
+			var res service.JobResult
+			if err := doJSON(ctx, c.client, http.MethodGet, statusURL+"/result", nil, &res); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				return nil, &dispatchedError{err: fmt.Errorf("fetching result from %s: %v", w.ID, err)}
+			}
+			c.syncCompleted(w, &res)
+			return &res, nil
+		case service.StateFailed:
+			return nil, fmt.Errorf("job failed on worker %s: %s", w.ID, st.Error)
+		case service.StateCanceled:
+			// Not cancelled by us (our ctx is live): the worker shut down
+			// or an operator cancelled it directly. Run it elsewhere.
+			return nil, &dispatchedError{err: fmt.Errorf("%s cancelled job %s", w.ID, accepted.ID)}
+		}
+	}
+}
+
+// cancelRemote best-effort-DELETEs a dispatched job after the
+// coordinator-side context died.
+func (c *Coordinator) cancelRemote(statusURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = doJSON(ctx, c.client, http.MethodDelete, statusURL, nil, nil)
+}
+
+// syncCompleted makes sure a finished recovery job's registry record is in
+// the coordinator's store. The worker normally pushed it already
+// (RemoteCache.Store); this is the pull fallback covering a lost push.
+func (c *Coordinator) syncCompleted(w WorkerInfo, res *service.JobResult) {
+	if res.Recover == nil || res.Recover.ProfileHash == "" {
+		return
+	}
+	hash := res.Recover.ProfileHash
+	if _, ok, err := c.store.GetCode(hash); err == nil && ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rec, err := c.fetchRecord(ctx, w.URL, hash)
+	if err != nil {
+		c.cfg.Log("cluster: pulling record %s from %s: %v", hash, w.ID, err)
+		return
+	}
+	if err := c.store.PutCode(rec); err != nil {
+		c.cfg.Log("cluster: storing record %s: %v", hash, err)
+		return
+	}
+	c.syncPulls.Add(1)
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is the coordinator's membership table: every registered worker
+// with its last heartbeat, the liveness verdict, and the consistent-hash
+// ring over the live members. All methods are safe for concurrent use.
+type Registry struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	members map[string]*member
+	ring    *Ring // over live member IDs; rebuilt on membership change
+}
+
+type member struct {
+	info     WorkerInfo
+	lastBeat time.Time
+	dead     bool // declared dead by the dispatcher or by TTL expiry
+	draining bool
+	running  int
+	inFlight int
+	codes    int
+	active   int // jobs currently dispatched by this coordinator
+	// syncedCodes is the registry size last reconciled by the sync sweep;
+	// a heartbeat reporting a different Codes count triggers a pull.
+	syncedCodes int
+}
+
+// NewRegistry builds an empty registry with the given liveness TTL
+// (<= 0 selects DefaultTTL).
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Registry{ttl: ttl, members: make(map[string]*member)}
+}
+
+// Register adds or replaces a worker. A re-registration under a known ID
+// (worker restart) resurrects it — the previous death verdict is void. The
+// coordinator-owned dispatched-jobs gauge survives the replacement: the
+// dispatches that will decrement it are still in flight, and zeroing it
+// here would drive it negative as they unwind.
+func (r *Registry) Register(info WorkerInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := &member{info: info, lastBeat: time.Now()}
+	if prev, ok := r.members[info.ID]; ok {
+		m.active = prev.active
+	}
+	r.members[info.ID] = m
+	r.rebuildLocked()
+}
+
+// Deregister removes a worker (graceful shutdown).
+func (r *Registry) Deregister(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; ok {
+		delete(r.members, id)
+		r.rebuildLocked()
+	}
+}
+
+// Heartbeat records a worker's liveness report. It returns false for an
+// unknown ID — the signal for the worker to re-register (e.g. after a
+// coordinator restart emptied the registry).
+func (r *Registry) Heartbeat(hb Heartbeat) (known bool, syncNeeded bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[hb.ID]
+	if !ok {
+		return false, false
+	}
+	m.lastBeat = time.Now()
+	m.running = hb.Running
+	m.inFlight = hb.InFlight
+	m.codes = hb.Codes
+	m.draining = hb.Draining
+	if m.dead {
+		m.dead = false // it spoke; it lives
+		r.rebuildLocked()
+	}
+	return true, hb.Codes != m.syncedCodes
+}
+
+// MarkSynced records that the coordinator reconciled its registry against
+// the worker's reported size.
+func (r *Registry) MarkSynced(id string, codes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[id]; ok {
+		m.syncedCodes = codes
+	}
+}
+
+// MarkDead records a dispatcher-observed death (connection failures or a
+// lost job) without waiting for the TTL, removing the worker from the ring
+// until it heartbeats or re-registers.
+func (r *Registry) MarkDead(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[id]; ok && !m.dead {
+		m.dead = true
+		r.rebuildLocked()
+	}
+}
+
+// aliveLocked applies the TTL lazily: expiry needs no background timer.
+func (r *Registry) aliveLocked(m *member) bool {
+	return !m.dead && time.Since(m.lastBeat) <= r.ttl
+}
+
+// rebuildLocked reconstructs the ring over the currently-live members.
+// Callers hold r.mu. TTL expiry is intentionally not part of the ring
+// (the ring would need a timer); Sequence filters expired members out.
+func (r *Registry) rebuildLocked() {
+	ids := make([]string, 0, len(r.members))
+	for id, m := range r.members {
+		if !m.dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	r.ring = NewRing(ids)
+}
+
+// Sequence returns the live dispatch candidates for a key: the key's owner
+// first, then the failover successors in ring order. Workers in excluded,
+// past their TTL, or draining are filtered out.
+func (r *Registry) Sequence(key string, excluded map[string]bool) []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring == nil {
+		return nil
+	}
+	var out []WorkerInfo
+	for _, id := range r.ring.Sequence(key) {
+		m, ok := r.members[id]
+		if !ok || excluded[id] || m.draining || !r.aliveLocked(m) {
+			continue
+		}
+		out = append(out, m.info)
+	}
+	return out
+}
+
+// Get returns a worker's registration.
+func (r *Registry) Get(id string) (WorkerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok {
+		return WorkerInfo{}, false
+	}
+	return m.info, true
+}
+
+// Alive reports whether the worker is currently considered live.
+func (r *Registry) Alive(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	return ok && r.aliveLocked(m)
+}
+
+// AddActive adjusts the coordinator's dispatched-jobs gauge for a worker.
+// The gauge clamps at zero: a decrement can outlive its increment when the
+// worker deregistered and re-registered mid-dispatch, and a negative
+// "jobs dispatched here" reading would only mislead.
+func (r *Registry) AddActive(id string, delta int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[id]; ok {
+		m.active = max(m.active+delta, 0)
+	}
+}
+
+// Snapshot lists every registered worker, sorted by ID.
+func (r *Registry) Snapshot() []WorkerStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, WorkerStatus{
+			WorkerInfo:    m.info,
+			Alive:         r.aliveLocked(m),
+			Draining:      m.draining,
+			Running:       m.running,
+			InFlight:      m.inFlight,
+			Codes:         m.codes,
+			Active:        m.active,
+			LastHeartbeat: m.lastBeat,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LiveCount counts currently-live workers.
+func (r *Registry) LiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, m := range r.members {
+		if r.aliveLocked(m) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/store"
+)
+
+// RemoteCache is the worker-side repro.SolveCache over the coordinator's
+// code registry — the tier a worker layers behind its local store
+// (service.WithSolveCacheTier). Lookup asks the coordinator for the
+// profile hash before the worker runs its own SAT search, so a profile
+// solved anywhere in the fleet — including on a worker that has since
+// died — is never solved twice; Store pushes every fresh local solve up,
+// which is how the coordinator's GET /codes becomes the union of the
+// fleet's recoveries. Both directions are best-effort: a worker cut off
+// from its coordinator degrades to local caching, and the coordinator's
+// heartbeat-triggered pull sweep reconciles missed pushes later.
+type RemoteCache struct {
+	base   string // coordinator base URL
+	source string // provenance label for pushed records (the worker ID)
+	client *http.Client
+}
+
+// remoteLookupTimeout bounds how long a solve may stall on an unreachable
+// coordinator before falling through to the local SAT search.
+const remoteLookupTimeout = 3 * time.Second
+
+// remoteStoreTimeout bounds the push of a fresh solve.
+const remoteStoreTimeout = 5 * time.Second
+
+// NewRemoteCache builds the tier for a worker identified by source,
+// against the coordinator at base.
+func NewRemoteCache(base, source string) *RemoteCache {
+	return &RemoteCache{base: base, source: source, client: &http.Client{}}
+}
+
+// Lookup implements repro.SolveCache. Every failure — network, 404,
+// unparsable record — is a miss.
+func (c *RemoteCache) Lookup(p *repro.Profile) (*repro.SolveResult, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), remoteLookupTimeout)
+	defer cancel()
+	var rec store.CodeRecord
+	if err := doJSON(ctx, c.client, http.MethodGet, c.base+PathCodes+"/"+p.Hash(), nil, &rec); err != nil {
+		return nil, false
+	}
+	res, err := rec.Result()
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// Store implements repro.SolveCache: push the solved record to the
+// coordinator, labeled with this worker's identity. The coordinator keeps
+// the first valid record per hash, so concurrent identical solves race
+// benignly.
+func (c *RemoteCache) Store(p *repro.Profile, res *repro.SolveResult) {
+	ctx, cancel := context.WithTimeout(context.Background(), remoteStoreTimeout)
+	defer cancel()
+	rec := store.RecordFromResult(p.Hash(), p.K, res, c.source)
+	_ = doJSON(ctx, c.client, http.MethodPost, c.base+PathCodes, rec, nil)
+}
+
+var _ repro.SolveCache = (*RemoteCache)(nil)

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over worker IDs. Each member projects
+// `replicas` virtual points onto a 64-bit circle; a key routes to the
+// member owning the first point at or after the key's own hash, and the
+// ring can enumerate the distinct members onward from there — the failover
+// order. With enough virtual points the keyspace splits roughly evenly,
+// and adding or removing one member only moves the keys adjacent to its
+// points (the property that keeps the rest of the fleet's solve caches hot
+// through membership churn).
+//
+// A Ring is immutable; the Registry rebuilds it on membership change. The
+// zero value routes nothing.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// ringReplicas is the virtual-point count per member. 64 points over a
+// fleet of tens of workers keeps the per-member keyspace share within a
+// few percent of even — plenty for job-granularity sharding.
+const ringReplicas = 64
+
+// NewRing builds a ring over the given member IDs.
+func NewRing(ids []string) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, len(ids)*ringReplicas)}
+	var buf [8]byte
+	for _, id := range ids {
+		for i := 0; i < ringReplicas; i++ {
+			binary.LittleEndian.PutUint64(buf[:], uint64(i))
+			h := sha256.New()
+			h.Write([]byte(id))
+			h.Write([]byte{'#'})
+			h.Write(buf[:])
+			r.points = append(r.points, ringPoint{hash: ringHashSum(h.Sum(nil)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id // deterministic on (vanishingly rare) collisions
+	})
+	return r
+}
+
+func ringHashSum(sum []byte) uint64 { return binary.BigEndian.Uint64(sum[:8]) }
+
+func ringHashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return ringHashSum(sum[:])
+}
+
+// Sequence returns every distinct member in ring order starting from the
+// key's position: the first entry is the key's owner, the rest are the
+// failover candidates in the order a dispatcher should try them. The
+// result is deterministic for a given membership and key.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}
+
+// Owner returns the key's primary member ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// serviceJobSpec shortens the test bodies.
+type serviceJobSpec = service.JobSpec
+
+func TestRingSequenceCoversAllMembersDeterministically(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4"}
+	ring := NewRing(members)
+	for _, key := range []string{"a", "b", "profile-hash-1", "profile-hash-2"} {
+		first := ring.Sequence(key)
+		if len(first) != len(members) {
+			t.Fatalf("Sequence(%q) has %d members, want %d", key, len(first), len(members))
+		}
+		seen := map[string]bool{}
+		for _, id := range first {
+			if seen[id] {
+				t.Fatalf("Sequence(%q) repeats %s", key, id)
+			}
+			seen[id] = true
+		}
+		again := NewRing(members).Sequence(key)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("Sequence(%q) not deterministic: %v vs %v", key, first, again)
+			}
+		}
+		if ring.Owner(key) != first[0] {
+			t.Fatalf("Owner(%q)=%s but Sequence starts with %s", key, ring.Owner(key), first[0])
+		}
+	}
+}
+
+// TestRingStability: removing one member must not move keys between the
+// surviving members — the property that keeps solve caches hot through
+// membership churn.
+func TestRingStability(t *testing.T) {
+	before := NewRing([]string{"w1", "w2", "w3", "w4"})
+	after := NewRing([]string{"w1", "w2", "w4"}) // w3 left
+	moved, owned := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was := before.Owner(key)
+		now := after.Owner(key)
+		if was == "w3" {
+			owned++
+			continue // w3's keys must land somewhere else, anywhere
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members when w3 left", moved)
+	}
+	if owned == 0 {
+		t.Fatalf("w3 owned no keys out of 1000 — ring badly unbalanced")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4"}
+	ring := NewRing(members)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[ring.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of the keyspace: %v", m, 100*share, counts)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	var ring Ring
+	if got := ring.Sequence("k"); got != nil {
+		t.Fatalf("empty ring sequenced %v", got)
+	}
+	if got := ring.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner %q", got)
+	}
+}
+
+// TestRoutingKeyProfileIdentity: the recover routing key is the canonical
+// profile hash — invariant under chip seed, chip count, rounds and window
+// sweep (which change the experiment, not the fingerprint), and distinct
+// across manufacturers, dataword lengths, pattern families and anti-row
+// collection (which change the fingerprint).
+func TestRoutingKeyProfileIdentity(t *testing.T) {
+	base := func() (spec serviceJobSpec) {
+		spec.Type = "recover"
+		spec.Manufacturer = "B"
+		spec.K = 16
+		return spec
+	}
+	same := []serviceJobSpec{base(), base(), base(), base(), base()}
+	same[1].Seed = 7
+	same[2].Chips = 4
+	same[3].Rounds = 5
+	same[4].MaxWindowMinutes = 96
+	want := RoutingKey(same[0])
+	for i, spec := range same {
+		if RoutingKey(spec) != want {
+			t.Fatalf("variant %d changed the routing key", i)
+		}
+	}
+	distinct := []serviceJobSpec{base(), base(), base(), base()}
+	distinct[1].Manufacturer = "A"
+	distinct[2].K = 24
+	distinct[3].UseAntiRows = true
+	seen := map[string]int{want: 0}
+	for i, spec := range distinct[1:] {
+		key := RoutingKey(spec)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("distinct variants %d and %d share a routing key", prev, i+1)
+		}
+		seen[key] = i + 1
+	}
+}

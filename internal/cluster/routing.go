@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro"
+	"repro/internal/service"
+)
+
+// RoutingKey derives the consistent-hash key a job shards on.
+//
+// For recovery jobs the key is the canonical hash (core.Profile.Hash) of
+// the miscorrection profile the job is going to observe, computed
+// analytically: the chip model's ECC function is known for simulated
+// fleets, and the §4 closed form (repro.ExactProfile) yields its exact
+// profile in microseconds, without running any experiment. Keying on the
+// profile rather than the raw spec is what makes routing cache-aware —
+// submissions differing in chip seed, chip count, rounds or window sweep
+// all observe the same profile, hash to the same worker, and after the
+// first one every later solve is a local cache hit. Anti-cell collection
+// (UseAntiRows) appends inverted-pattern entries to the observed profile,
+// so those jobs key on a suffixed variant.
+//
+// Simulation jobs have no miscorrection profile; they key on the
+// normalized simulation parameters, which still pins repeated sweeps of
+// one configuration to one worker (whose engine-level exact-profile LRU
+// then serves them) while spreading distinct configurations evenly.
+func RoutingKey(spec service.JobSpec) string {
+	spec = spec.Normalized()
+	switch spec.Type {
+	case "recover":
+		code := repro.GroundTruth(repro.SimulatedChip(repro.Manufacturer(spec.Manufacturer), spec.K, spec.Seed))
+		patterns := repro.Set12
+		if spec.Patterns == "1" {
+			patterns = repro.Set1
+		}
+		key := repro.ExactProfile(code, patterns.Patterns(spec.K)).Hash()
+		if spec.UseAntiRows {
+			key += "+anti"
+		}
+		return key
+	case "simulate":
+		canon := fmt.Sprintf("sim|k=%d|words=%d|rber=%g|family=%s|pattern=%s|model=%s|seed=%d",
+			spec.K, spec.Words, spec.RBER, spec.CodeFamily, spec.Pattern, spec.Model, spec.Seed)
+		sum := sha256.Sum256([]byte(canon))
+		return hex.EncodeToString(sum[:])
+	default:
+		// Unknown types are rejected by validation before routing; a
+		// defensive constant keeps the ring total.
+		return "unroutable"
+	}
+}

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/ecc"
+	"repro/internal/service"
+)
+
+// SmokeConfig parameterizes the cluster acceptance check.
+type SmokeConfig struct {
+	// BaseURL is the coordinator to exercise.
+	BaseURL string
+	// Jobs is how many distinct-profile recovery jobs phase A submits
+	// (default 8). Phase B resubmits the same profiles under fresh chip
+	// seeds for the dedupe assertion.
+	Jobs int
+	// PollInterval between status polls (default 25ms).
+	PollInterval time.Duration
+	// KillWorker, when set, is invoked once — as soon as a job is observed
+	// executing on a worker — with that worker's ID; it must kill the
+	// worker's process hard (SIGKILL, no drain). The smoke then requires a
+	// failover to be observed. Nil skips the kill (plain cluster smoke).
+	KillWorker func(id string) error
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// smokeSpec pairs a submission with its ground truth.
+type smokeSpec struct {
+	spec  service.JobSpec
+	truth *repro.Code
+}
+
+// smokeSpecs builds n recovery specs with pairwise-distinct miscorrection
+// profiles (distinct manufacturer/k combinations; k stays within the range
+// the default 48-minute sweep recovers uniquely), so phase A spreads
+// across the ring and every profile is solved exactly once fleet-wide.
+// Combinations repeat past 9 jobs.
+func smokeSpecs(n int, seed uint64) []smokeSpec {
+	mfrs := []repro.Manufacturer{repro.MfrA, repro.MfrB, repro.MfrC}
+	ks := []int{8, 16, 24}
+	out := make([]smokeSpec, 0, n)
+	for i := 0; len(out) < n; i++ {
+		k := ks[i%len(ks)]
+		for _, m := range mfrs {
+			if len(out) == n {
+				break
+			}
+			out = append(out, smokeSpec{
+				spec: service.JobSpec{
+					Type:         "recover",
+					Manufacturer: string(m),
+					K:            k,
+					Chips:        2,
+					Seed:         seed,
+					Verify:       true,
+				},
+				truth: repro.GroundTruth(repro.SimulatedChip(m, k, seed)),
+			})
+		}
+	}
+	return out
+}
+
+// Smoke drives a live cluster end to end (make cluster-smoke / CI):
+//
+//   - Phase A submits Jobs recovery jobs with pairwise-distinct
+//     miscorrection profiles against the coordinator, kills one executing
+//     worker mid-run (KillWorker), and asserts every job still completes,
+//     ground-truth-verified, with at least one failover observed and
+//     every profile synced into the coordinator's registry.
+//   - Phase B resubmits the same profiles under fresh chip seeds and
+//     asserts the fleet performs zero additional SAT solver invocations —
+//     identical profiles are served from the solve caches (local or
+//     remote) wherever they land, including profiles whose only solve
+//     happened on the worker that is now dead.
+func Smoke(ctx context.Context, cfg SmokeConfig) error {
+	if cfg.Jobs == 0 {
+		cfg.Jobs = 8
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if err := doJSON(ctx, client, http.MethodGet, cfg.BaseURL+"/healthz", nil, new(map[string]any)); err != nil {
+		return fmt.Errorf("coordinator healthz: %w", err)
+	}
+
+	specs := smokeSpecs(cfg.Jobs, 1)
+	logf("phase A: submitting %d distinct-profile recovery jobs", len(specs))
+	if err := runSmokePhase(ctx, client, cfg, logf, specs, cfg.KillWorker != nil); err != nil {
+		return fmt.Errorf("phase A: %w", err)
+	}
+
+	if cfg.KillWorker != nil {
+		var health struct {
+			Cluster struct {
+				Failovers int64 `json:"failovers"`
+			} `json:"cluster"`
+		}
+		if err := doJSON(ctx, client, http.MethodGet, cfg.BaseURL+"/healthz", nil, &health); err != nil {
+			return fmt.Errorf("healthz after phase A: %w", err)
+		}
+		if health.Cluster.Failovers == 0 {
+			return fmt.Errorf("killed a busy worker but the coordinator reports zero failovers")
+		}
+		logf("phase A: %d failover(s) observed", health.Cluster.Failovers)
+	}
+
+	// Registry sync: every distinct profile must be in the coordinator's
+	// public registry before phase B leans on it.
+	var codes struct {
+		Codes []service.CodeListing `json:"codes"`
+	}
+	if err := doJSON(ctx, client, http.MethodGet, cfg.BaseURL+"/codes", nil, &codes); err != nil {
+		return fmt.Errorf("coordinator /codes: %w", err)
+	}
+	if len(codes.Codes) < len(specs) {
+		return fmt.Errorf("registry sync incomplete: coordinator has %d codes, want >= %d", len(codes.Codes), len(specs))
+	}
+	logf("registry sync: coordinator serves %d recovered codes", len(codes.Codes))
+
+	before, err := fleetSolverInvocations(ctx, client, cfg.BaseURL)
+	if err != nil {
+		return err
+	}
+	dupes := smokeSpecs(cfg.Jobs, 11) // same profiles, fresh chips
+	logf("phase B: resubmitting the same %d profiles under fresh chip seeds (fleet at %d solver invocations)", len(dupes), before)
+	if err := runSmokePhase(ctx, client, cfg, logf, dupes, false); err != nil {
+		return fmt.Errorf("phase B: %w", err)
+	}
+	after, err := fleetSolverInvocations(ctx, client, cfg.BaseURL)
+	if err != nil {
+		return err
+	}
+	if after != before {
+		return fmt.Errorf("duplicate solver invocations: fleet went from %d to %d SAT runs on identical profiles", before, after)
+	}
+	logf("phase B: zero duplicate solver invocations (fleet still at %d)", after)
+	return nil
+}
+
+// runSmokePhase submits the specs, polls them to completion with
+// monotonicity checks, optionally kills the first observed executing
+// worker, and verifies every result against its ground truth.
+func runSmokePhase(ctx context.Context, client *http.Client, cfg SmokeConfig, logf func(string, ...any), specs []smokeSpec, kill bool) error {
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		var status service.JobStatus
+		if err := doJSON(ctx, client, http.MethodPost, cfg.BaseURL+"/api/v1/jobs", s.spec, &status); err != nil {
+			return fmt.Errorf("submit job %d: %w", i, err)
+		}
+		ids[i] = status.ID
+	}
+
+	type watch struct {
+		lastUpdates int64
+		done        bool
+	}
+	watches := make([]watch, len(ids))
+	pending := len(ids)
+	killed := false
+	for pending > 0 {
+		if err := sleepCtx(ctx, cfg.PollInterval); err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if watches[i].done {
+				continue
+			}
+			var st service.JobStatus
+			if err := doJSON(ctx, client, http.MethodGet, cfg.BaseURL+"/api/v1/jobs/"+id, nil, &st); err != nil {
+				return fmt.Errorf("status %s: %w", id, err)
+			}
+			if st.Progress.Updates < watches[i].lastUpdates {
+				return fmt.Errorf("%s: progress went backwards (%d < %d)", id, st.Progress.Updates, watches[i].lastUpdates)
+			}
+			watches[i].lastUpdates = st.Progress.Updates
+
+			if kill && !killed && st.Progress.Worker != "" && !st.State.Terminal() {
+				killed = true
+				victim := st.Progress.Worker
+				logf("killing worker %s (executing %s)", victim, id)
+				if err := cfg.KillWorker(victim); err != nil {
+					return fmt.Errorf("killing worker %s: %w", victim, err)
+				}
+			}
+
+			if st.State.Terminal() {
+				if st.State != service.StateSucceeded {
+					return fmt.Errorf("%s finished %s: %s", id, st.State, st.Error)
+				}
+				watches[i].done = true
+				pending--
+				logf("%s succeeded on worker %s after %d dispatch(es)", id, st.Progress.Worker, st.Progress.Dispatches)
+			}
+		}
+	}
+
+	for i, id := range ids {
+		var res service.JobResult
+		if err := doJSON(ctx, client, http.MethodGet, cfg.BaseURL+"/api/v1/jobs/"+id+"/result", nil, &res); err != nil {
+			return fmt.Errorf("result %s: %w", id, err)
+		}
+		rec := res.Recover
+		if rec == nil {
+			return fmt.Errorf("%s: no recovery payload", id)
+		}
+		if !rec.Unique {
+			return fmt.Errorf("%s: expected a unique ECC function, got %d candidates", id, rec.Candidates)
+		}
+		if rec.GroundTruthMatch == nil || !*rec.GroundTruthMatch {
+			return fmt.Errorf("%s: worker-side ground truth check failed", id)
+		}
+		code := new(ecc.Code)
+		if err := code.UnmarshalText([]byte(rec.Code)); err != nil {
+			return fmt.Errorf("%s: unparseable recovered code: %w", id, err)
+		}
+		if !code.EquivalentTo(specs[i].truth) {
+			return fmt.Errorf("%s: recovered function does not match client-side ground truth", id)
+		}
+	}
+	if kill && !killed {
+		return fmt.Errorf("all jobs completed before any worker could be killed (cluster too fast for the smoke; raise Jobs)")
+	}
+	return nil
+}
+
+// fleetSolverInvocations sums actual SAT solver runs across the live
+// workers (each worker's /healthz solver.invocations).
+func fleetSolverInvocations(ctx context.Context, client *http.Client, base string) (int64, error) {
+	var fleet struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := doJSON(ctx, client, http.MethodGet, base+PathWorkers, nil, &fleet); err != nil {
+		return 0, fmt.Errorf("listing workers: %w", err)
+	}
+	var total int64
+	for _, w := range fleet.Workers {
+		if !w.Alive {
+			continue
+		}
+		var health struct {
+			Solver struct {
+				Invocations int64 `json:"invocations"`
+			} `json:"solver"`
+		}
+		if err := doJSON(ctx, client, http.MethodGet, w.URL+"/healthz", nil, &health); err != nil {
+			return 0, fmt.Errorf("worker %s healthz: %w", w.ID, err)
+		}
+		total += health.Solver.Invocations
+	}
+	return total, nil
+}

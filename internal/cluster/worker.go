@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// WorkerConfig configures a worker's cluster agent.
+type WorkerConfig struct {
+	// ID is the worker's ring identity. Empty generates a random one;
+	// restarts that want to keep their ring position (and their file
+	// store) should pass a stable ID.
+	ID string
+	// CoordinatorURL is the coordinator to join (`beerd -join`).
+	CoordinatorURL string
+	// AdvertiseURL is the base URL the coordinator should dispatch to —
+	// this worker's service API as reachable from the coordinator.
+	AdvertiseURL string
+	// Capacity mirrors the server's admission cap, reported at
+	// registration so operators see it in the fleet listing.
+	Capacity int
+	// HeartbeatEvery overrides the cadence until registration succeeds;
+	// after that the coordinator's clock (RegisterResponse) governs.
+	HeartbeatEvery time.Duration
+	// Log, when set, receives agent events.
+	Log func(format string, args ...any)
+}
+
+// Worker is the agent that makes a standalone beerd part of a fleet: it
+// registers with the coordinator, heartbeats liveness and load, and
+// deregisters on graceful shutdown. The job execution itself needs no
+// agent — the coordinator drives this worker through its ordinary service
+// API.
+type Worker struct {
+	cfg    WorkerConfig
+	srv    *service.Server
+	client *http.Client
+	beat   time.Duration
+}
+
+// RandomWorkerID mints a fresh ring identity ("w-xxxxxxxx") — what a
+// worker uses when the operator did not pin one.
+func RandomWorkerID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// constant rather than plumbing an error every caller ignores.
+		return "w-00000000"
+	}
+	return "w-" + hex.EncodeToString(b[:])
+}
+
+// NewWorker builds the agent for srv. The returned Worker does nothing
+// until Run.
+func NewWorker(cfg WorkerConfig, srv *service.Server) (*Worker, error) {
+	if cfg.CoordinatorURL == "" {
+		return nil, fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	if cfg.AdvertiseURL == "" {
+		return nil, fmt.Errorf("cluster: worker needs an advertise URL")
+	}
+	if cfg.ID == "" {
+		cfg.ID = RandomWorkerID()
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	return &Worker{
+		cfg:    cfg,
+		srv:    srv,
+		client: &http.Client{Timeout: 10 * time.Second},
+		beat:   cfg.HeartbeatEvery,
+	}, nil
+}
+
+// ID returns the worker's ring identity.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// Run registers with the coordinator (retrying until it answers) and then
+// heartbeats until ctx is cancelled. An unknown-worker answer to a
+// heartbeat — the coordinator restarted — triggers re-registration, so a
+// fleet heals in either direction. Run returns ctx.Err() on shutdown;
+// call Deregister before draining for a graceful departure.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	for {
+		if err := sleepCtx(ctx, w.beat); err != nil {
+			return err
+		}
+		if err := w.heartbeat(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if isStatus(err, http.StatusNotFound) {
+				w.cfg.Log("cluster: coordinator forgot %s, re-registering", w.cfg.ID)
+				if err := w.register(ctx); err != nil {
+					return err
+				}
+				continue
+			}
+			// Transient coordinator outage: keep beating; the TTL is the
+			// coordinator's problem, reconnection is ours.
+			w.cfg.Log("cluster: heartbeat: %v", err)
+		}
+	}
+}
+
+// register announces the worker, retrying with backoff until the
+// coordinator answers or ctx dies, and adopts the fleet's liveness clock.
+func (w *Worker) register(ctx context.Context) error {
+	info := WorkerInfo{ID: w.cfg.ID, URL: w.cfg.AdvertiseURL, Capacity: w.cfg.Capacity}
+	backoff := 100 * time.Millisecond
+	for {
+		var resp RegisterResponse
+		err := doJSON(ctx, w.client, http.MethodPost, w.cfg.CoordinatorURL+PathRegister, info, &resp)
+		if err == nil {
+			if resp.HeartbeatMS > 0 {
+				w.beat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			}
+			w.cfg.Log("cluster: %s registered with %s (heartbeat %v)", w.cfg.ID, w.cfg.CoordinatorURL, w.beat)
+			// A first heartbeat right away carries the initial load and
+			// registry size (and triggers a sync for a pre-warmed store).
+			_ = w.heartbeat(ctx)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.cfg.Log("cluster: registering %s: %v (retrying in %v)", w.cfg.ID, err, backoff)
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return err
+		}
+		backoff = min(2*backoff, 5*time.Second)
+	}
+}
+
+func (w *Worker) heartbeat(ctx context.Context) error {
+	hb := Heartbeat{
+		ID:       w.cfg.ID,
+		Running:  w.srv.RunningJobs(),
+		InFlight: w.srv.Engine().InFlight(),
+		Codes:    codesCount(w.srv.Store()),
+		Draining: w.srv.Draining(),
+	}
+	return doJSON(ctx, w.client, http.MethodPost, w.cfg.CoordinatorURL+PathHeartbeat, hb, nil)
+}
+
+// Deregister removes the worker from the coordinator's ring — the first
+// step of a graceful shutdown, before the server drains, so no new job is
+// dispatched at a worker that is about to stop.
+func (w *Worker) Deregister(ctx context.Context) error {
+	return doJSON(ctx, w.client, http.MethodDelete, w.cfg.CoordinatorURL+PathWorkers+"/"+w.cfg.ID, nil, nil)
+}
+
+// codesCount sizes a store's code registry (0 on backend errors).
+func codesCount(st *store.Store) int {
+	keys, err := st.Backend().Keys(store.BucketCodes)
+	if err != nil {
+		return 0
+	}
+	return len(keys)
+}

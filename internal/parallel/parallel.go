@@ -31,6 +31,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/store"
@@ -41,6 +42,7 @@ import (
 // An Engine is safe for concurrent use.
 type Engine struct {
 	workers  int
+	inflight atomic.Int64
 	profiles *store.LRU[profileKey, *core.Profile]
 	patterns *store.LRU[patternKey, []core.Pattern]
 }
@@ -60,6 +62,11 @@ func New(workers int) *Engine {
 
 // Workers returns the worker-pool width.
 func (e *Engine) Workers() int { return e.workers }
+
+// InFlight gauges how many sharded computations (ForEach calls) are
+// executing right now — the engine-level load figure cluster workers report
+// in their heartbeats and beerd exposes on /healthz.
+func (e *Engine) InFlight() int { return int(e.inflight.Load()) }
 
 var (
 	defaultOnce   sync.Once
@@ -90,6 +97,8 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int) error) error
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
 	workers := e.workers
 	if workers > n {
 		workers = n

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+// This file defines the seam between the beerd HTTP layer and job
+// execution. Before the cluster subsystem the Server ran every job directly
+// on its engine; now the handlers, the job table, persistence and progress
+// all talk to an Executor, and what sits behind it decides where the work
+// happens: the localExecutor runs jobs on this process's parallel engine
+// (standalone servers and cluster workers), while internal/cluster's
+// Coordinator implements the same interface by dispatching jobs to a fleet
+// of workers over the service's own HTTP API.
+
+// Executor turns validated job specs into runnable executions. The Server
+// calls Prepare at submission time (its errors are 400s) and runs the
+// returned Execution on the job's goroutine.
+type Executor interface {
+	// Prepare validates a spec and compiles it into an Execution. It must
+	// not block on anything but the spec itself.
+	Prepare(spec JobSpec) (Execution, error)
+	// Describe renders the executor for logs and /healthz
+	// ("local:8-workers", "cluster:coordinator").
+	Describe() string
+}
+
+// Execution runs one prepared job to completion. Implementations must
+// return promptly with ctx.Err() when ctx is cancelled and report progress
+// through env.Report as the job advances.
+type Execution func(ctx context.Context, env ExecEnv) (*JobResult, error)
+
+// ExecEnv is the per-job environment the Server hands an Execution.
+type ExecEnv struct {
+	// JobID is the server-assigned job identifier.
+	JobID string
+	// Cache is the server's content-addressed solve cache for this job
+	// (counting wrapper over the store registry, plus any remote tier).
+	// Local executions pass it to the pipeline; a dispatching executor
+	// ignores it, because caching happens on the worker that runs the job.
+	Cache repro.SolveCache
+	// Report publishes a progress snapshot. The server merges snapshots
+	// monotonically (see progressTracker), so implementations may report
+	// from restarted attempts without counters appearing to move backwards.
+	Report func(ProgressStatus)
+}
+
+// localExecutor runs jobs on this process's parallel experiment engine —
+// the only executor before internal/cluster, and still what standalone
+// servers and cluster workers use.
+type localExecutor struct {
+	engine *repro.Engine
+}
+
+// Describe implements Executor.
+func (e localExecutor) Describe() string {
+	return fmt.Sprintf("local:%d-workers", e.engine.Workers())
+}
+
+// Prepare implements Executor: validate via buildRunner and adapt the
+// pipeline's event stream into ProgressStatus snapshots.
+func (e localExecutor) Prepare(spec JobSpec) (Execution, error) {
+	run, err := buildRunner(spec)
+	if err != nil {
+		return nil, err
+	}
+	chips := spec.chipCount()
+	return func(ctx context.Context, env ExecEnv) (*JobResult, error) {
+		// Fold raw pipeline events locally, snapshot after every event.
+		// Events for one run are serialized (see Engine.Recover), so the
+		// fold needs no extra ordering; the tracker behind env.Report
+		// handles snapshot/read races.
+		p := &progressState{chips: chips}
+		fn := func(ev repro.ProgressEvent) {
+			p.observe(ev)
+			env.Report(p.snapshot())
+		}
+		return run(ctx, e.engine, env.Cache, fn)
+	}, nil
+}
+
+// progressTracker holds a job's latest ProgressStatus under a monotonic
+// merge: counters only grow, Done flags only set, and the stage label
+// follows the freshest report. Local executions feed it serialized event
+// snapshots; the cluster dispatcher feeds it polled worker snapshots, which
+// restart from zero when a job fails over to another worker — the merge
+// keeps the status poller's monotonicity promise either way.
+type progressTracker struct {
+	mu  sync.Mutex
+	cur ProgressStatus
+}
+
+func (t *progressTracker) update(p ProgressStatus) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &t.cur
+	if p.Updates >= c.Updates && p.Stage != "" {
+		c.Stage = p.Stage
+	}
+	c.Updates = max(c.Updates, p.Updates)
+	c.Chips = max(c.Chips, p.Chips)
+	c.Worker = cmp.Or(p.Worker, c.Worker)
+	c.Dispatches = max(c.Dispatches, p.Dispatches)
+	mergeStage(&c.Discover, p.Discover)
+	mergeStage(&c.Collect, p.Collect)
+	mergeStage(&c.Solve, p.Solve)
+}
+
+// set replaces the tracked status wholesale (replay of a terminal job).
+func (t *progressTracker) set(p ProgressStatus) {
+	t.mu.Lock()
+	t.cur = p
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) snapshot() ProgressStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur
+}
+
+func mergeStage(dst *StageStatus, src StageStatus) {
+	dst.Done = dst.Done || src.Done
+	dst.Count = max(dst.Count, src.Count)
+	dst.Total = max(dst.Total, src.Total)
+}

@@ -3,9 +3,11 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,6 +58,71 @@ func (spec JobSpec) chipCount() int {
 	return 0
 }
 
+// Normalized returns a copy of the spec with every defaulted field filled
+// in — the single place the documented defaults live. buildRunner validates
+// the normalized form, and the cluster router derives its consistent-hash
+// routing key from it, so two submissions that differ only in spelled-out
+// defaults are the same job everywhere.
+func (spec JobSpec) Normalized() JobSpec {
+	out := spec
+	switch out.Type {
+	case "recover":
+		out.Manufacturer = strings.ToUpper(out.Manufacturer)
+		if out.Manufacturer == "" {
+			out.Manufacturer = string(repro.MfrB)
+		}
+		if out.K == 0 {
+			out.K = 16
+		}
+		if out.Chips == 0 {
+			out.Chips = 1
+		}
+		if out.Seed == 0 {
+			out.Seed = 1
+		}
+		if out.Patterns == "" {
+			out.Patterns = "12"
+		}
+		if out.Rounds == 0 {
+			out.Rounds = 3
+		}
+		if out.MaxWindowMinutes == 0 {
+			out.MaxWindowMinutes = 48
+		}
+	case "simulate":
+		if out.Words == 0 {
+			out.Words = 100000
+		}
+		if out.RBER == 0 {
+			out.RBER = 1e-4
+		}
+		if out.K == 0 {
+			out.K = 32
+		}
+		if out.Seed == 0 {
+			out.Seed = 1
+		}
+		if out.CodeFamily == "" {
+			out.CodeFamily = "sequential"
+		}
+		if out.Pattern == "" {
+			out.Pattern = "0xFF"
+		}
+		if out.Model == "" {
+			out.Model = "uniform"
+		}
+	}
+	return out
+}
+
+// Validate reports whether the spec would be accepted by a submission —
+// the same checks buildRunner performs, exported for executors that
+// validate without running locally (the cluster coordinator).
+func (spec JobSpec) Validate() error {
+	_, err := buildRunner(spec)
+	return err
+}
+
 // Service guardrails: beerd is a multi-tenant front end for a shared
 // engine, so one job may not monopolize it with an unbounded spec.
 const (
@@ -86,50 +153,33 @@ func buildRunner(spec JobSpec) (runner, error) {
 }
 
 func buildRecoverRunner(spec JobSpec) (runner, error) {
-	mfr := repro.Manufacturer(strings.ToUpper(spec.Manufacturer))
-	if mfr == "" {
-		mfr = repro.MfrB
-	}
+	spec = spec.Normalized()
+	mfr := repro.Manufacturer(spec.Manufacturer)
 	if mfr != repro.MfrA && mfr != repro.MfrB && mfr != repro.MfrC {
 		return nil, fmt.Errorf("unknown manufacturer %q (want A, B or C)", spec.Manufacturer)
 	}
 	k := spec.K
-	if k == 0 {
-		k = 16
-	}
 	if k < 8 || k%8 != 0 || k > maxK {
 		return nil, fmt.Errorf("k=%d must be a positive multiple of 8 up to %d", spec.K, maxK)
 	}
 	chips := spec.Chips
-	if chips == 0 {
-		chips = 1
-	}
 	if chips < 1 || chips > maxChips {
 		return nil, fmt.Errorf("chips=%d out of range [1, %d]", spec.Chips, maxChips)
 	}
 	seed := spec.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	patternSet := repro.Set12
 	switch spec.Patterns {
-	case "", "12":
+	case "12":
 	case "1":
 		patternSet = repro.Set1
 	default:
 		return nil, fmt.Errorf("unknown pattern family %q (want \"1\" or \"12\")", spec.Patterns)
 	}
 	rounds := spec.Rounds
-	if rounds == 0 {
-		rounds = 3
-	}
 	if rounds < 1 || rounds > 16 {
 		return nil, fmt.Errorf("rounds=%d out of range [1, 16]", spec.Rounds)
 	}
 	maxWin := spec.MaxWindowMinutes
-	if maxWin == 0 {
-		maxWin = 48
-	}
 	if maxWin < 4 || maxWin > 240 {
 		return nil, fmt.Errorf("max_window_minutes=%d out of range [4, 240]", spec.MaxWindowMinutes)
 	}
@@ -187,30 +237,22 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 }
 
 func buildSimulateRunner(spec JobSpec) (runner, error) {
+	spec = spec.Normalized()
 	words := spec.Words
-	if words == 0 {
-		words = 100000
-	}
 	if words < 1 || words > maxWords {
 		return nil, fmt.Errorf("words=%d out of range [1, %d]", spec.Words, maxWords)
 	}
 	rber := spec.RBER
-	if rber == 0 {
-		rber = 1e-4
-	}
 	if rber < 0 || rber > 1 {
 		return nil, fmt.Errorf("rber=%g out of [0, 1]", spec.RBER)
 	}
 	k := spec.K
-	if k == 0 {
-		k = 32
-	}
 	if k < 4 || k > 247 {
 		return nil, fmt.Errorf("k=%d out of range [4, 247]", spec.K)
 	}
 	var code *ecc.Code
 	switch spec.CodeFamily {
-	case "", "sequential":
+	case "sequential":
 		code = ecc.SequentialHamming(k)
 	case "bitreversed":
 		code = ecc.BitReversedHamming(k)
@@ -221,7 +263,7 @@ func buildSimulateRunner(spec JobSpec) (runner, error) {
 	}
 	cfg := einsim.Config{Code: code, RBER: rber, Words: words}
 	switch spec.Pattern {
-	case "", "0xFF":
+	case "0xFF":
 		cfg.Pattern = einsim.PatternAllOnes
 	case "0x00":
 		cfg.Pattern = einsim.PatternAllZeros
@@ -231,7 +273,7 @@ func buildSimulateRunner(spec JobSpec) (runner, error) {
 		return nil, fmt.Errorf("unknown pattern %q", spec.Pattern)
 	}
 	switch spec.Model {
-	case "", "uniform":
+	case "uniform":
 		cfg.Model = einsim.ModelUniform
 	case "retention":
 		cfg.Model = einsim.ModelRetention
@@ -239,9 +281,6 @@ func buildSimulateRunner(spec JobSpec) (runner, error) {
 		return nil, fmt.Errorf("unknown model %q", spec.Model)
 	}
 	seed := spec.Seed
-	if seed == 0 {
-		seed = 1
-	}
 
 	return func(ctx context.Context, engine *repro.Engine, _ repro.SolveCache, fn repro.ProgressFunc) (*JobResult, error) {
 		pipe := repro.NewPipeline(repro.WithEngine(engine), repro.WithProgress(fn))
@@ -316,14 +355,20 @@ type StageStatus struct {
 
 // ProgressStatus is the per-stage progress block of a status response.
 // Updates increments on every pipeline event, so two successive polls can be
-// ordered by it.
+// ordered by it. On a cluster coordinator the block is aggregated from the
+// executing worker's own status stream: Worker and Dispatches say where the
+// job is running and how many dispatch attempts (1 + failovers) it took,
+// and the per-stage counters stay monotonic across a failover even though
+// the replacement worker restarts collection from scratch.
 type ProgressStatus struct {
-	Updates  int64       `json:"updates"`
-	Stage    string      `json:"stage,omitempty"`
-	Chips    int         `json:"chips,omitempty"`
-	Discover StageStatus `json:"discover"`
-	Collect  StageStatus `json:"collect"`
-	Solve    StageStatus `json:"solve"`
+	Updates    int64       `json:"updates"`
+	Stage      string      `json:"stage,omitempty"`
+	Chips      int         `json:"chips,omitempty"`
+	Worker     string      `json:"worker,omitempty"`
+	Dispatches int         `json:"dispatches,omitempty"`
+	Discover   StageStatus `json:"discover"`
+	Collect    StageStatus `json:"collect"`
+	Solve      StageStatus `json:"solve"`
 }
 
 // JobStatus is the body of GET /api/v1/jobs/{id} and the element type of
@@ -376,7 +421,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.submit(spec)
-	if err != nil {
+	var saturated *SaturatedError
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrShuttingDown):
+		// The server still answers status and result reads; only new work
+		// is refused. Retry-After tells load balancers and the cluster
+		// coordinator when to try again (or to try elsewhere).
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.As(err, &saturated):
+		w.Header().Set("Retry-After", strconv.Itoa(int(saturated.RetryAfter().Seconds())))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
@@ -439,23 +497,43 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.status(j))
 }
 
+// healthStatser is an optional Executor extension: executors that carry
+// their own operational state (the cluster coordinator's worker fleet)
+// contribute it to /healthz under "cluster".
+type healthStatser interface {
+	HealthStats() map[string]any
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	invocations, hits := s.SolveCounters()
 	codes := 0
 	if keys, err := s.store.Backend().Keys(store.BucketCodes); err == nil {
 		codes = len(keys)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.engine.Workers(),
-		"jobs":    s.stateCounts(),
-		"store":   s.store.Describe(),
-		"codes":   codes,
+	payload := map[string]any{
+		"status":    "ok",
+		"workers":   s.engine.Workers(),
+		"in_flight": s.engine.InFlight(),
+		"executor":  s.executor.Describe(),
+		"jobs":      s.stateCounts(),
+		"running":   s.RunningJobs(),
+		"store":     s.store.Describe(),
+		"codes":     codes,
 		"solver": map[string]int64{
 			"invocations": invocations,
 			"cache_hits":  hits,
 		},
-	})
+	}
+	if s.maxJobs > 0 {
+		payload["max_concurrent"] = s.maxJobs
+	}
+	if s.Draining() {
+		payload["draining"] = true
+	}
+	if hs, ok := s.executor.(healthStatser); ok {
+		payload["cluster"] = hs.HealthStats()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // CodeListing is one entry of the GET /codes registry listing: the first

@@ -149,7 +149,7 @@ func (s *Server) recoverPersistedJobs() {
 		}
 		j.started = rec.Started
 		j.finished = rec.Finished
-		j.progress.chips = spec.chipCount()
+		j.progress.update(ProgressStatus{Chips: spec.chipCount()})
 
 		if State(rec.State) == StateRunning {
 			if specErr != nil {
@@ -205,7 +205,7 @@ func parseJobID(id string) (int, bool) {
 // threshold filter) — but if the profile was solved before the interruption,
 // the content-addressed registry still short-circuits the solve stage.
 func (s *Server) resume(j *job) {
-	run, err := buildRunner(j.spec)
+	exec, err := s.executor.Prepare(j.spec)
 	if err != nil {
 		// The spec was validated at submission; failing now means the record
 		// predates a validation change. Mark it failed rather than dropping
@@ -219,7 +219,7 @@ func (s *Server) resume(j *job) {
 	s.mu.Lock()
 	s.registerLocked(j)
 	s.mu.Unlock()
-	s.start(j, run)
+	s.start(j, exec)
 }
 
 // replay restores a terminal job so its status and result read exactly as
@@ -237,17 +237,21 @@ func (s *Server) replay(j *job, rec *store.JobRecord) {
 		}
 	}
 	if j.state == StateSucceeded {
-		p := &j.progress
-		p.updates = 1
-		p.discoverDone = p.chips
-		p.collectDone = p.chips
-		p.solveDone = true
+		chips := j.spec.chipCount()
+		p := ProgressStatus{
+			Updates:  1,
+			Chips:    chips,
+			Discover: StageStatus{Done: true, Count: int64(chips), Total: int64(chips)},
+			Collect:  StageStatus{Done: true},
+			Solve:    StageStatus{Done: true},
+		}
 		if j.result != nil && j.result.Recover != nil {
-			p.candidates = j.result.Recover.Candidates
+			p.Solve.Count = int64(j.result.Recover.Candidates)
 		}
 		if j.spec.Type == "recover" {
-			p.stage = "solve"
+			p.Stage = "solve"
 		}
+		j.progress.set(p)
 	}
 	s.mu.Lock()
 	s.jobs[j.id] = j

@@ -24,6 +24,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -50,18 +51,24 @@ const (
 // Terminal reports whether a state is final.
 func (s State) Terminal() bool { return s != StateRunning }
 
-// Server owns the job table, the shared experiment engine and the result
-// store. Construct with New; serve Handler(); Close cancels every running
-// job and waits for their goroutines to exit.
+// Server owns the job table, the executor and the result store. Construct
+// with New; serve Handler(); Drain stops accepting jobs and waits for
+// in-flight ones; Close cancels every running job and waits for their
+// goroutines to exit.
 type Server struct {
-	engine *repro.Engine
-	store  *store.Store
-	solve  solveCounter
+	engine   *repro.Engine
+	executor Executor
+	store    *store.Store
+	tier     repro.SolveCache
+	solve    solveCounter
+	maxJobs  int
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // submission order, for stable listings
-	seq   int
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for stable listings
+	seq      int
+	running  int // jobs currently executing (admission control)
+	draining bool
 
 	baseCtx  context.Context
 	shutdown context.CancelFunc
@@ -70,6 +77,26 @@ type Server struct {
 
 // Option configures a Server at construction.
 type Option func(*Server)
+
+// WithExecutor routes job execution through a custom Executor instead of
+// the local engine — how a cluster coordinator turns the same HTTP surface
+// into a dispatching front end (internal/cluster.Coordinator).
+func WithExecutor(x Executor) Option { return func(s *Server) { s.executor = x } }
+
+// WithMaxConcurrent caps how many jobs may execute at once (0 = unlimited).
+// A submission over the cap is rejected with a SaturatedError, which the
+// HTTP handler maps to 429 + Retry-After — the backpressure signal a
+// cluster coordinator spills and backs off on. Jobs resumed from the store
+// at startup bypass the cap: they were admitted before the restart.
+func WithMaxConcurrent(n int) Option { return func(s *Server) { s.maxJobs = n } }
+
+// WithSolveCacheTier adds a second, typically remote, solve-cache tier
+// consulted when the local store registry misses. A cluster worker points
+// this at the coordinator's registry (cluster.RemoteCache), so a profile
+// solved anywhere in the fleet is never solved again — hits are pulled into
+// the local store, and fresh local solves are offered to the tier (the push
+// half of registry sync).
+func WithSolveCacheTier(c repro.SolveCache) Option { return func(s *Server) { s.tier = c } }
 
 // WithStore backs the server with an existing result store. The default is
 // a store over an in-memory backend: jobs then dedupe and replay within one
@@ -101,9 +128,15 @@ func New(engine *repro.Engine, opts ...Option) *Server {
 	if s.store == nil {
 		s.store = store.New(store.NewMemBackend())
 	}
+	if s.executor == nil {
+		s.executor = localExecutor{engine: engine}
+	}
 	s.recoverPersistedJobs()
 	return s
 }
+
+// Executor returns the executor jobs run on.
+func (s *Server) Executor() Executor { return s.executor }
 
 // Store returns the server's result store (never nil).
 func (s *Server) Store() *store.Store { return s.store }
@@ -152,6 +185,51 @@ func (c countingCache) Store(p *repro.Profile, res *repro.SolveResult) { c.inner
 // Engine returns the shared experiment engine jobs run on.
 func (s *Server) Engine() *repro.Engine { return s.engine }
 
+// Drain gracefully quiesces the server: new submissions are rejected with
+// ErrDraining (503 on the HTTP surface) while status, results and the code
+// registry stay readable, and Drain blocks until every in-flight job has
+// finished — or ctx expires, in which case the still-running jobs are left
+// running (their count is in the error) for Close to cancel and persist as
+// resumable. This is what `beerd` does on SIGTERM/SIGINT before exiting.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.running
+		s.mu.Unlock()
+		return fmt.Errorf("drain: %d jobs still running: %w", n, ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// RunningJobs counts the jobs currently executing (what admission control
+// compares against the WithMaxConcurrent cap, and what a cluster worker
+// reports in its heartbeats).
+func (s *Server) RunningJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// MaxConcurrent returns the admission cap (0 = unlimited).
+func (s *Server) MaxConcurrent() int { return s.maxJobs }
+
 // Close cancels every running job and blocks until all job goroutines have
 // exited. The HTTP handler stays functional afterwards (status and results
 // remain readable); new submissions are rejected.
@@ -176,7 +254,7 @@ type job struct {
 	// pipeline did not run in this process).
 	replayed bool
 
-	progress progressState
+	progress progressTracker
 
 	mu       sync.Mutex
 	state    State
@@ -222,10 +300,32 @@ func (j *job) finish(state State, err error, result *JobResult) {
 	j.finished = time.Now()
 }
 
+// ErrDraining rejects submissions while the server drains for shutdown;
+// the HTTP handler maps it to 503 + Retry-After.
+var ErrDraining = errors.New("server is draining")
+
+// ErrShuttingDown rejects submissions after Close began.
+var ErrShuttingDown = errors.New("server is shutting down")
+
+// SaturatedError rejects a submission over the WithMaxConcurrent cap; the
+// HTTP handler maps it to 429 + Retry-After.
+type SaturatedError struct {
+	Limit, Running int
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("saturated: %d of %d job slots in use", e.Running, e.Limit)
+}
+
+// RetryAfter suggests how long a client should wait before resubmitting.
+// There is no queue to measure, so the hint is a flat nudge; the coordinator
+// treats it as a floor and spills to another worker instead of waiting long.
+func (e *SaturatedError) RetryAfter() time.Duration { return time.Second }
+
 // submit validates a spec, registers a new job, persists it and starts its
 // goroutine.
 func (s *Server) submit(spec JobSpec) (*job, error) {
-	run, err := buildRunner(spec)
+	exec, err := s.executor.Prepare(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +333,16 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.mu.Lock()
 	if s.baseCtx.Err() != nil {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("server is shutting down")
+		return nil, ErrShuttingDown
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if s.maxJobs > 0 && s.running >= s.maxJobs {
+		err := &SaturatedError{Limit: s.maxJobs, Running: s.running}
+		s.mu.Unlock()
+		return nil, err
 	}
 	s.seq++
 	j := &job{
@@ -242,11 +351,11 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		created: time.Now(),
 		state:   StateRunning,
 	}
-	j.progress.chips = spec.chipCount()
+	j.progress.update(ProgressStatus{Chips: spec.chipCount()})
 	s.registerLocked(j)
 	s.mu.Unlock()
 
-	s.start(j, run)
+	s.start(j, exec)
 	return j, nil
 }
 
@@ -259,13 +368,14 @@ func (s *Server) registerLocked(j *job) {
 	j.cancel = cancel
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.running++
 	s.wg.Add(1)
 }
 
 // start persists the job's running record and launches its goroutine. The
 // record is written before the goroutine exists, so a crash at any later
 // point leaves a "running" record for the next boot to resume.
-func (s *Server) start(j *job, run runner) {
+func (s *Server) start(j *job, exec Execution) {
 	j.mu.Lock()
 	j.started = time.Now()
 	j.mu.Unlock()
@@ -274,7 +384,12 @@ func (s *Server) start(j *job, run runner) {
 	go func() {
 		defer s.wg.Done()
 		defer j.cancel()
-		result, err := run(j.runCtx, s.engine, s.jobCache(j), j.progress.observe)
+		env := ExecEnv{
+			JobID:  j.id,
+			Cache:  s.jobCache(j),
+			Report: j.progress.update,
+		}
+		result, err := exec(j.runCtx, env)
 		switch {
 		case err == nil:
 			j.finish(StateSucceeded, nil, result)
@@ -283,15 +398,47 @@ func (s *Server) start(j *job, run runner) {
 		default:
 			j.finish(StateFailed, err, nil)
 		}
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
 		s.persistJob(j)
 	}()
 }
 
 // jobCache builds the job's solve cache: the store's content-addressed
 // registry labeled with the job id (so the registry records provenance),
-// wrapped with the server-wide solver counters.
+// layered over the remote tier if one is configured, wrapped with the
+// server-wide solver counters.
 func (s *Server) jobCache(j *job) repro.SolveCache {
-	return countingCache{counter: &s.solve, inner: s.store.SolveCache(j.id)}
+	var inner repro.SolveCache = s.store.SolveCache(j.id)
+	if s.tier != nil {
+		inner = tieredCache{local: inner, tier: s.tier}
+	}
+	return countingCache{counter: &s.solve, inner: inner}
+}
+
+// tieredCache layers a remote solve-cache tier behind the local store
+// registry: lookups fall through to the tier on a local miss (and the hit
+// is written back locally), stores go to both. A tier failure is a miss —
+// a worker cut off from its coordinator degrades to local caching.
+type tieredCache struct {
+	local, tier repro.SolveCache
+}
+
+func (c tieredCache) Lookup(p *repro.Profile) (*repro.SolveResult, bool) {
+	if res, ok := c.local.Lookup(p); ok {
+		return res, true
+	}
+	res, ok := c.tier.Lookup(p)
+	if ok {
+		c.local.Store(p, res)
+	}
+	return res, ok
+}
+
+func (c tieredCache) Store(p *repro.Profile, res *repro.SolveResult) {
+	c.local.Store(p, res)
+	c.tier.Store(p, res)
 }
 
 // get returns a job by id.

@@ -301,8 +301,11 @@ func TestSubmitAfterClose(t *testing.T) {
 	defer ts.Close()
 	srv.Close()
 	resp, body := do(t, http.MethodPost, ts.URL+"/api/v1/jobs", JobSpec{Type: "simulate"})
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit after close: %s: %s", resp.Status, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatalf("submit after close: missing Retry-After header")
 	}
 	if resp, _ := do(t, http.MethodGet, ts.URL+"/api/v1/jobs", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("list after close: %s", resp.Status)
