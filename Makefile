@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-baseline fmt serve-smoke cluster-smoke
+.PHONY: all build test lint bench bench-baseline fuzz-smoke fmt serve-smoke cluster-smoke
 
 all: build lint test
 
@@ -23,15 +23,23 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # One-shot benchmark sweep parsed into a JSON baseline (tools/benchjson).
-# CI uploads BENCH_pr4.json as an artifact, extending the bench trajectory
-# (now including the cluster-vs-standalone recovery throughput pair).
+# CI uploads BENCH_pr5.json as an artifact, extending the bench trajectory
+# (now including the Eager-vs-Incremental solve pairs and the
+# FullSweep-vs-Planner end-to-end recovery pair).
 # Two steps (not a pipe) so a bench compile failure fails the target instead
 # of silently writing an empty baseline.
 bench-baseline:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.out
-	$(GO) run ./tools/benchjson < bench.out > BENCH_pr4.json
+	$(GO) run ./tools/benchjson < bench.out > BENCH_pr5.json
 	@rm -f bench.out
-	@echo "wrote BENCH_pr4.json"
+	@echo "wrote BENCH_pr5.json"
+
+# Short coverage-guided fuzz smoke of the SAT solver core and the CNF
+# builder (differential-tested against brute force; seed corpus committed
+# under internal/sat/testdata/fuzz). CI runs the same two commands.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSolver -fuzztime 15s ./internal/sat
+	$(GO) test -run '^$$' -fuzz FuzzCNFBuilder -fuzztime 15s ./internal/sat
 
 # Boot an ephemeral beerd, submit 8 concurrent FastRecovery jobs against
 # simulated MfrB chips, assert monotonic per-stage progress and that every

@@ -125,6 +125,83 @@ func BenchmarkSolve1Charged(b *testing.B) {
 	}
 }
 
+// --- Eager vs. incremental solve pairs (PR 5) ---
+// The pairs below land in BENCH_pr5.json: the incremental engine must be no
+// slower than eager on the single-solve unique check and faster on the full
+// uniqueness-check enumeration, because it defers most multi-CHARGED
+// entries and keeps one solver (with its learned clauses) alive across the
+// blocking-clause loop.
+
+// benchProfile is the seed-configuration solve workload: a k=16 shortened
+// code's exact {1,2}-CHARGED profile (136 entries).
+func benchProfile() (*ecc.Code, *core.Profile) {
+	code := ecc.RandomHamming(16, rand.New(rand.NewPCG(42, 16)))
+	return code, core.ExactProfile(code, core.Set12.Patterns(16))
+}
+
+func benchSolve(b *testing.B, maxSol int, solve func(context.Context, *core.Profile, core.SolveOptions) (*core.Result, error)) {
+	b.Helper()
+	code, prof := benchProfile()
+	opts := core.SolveOptions{ParityBits: code.ParityBits(), MaxSolutions: maxSol}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solve(context.Background(), prof, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Unique {
+			b.Fatalf("solve not unique (%d candidates)", len(res.Codes))
+		}
+	}
+}
+
+// BenchmarkSolveEager is the historical behavior: every profile entry
+// encoded up front, then the standard unique-or-not check.
+func BenchmarkSolveEager(b *testing.B) { benchSolve(b, 0, core.Solve) }
+
+// BenchmarkSolveIncremental is the same check on the incremental engine
+// (deferred entries, persistent solver).
+func BenchmarkSolveIncremental(b *testing.B) { benchSolve(b, 0, core.SolveIncremental) }
+
+// BenchmarkUniquenessLoopEager exhausts the whole model space (the
+// uniqueness blocking-clause loop runs until UNSAT) with eager encoding.
+func BenchmarkUniquenessLoopEager(b *testing.B) { benchSolve(b, -1, core.Solve) }
+
+// BenchmarkUniquenessLoopIncremental is the same exhaustion on the
+// incremental engine.
+func BenchmarkUniquenessLoopIncremental(b *testing.B) { benchSolve(b, -1, core.SolveIncremental) }
+
+// BenchmarkRecoverFullSweep / BenchmarkRecoverPlanner are the end-to-end
+// pair: exhaustive-sweep recovery vs. the adaptive planner, which stops
+// collecting the moment the code is uniquely determined.
+func BenchmarkRecoverFullSweep(b *testing.B) { benchRecoverPlanned(b, false) }
+
+func BenchmarkRecoverPlanner(b *testing.B) { benchRecoverPlanned(b, true) }
+
+func benchRecoverPlanned(b *testing.B, planned bool) {
+	b.Helper()
+	opts := []repro.Option{repro.WithFastWindows()}
+	if planned {
+		opts = append(opts, repro.WithPlanner())
+	}
+	pipe := repro.NewPipeline(opts...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		chip := repro.SimulatedChip(repro.MfrB, 16, uint64(i))
+		rep, err := pipe.Recover(context.Background(), chip)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Result.Unique {
+			b.Fatal("recovery not unique")
+		}
+		if planned && rep.Plan.PatternsUsed >= rep.Plan.PatternsFull {
+			b.Fatalf("planner used the full sweep (%d/%d)", rep.Plan.PatternsUsed, rep.Plan.PatternsFull)
+		}
+	}
+}
+
 func itoa(k int) string {
 	if k == 0 {
 		return "0"

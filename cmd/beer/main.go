@@ -7,6 +7,7 @@
 //	beer -mfr B -k 16 -verify
 //	beer -mfr C -k 32 -patterns 1 -max-rows 128
 //	beer -mfr B -k 16 -chips 4 -verify     # parallel collection across 4 same-model chips
+//	beer -mfr B -k 16 -plan -verify        # adaptive planner: stop collecting when unique
 //	beer -mfr B -k 16 -progress            # live per-stage status on stderr
 //	beer -mfr B -k 16 -o code.json         # export the recovered function (einsim -code reads it)
 //
@@ -50,6 +51,8 @@ func main() {
 		showProf = flag.Bool("profile", false, "print the thresholded miscorrection profile")
 		useAnti  = flag.Bool("anti", false, "also collect inverted patterns from anti-cell rows (extension)")
 		useLazy  = flag.Bool("lazy", false, "use the CEGAR-style lazy solver (extension)")
+		usePlan  = flag.Bool("plan", false, "adaptive pattern planner: solve while collecting, stop when unique (extension)")
+		planMax  = flag.Int("plan-budget", 0, "planner pattern budget (0 = the full family; implies -plan)")
 		progress = flag.Bool("progress", false, "stream live pipeline progress to stderr")
 		outFile  = flag.String("o", "", "write the recovered function as a code-export JSON file")
 	)
@@ -107,6 +110,12 @@ func main() {
 	if *useLazy {
 		opts = append(opts, repro.WithLazySolver())
 	}
+	if *usePlan || *planMax > 0 {
+		if *useAnti {
+			fatal(fmt.Errorf("-plan is incompatible with -anti (the planner schedules true-cell patterns only)"))
+		}
+		opts = append(opts, repro.WithPlanOptions(repro.PlanOptions{MaxPatterns: *planMax}))
+	}
 	if *progress {
 		opts = append(opts, repro.WithProgress(printProgress))
 	}
@@ -141,6 +150,10 @@ func main() {
 		rep.Result.Vars, rep.Result.Clauses)
 	if *useLazy {
 		fmt.Printf("        (lazy solver materialized %d deferred pattern entries)\n", rep.Result.LazyRefinements)
+	}
+	if rep.Plan != nil {
+		fmt.Printf("planner:                 %d of %d patterns collected in %d batches (decided early: %v)\n",
+			rep.Plan.PatternsUsed, rep.Plan.PatternsFull, rep.Plan.Batches, rep.Plan.DecidedEarly)
 	}
 	fmt.Printf("simulation wall clock:   %v\n\n", time.Since(start).Round(time.Millisecond))
 

@@ -19,8 +19,12 @@
 // internal/cluster):
 //
 //	POST   /api/v1/jobs             {"type":"recover","manufacturer":"B","k":16,"verify":true}
+//	                                ("plan":true runs the adaptive pattern planner: collection
+//	                                stops the moment the code is unique; the result reports
+//	                                patterns_used vs. patterns_full and solver counters)
 //	GET    /api/v1/jobs             list job statuses
-//	GET    /api/v1/jobs/{id}        status + per-stage progress (+ worker/dispatches in cluster)
+//	GET    /api/v1/jobs/{id}        status + per-stage progress + live solver counters
+//	                                (+ worker/dispatches in cluster)
 //	GET    /api/v1/jobs/{id}/result recovered H matrix / simulation counters
 //	DELETE /api/v1/jobs/{id}        cancel
 //	GET    /codes                   registry of recovered ECC functions

@@ -155,41 +155,52 @@ func (p *Profiler) craftPattern(target int, known map[int]bool) (gf2.Vec, bool) 
 	sort.Ints(suspects)
 	suspects = append(suspects, target)
 
-	craft := p.craftSAT
-	if p.opts.Crafter == CrafterLinear {
-		craft = p.craftLinear
-	}
-	if d, ok := craft(target, suspects, p.opts.WorstCaseNeighbors); ok {
-		return d, true
-	}
-	if len(known) > 0 {
-		// Constraint 1 may be the blocker; the paper drops it before
-		// giving up (§7.1.2).
-		if d, ok := craft(target, suspects, false); ok {
-			return d, true
-		}
-	}
-	// Bootstrap / last resort: any charged cell may be a failure candidate.
-	// The linear crafter samples companions rather than taking all n cells;
-	// randomness comes from the profiler's rng either way.
+	// Bootstrap / last resort companion set: any charged cell may be a
+	// failure candidate. The linear crafter samples companions rather than
+	// taking all n cells; randomness comes from the profiler's rng either
+	// way.
 	all := make([]int, p.code.N())
 	for i := range all {
 		all[i] = i
 	}
-	if d, ok := craft(target, all, p.opts.WorstCaseNeighbors); ok {
+
+	if p.opts.Crafter == CrafterLinear {
+		if d, ok := p.craftLinear(target, suspects, p.opts.WorstCaseNeighbors); ok {
+			return d, true
+		}
+		if len(known) > 0 {
+			// Constraint 1 may be the blocker; the paper drops it before
+			// giving up (§7.1.2).
+			if d, ok := p.craftLinear(target, suspects, false); ok {
+				return d, true
+			}
+		}
+		if d, ok := p.craftLinear(target, all, p.opts.WorstCaseNeighbors); ok {
+			return d, true
+		}
+		return p.craftLinear(target, all, false)
+	}
+	// The SAT crafter relaxes constraint 1 incrementally: the neighbor
+	// clauses are guarded by an activation literal asserted via solver
+	// assumptions, so dropping them re-solves the same (already learned-in)
+	// formula instead of rebuilding it.
+	if d, ok := p.craftSAT(target, suspects, p.opts.WorstCaseNeighbors, len(known) > 0); ok {
 		return d, true
 	}
-	if d, ok := craft(target, all, false); ok {
-		return d, true
-	}
-	return gf2.Vec{}, false
+	return p.craftSAT(target, all, p.opts.WorstCaseNeighbors, true)
 }
 
 // craftSAT encodes phase 1 as SAT: dataword bits are free variables; parity
 // bits are XOR gates; the miscorrection condition is an OR over candidate
 // landing bits of "syndrome of the selected failures equals that bit's H
 // column while the bit is DISCHARGED".
-func (p *Profiler) craftSAT(target int, suspects []int, worstCase bool) (gf2.Vec, bool) {
+//
+// The worst-case neighbor clauses (constraint 1) are guarded by an
+// activation literal and enabled via SolveUnderAssumptions, so when they
+// make crafting infeasible and relaxAllowed is set, the relaxed retry
+// reuses the same solver — clause database, learned clauses, saved phases —
+// instead of rebuilding the CNF from scratch.
+func (p *Profiler) craftSAT(target int, suspects []int, worstCase, relaxAllowed bool) (gf2.Vec, bool) {
 	n, k, r := p.code.N(), p.code.K(), p.code.ParityBits()
 	s := sat.New()
 	dVars := make([]int, k)
@@ -220,15 +231,19 @@ func (p *Profiler) craftSAT(target int, suspects []int, worstCase bool) (gf2.Vec
 		}
 		cw[k+i] = s.ReifyXor(lits...)
 	}
-	// Constraint 1: target charged, neighbors discharged (worst case).
+	// Constraint 1: target charged, neighbors discharged (worst case). The
+	// neighbor clauses activate only while `guard` is assumed.
 	s.AddClause(cw[target])
+	var assumps []sat.Lit
 	if worstCase {
+		guard := sat.PosLit(s.NewVar())
 		if target > 0 {
-			s.AddClause(cw[target-1].Not())
+			s.AddClause(guard.Not(), cw[target-1].Not())
 		}
 		if target+1 < n {
-			s.AddClause(cw[target+1].Not())
+			s.AddClause(guard.Not(), cw[target+1].Not())
 		}
+		assumps = append(assumps, guard)
 	}
 	// Constraint 2: some subset of suspect failures (the target forced in)
 	// produces a syndrome equal to a DISCHARGED data bit's column.
@@ -268,7 +283,14 @@ func (p *Profiler) craftSAT(target int, suspects []int, worstCase bool) (gf2.Vec
 	}
 	s.AddClause(hits...)
 
-	ok, err := s.Solve()
+	ok, err := s.SolveUnderAssumptions(assumps...)
+	if (err != nil || !ok) && len(assumps) > 0 && relaxAllowed {
+		// Constraint 1 was the blocker; the paper drops it before giving
+		// up (§7.1.2). Releasing the assumption deactivates the guarded
+		// neighbor clauses on the warm solver.
+		assumps = nil
+		ok, err = s.Solve()
+	}
 	if err != nil || !ok {
 		return gf2.Vec{}, false
 	}
@@ -282,7 +304,7 @@ func (p *Profiler) craftSAT(target int, suspects []int, worstCase bool) (gf2.Vec
 		if !s.BlockModel(dVars) {
 			break
 		}
-		ok, err := s.Solve()
+		ok, err := s.SolveUnderAssumptions(assumps...)
 		if err != nil || !ok {
 			break
 		}

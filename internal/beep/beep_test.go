@@ -93,7 +93,9 @@ func TestCraftPatternWorstCaseNeighbors(t *testing.T) {
 	code := ecc.RandomHamming(26, rng)
 	p := NewProfiler(code, DefaultOptions(), rng)
 	for _, target := range []int{5, 12, 20} {
-		d, ok := p.craftSAT(target, allCells(code.N()), true)
+		// relaxAllowed=false: the worst-case constraint must hold in any
+		// returned pattern.
+		d, ok := p.craftSAT(target, allCells(code.N()), true, false)
 		if !ok {
 			continue
 		}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestClusterPlannedJobSolverProgress dispatches an adaptive-planner job
+// through a real coordinator→worker hop: the worker's live solver counters
+// and planner pattern progress must survive the coordinator's monotonic
+// progress aggregation, and the result must report the patterns economy.
+func TestClusterPlannedJobSolverProgress(t *testing.T) {
+	tc := startTestCluster(t)
+	tc.addWorker("w1", 0)
+
+	spec := recoverSpec("B", 16, 31)
+	spec.Plan = true
+	status := tc.submit(spec)
+	tc.waitFor("job terminal", 60*time.Second, func() bool {
+		return tc.status(status.ID).State.Terminal()
+	})
+	final := tc.status(status.ID)
+	if final.State != service.StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	sp := final.Progress.Solver
+	if sp.PatternsUsed == 0 || sp.PatternsPlanned == 0 {
+		t.Fatalf("planner solver progress lost in coordinator aggregation: %+v", final.Progress)
+	}
+	if sp.PatternsUsed > sp.PatternsPlanned {
+		t.Fatalf("aggregated patterns used (%d) exceeds planned (%d)", sp.PatternsUsed, sp.PatternsPlanned)
+	}
+	if sp.Propagations == 0 {
+		t.Fatalf("solver counters lost in coordinator aggregation: %+v", sp)
+	}
+
+	res := tc.result(status.ID)
+	assertVerified(t, res)
+	if res.Recover.PatternsUsed == 0 || res.Recover.PatternsUsed >= res.Recover.PatternsFull {
+		t.Fatalf("planned result economy missing or inverted: used %d of %d",
+			res.Recover.PatternsUsed, res.Recover.PatternsFull)
+	}
+	if res.Recover.Solver == nil || res.Recover.Solver.Propagations == 0 {
+		t.Fatalf("planned result carries no solver stats: %+v", res.Recover.Solver)
+	}
+}

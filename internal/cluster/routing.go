@@ -40,6 +40,11 @@ func RoutingKey(spec service.JobSpec) string {
 		if spec.UseAntiRows {
 			key += "+anti"
 		}
+		// Planned jobs (adaptive planner) observe a deterministic *prefix*
+		// of this profile, so they share the full-sweep key on purpose:
+		// same-model submissions — planned or not — pin to one worker, and
+		// a repeated planned submission replays that worker's cached solve
+		// for the identical partial profile.
 		return key
 	case "simulate":
 		canon := fmt.Sprintf("sim|k=%d|words=%d|rber=%g|family=%s|pattern=%s|model=%s|seed=%d",

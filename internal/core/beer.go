@@ -27,6 +27,14 @@ type RecoverOptions struct {
 	UseAntiRows bool
 	// UseLazySolver switches to the CEGAR-style SolveLazy (see lazy.go).
 	UseLazySolver bool
+	// UsePlanner replaces the exhaustive pattern sweep with the adaptive
+	// planner (see Planner): collection proceeds in batches that feed a
+	// persistent incremental solver, and stops the moment the ECC function
+	// is uniquely determined or the Plan budget is hit. Incompatible with
+	// UseAntiRows (the planner schedules true-cell patterns only).
+	UsePlanner bool
+	// Plan tunes the adaptive planner (batch size, pattern budget).
+	Plan PlanOptions
 	// SolveCache, when set, short-circuits the solve stage: a profile whose
 	// canonical hash (Profile.Hash) was solved before replays the cached
 	// Result with zero SAT invocations, and fresh successful solves are
@@ -62,6 +70,9 @@ type Report struct {
 	Profile *Profile
 	// Result holds the recovered ECC function(s).
 	Result *Result
+	// Plan summarizes the adaptive planner's run (patterns used vs. the
+	// full sweep); nil for exhaustive-sweep recoveries.
+	Plan *PlanInfo
 	// Timing of the three steps.
 	DiscoveryTime, CollectTime, SolveTime time.Duration
 }
@@ -93,17 +104,10 @@ func Observe(ctx context.Context, chip Chip, opts RecoverOptions) (*ChipObservat
 
 	start := time.Now()
 	opts.Progress.emit(Event{Stage: StageDiscover})
-	obs.CellClasses = DiscoverCellLayout(chip, opts.Layout)
-	rows := TrueRows(obs.CellClasses)
-	if len(rows) == 0 {
-		return obs, fmt.Errorf("core: no true-cell rows discovered")
-	}
-	if opts.MaxRows > 0 && len(rows) > opts.MaxRows {
-		rows = rows[:opts.MaxRows]
-	}
-	layout, err := DiscoverWordLayout(chip, rows, opts.Layout)
+	classes, rows, layout, err := DiscoverChip(chip, opts)
+	obs.CellClasses = classes
 	if err != nil {
-		return obs, fmt.Errorf("core: word layout: %w", err)
+		return obs, err
 	}
 	obs.Layout = layout
 	obs.DiscoveryTime = time.Since(start)
@@ -114,8 +118,14 @@ func Observe(ctx context.Context, chip Chip, opts RecoverOptions) (*ChipObservat
 	if collectOpts.Progress == nil {
 		collectOpts.Progress = opts.Progress
 	}
+	// The offsetter keeps Pass monotonic across the main and anti sweeps:
+	// the anti series continues the main one's pass numbering, with the
+	// total revising upward when it begins.
+	pc := NewCollectPassOffset(collectOpts.Progress)
+	mainOpts := collectOpts
+	mainOpts.Progress = pc.Next(mainOpts)
 	patterns := opts.PatternSet.Patterns(layout.K())
-	obs.Counts, err = CollectCounts(ctx, chip, rows, layout, patterns, collectOpts)
+	obs.Counts, err = CollectCounts(ctx, chip, rows, layout, patterns, mainOpts)
 	if err != nil {
 		return obs, fmt.Errorf("core: collect: %w", err)
 	}
@@ -127,19 +137,7 @@ func Observe(ctx context.Context, chip Chip, opts RecoverOptions) (*ChipObservat
 		if len(anti) > 0 {
 			antiOpts := collectOpts
 			antiOpts.Invert = true
-			// The anti sweep's progress continues the main series: its pass
-			// numbers and total are offset by the main sweep's pass count,
-			// so Pass stays monotonic and never exceeds Passes across the
-			// whole collect stage (the total revises upward when the anti
-			// series begins).
-			if fn := collectOpts.Progress; fn != nil {
-				mainPasses := sweepPasses(opts.Collect)
-				antiOpts.Progress = func(ev Event) {
-					ev.Pass += mainPasses
-					ev.Passes += mainPasses
-					fn(ev)
-				}
-			}
+			antiOpts.Progress = pc.Next(antiOpts)
 			// Anti regions contribute the 1-CHARGED patterns only: those
 			// carry the extra row-parity information, and the much smaller
 			// pattern count keeps per-pattern sample density high enough
@@ -154,6 +152,27 @@ func Observe(ctx context.Context, chip Chip, opts RecoverOptions) (*ChipObservat
 	obs.CollectTime = time.Since(start)
 	opts.Progress.emit(Event{Stage: StageCollect, Done: true})
 	return obs, nil
+}
+
+// DiscoverChip runs the §5.1.1-5.1.2 discovery steps against one chip:
+// classify every row's cell polarity, then group region bytes into ECC
+// datawords over the (MaxRows-capped) true-cell rows. Shared by Observe
+// and the planned recovery paths (core and parallel), which need discovery
+// decoupled from collection.
+func DiscoverChip(chip Chip, opts RecoverOptions) (classes [][]CellClass, rows []RowRef, layout WordLayout, err error) {
+	classes = DiscoverCellLayout(chip, opts.Layout)
+	rows = TrueRows(classes)
+	if len(rows) == 0 {
+		return classes, nil, WordLayout{}, fmt.Errorf("core: no true-cell rows discovered")
+	}
+	if opts.MaxRows > 0 && len(rows) > opts.MaxRows {
+		rows = rows[:opts.MaxRows]
+	}
+	layout, err = DiscoverWordLayout(chip, rows, opts.Layout)
+	if err != nil {
+		return classes, rows, layout, fmt.Errorf("core: word layout: %w", err)
+	}
+	return classes, rows, layout, nil
 }
 
 // fill copies an observation's discovery and collection results into a report.
@@ -174,6 +193,9 @@ func (rep *Report) fill(obs *ChipObservations) {
 // pauses dominate real experiments) or at the solver's next conflict/restart.
 func Recover(ctx context.Context, chip Chip, opts RecoverOptions) (*Report, error) {
 	ctx = ctxOrBackground(ctx)
+	if opts.UsePlanner {
+		return RecoverPlanned(ctx, chip, opts)
+	}
 	rep := &Report{}
 	obs, err := Observe(ctx, chip, opts)
 	rep.fill(obs)
@@ -193,6 +215,101 @@ func Recover(ctx context.Context, chip Chip, opts RecoverOptions) (*Report, erro
 	}
 	rep.Result = res
 	opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes), Done: true})
+	return rep, nil
+}
+
+// CollectPassOffset adapts a collect-progress stream to a run made of
+// several CollectCounts sweeps (the anti-cell sweep after the main one,
+// or the planner's batches): each sweep's pass counters restart at 1, so
+// this wrapper offsets them by the passes of the sweeps already finished —
+// Pass stays monotonic across the whole run and never exceeds Passes,
+// whose total revises upward sweep by sweep.
+type CollectPassOffset struct {
+	base   ProgressFunc
+	offset int
+}
+
+// NewCollectPassOffset wraps base (may be nil) for multi-sweep collection.
+func NewCollectPassOffset(base ProgressFunc) *CollectPassOffset {
+	return &CollectPassOffset{base: base}
+}
+
+// Next returns the progress callback for the next sweep (nil when no base
+// consumer exists) and adds that sweep's pass count to the running offset.
+// sweepOpts must be the CollectOptions the sweep will run with.
+func (pc *CollectPassOffset) Next(sweepOpts CollectOptions) ProgressFunc {
+	base := pc.base
+	offset := pc.offset
+	pc.offset += sweepPasses(sweepOpts)
+	if base == nil {
+		return nil
+	}
+	return func(ev Event) {
+		ev.Pass += offset
+		ev.Passes += offset
+		base(ev)
+	}
+}
+
+// RecoverPlanned is Recover with the adaptive planner in charge of
+// collection (see Planner): discovery runs as usual, then collection
+// proceeds batch by batch with each batch's constraints fed to a
+// persistent incremental solver, stopping the moment the ECC function is
+// uniquely determined (or the Plan budget is spent). Report.Plan records
+// patterns used vs. the full sweep. The SolveCache, if any, receives the
+// final (partial-profile) result; lookups are impossible because the
+// profile is not known until collected.
+func RecoverPlanned(ctx context.Context, chip Chip, opts RecoverOptions) (*Report, error) {
+	ctx = ctxOrBackground(ctx)
+	if opts.UseAntiRows {
+		return nil, fmt.Errorf("core: the adaptive planner does not support anti-cell collection")
+	}
+	rep := &Report{}
+
+	start := time.Now()
+	opts.Progress.emit(Event{Stage: StageDiscover})
+	classes, rows, layout, err := DiscoverChip(chip, opts)
+	rep.CellClasses = classes
+	if err != nil {
+		return rep, err
+	}
+	rep.Layout = layout
+	rep.K = layout.K()
+	rep.DiscoveryTime = time.Since(start)
+	opts.Progress.emit(Event{Stage: StageDiscover, Done: true})
+
+	planner, err := NewPlanner(layout.K(), opts)
+	if err != nil {
+		return rep, err
+	}
+	collectOpts := opts.Collect
+	if collectOpts.Progress == nil {
+		collectOpts.Progress = opts.Progress
+	}
+	pc := NewCollectPassOffset(collectOpts.Progress)
+	res, err := planner.Run(ctx, func(ctx context.Context, patterns []Pattern) (*Counts, error) {
+		batchOpts := collectOpts
+		batchOpts.Progress = pc.Next(batchOpts)
+		return CollectCounts(ctx, chip, rows, layout, patterns, batchOpts)
+	})
+	rep.Counts = planner.Counts()
+	rep.Profile = planner.Profile()
+	info := planner.Info()
+	rep.Plan = &info
+	rep.CollectTime, rep.SolveTime = planner.Times()
+	if err != nil {
+		return rep, fmt.Errorf("core: planned recovery: %w", err)
+	}
+	opts.Progress.emit(Event{Stage: StageCollect, Done: true})
+	rep.Result = res
+	if opts.SolveCache != nil {
+		opts.SolveCache.Store(rep.Profile, res)
+	}
+	opts.Progress.emit(Event{
+		Stage: StageSolve, Candidates: len(res.Codes), Done: true,
+		Conflicts: res.Stats.Conflicts, Propagations: res.Stats.Propagations,
+		PatternsUsed: info.PatternsUsed, PatternsPlanned: info.PatternsFull,
+	})
 	return rep, nil
 }
 

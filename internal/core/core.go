@@ -22,14 +22,18 @@
 // (ExactProfile) derived analytically from the retention-error model, used
 // for the correctness evaluation (paper §6.1) without Monte-Carlo noise.
 //
-// Entry points: Recover is the whole methodology against one Chip; Observe
-// is its experimental front half (discovery + collection) for callers that
-// aggregate across chips (internal/parallel does); Solve/SolveLazy search
-// for consistent codes; SolveStage is the cache-aware solve used by both
-// Recover paths. Profile.Canonical/Profile.Hash define the profile's
-// content address — the key of the recovered-code registry (internal/store)
-// — and SolveCache is the interface through which a registry short-circuits
-// repeated solves of the same fingerprint.
+// Entry points: Recover is the whole methodology against one Chip (with
+// RecoverOptions.UsePlanner it becomes RecoverPlanned, the adaptive
+// collect↔solve loop); Observe is its experimental front half (discovery +
+// collection) for callers that aggregate across chips (internal/parallel
+// does); SolveIncremental/SolveSession are the incremental solve engine
+// (Solve and SolveLazy are thin shims over it); Planner interleaves
+// collection with solving and stops at uniqueness; SolveStage is the
+// cache-aware solve used by both exhaustive Recover paths.
+// Profile.Canonical/Profile.Hash define the profile's content address —
+// the key of the recovered-code registry (internal/store) — and SolveCache
+// is the interface through which a registry short-circuits repeated solves
+// of the same fingerprint.
 //
 // Invariants: every long-running entry point takes a context and stops at
 // the next safe boundary (collection pass, SAT conflict); partial

@@ -2,119 +2,18 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"time"
-
-	"repro/internal/ecc"
 )
 
-// SolveLazy is a counterexample-guided (CEGAR-style) variant of Solve for
-// profiles that include multi-CHARGED patterns. Eagerly encoding every
-// 2-CHARGED entry costs O(k^2) XOR gadgets per pattern; most of them never
-// constrain the search. SolveLazy encodes only the 1-CHARGED entries up
-// front, then repeatedly:
-//
-//  1. solves for a candidate code,
-//  2. checks the candidate's exact profile against the deferred entries
-//     (using the analytic oracle, which is cheap), and
-//  3. adds the violated entries' constraints and re-solves.
-//
-// The result is semantically identical to Solve on the full profile; the
-// paper's §7.3 lists this kind of problem-constraining as future work. The
-// Result.LazyRefinements field reports how many deferred entries were
-// actually needed.
+// SolveLazy is the counterexample-guided (CEGAR-style) variant of Solve for
+// profiles that include multi-CHARGED patterns: only the 1-CHARGED entries
+// are encoded up front, and deferred entries are materialized when a
+// candidate model violates them. Since the incremental engine landed this
+// is the *default* behavior of SolveIncremental, and SolveLazy is a thin
+// shim kept for callers of the historical name. The result is semantically
+// identical to Solve on the full profile; Result.LazyRefinements reports
+// how many deferred entries were actually needed and
+// Result.PatternsSkipped how many never were.
 func SolveLazy(ctx context.Context, profile *Profile, opts SolveOptions) (*Result, error) {
-	ctx = ctxOrBackground(ctx)
-	if profile.K < 1 {
-		return nil, fmt.Errorf("core: profile has no dataword bits")
-	}
-	r := opts.ParityBits
-	if r == 0 {
-		r = ecc.MinParityBits(profile.K)
-	}
-	maxSol := opts.MaxSolutions
-	if maxSol == 0 {
-		maxSol = 2
-	}
-	e := newEncoder(profile.K, r)
-	e.s.MaxConflicts = opts.MaxConflicts
-	translate := interruptFromCtx(ctx, e.s)
-
-	var deferred []Entry
-	for _, entry := range profile.Entries {
-		if entry.Possible.Len() != profile.K {
-			return nil, fmt.Errorf("core: entry %v has %d bits, profile has k=%d",
-				entry.Pattern, entry.Possible.Len(), profile.K)
-		}
-		if entry.Pattern.Weight() <= 1 {
-			e.addEntry(entry)
-		} else {
-			deferred = append(deferred, entry)
-		}
-	}
-	added := make([]bool, len(deferred))
-
-	res := &Result{}
-	vars := e.pVars()
-	start := time.Now()
-	firstFound := false
-	for maxSol < 0 || len(res.Codes) < maxSol {
-		found, err := e.s.Solve()
-		if err != nil {
-			return res, fmt.Errorf("core: lazy solve: %w", translate(err))
-		}
-		if !found {
-			res.Exhausted = true
-			break
-		}
-		code, err := e.modelCode()
-		if err != nil {
-			return res, fmt.Errorf("core: SAT model is not a valid code: %w", err)
-		}
-		// Counterexample check against the deferred entries.
-		violated := 0
-		for i, entry := range deferred {
-			if added[i] {
-				continue
-			}
-			oracle := ExactProfile
-			if entry.Anti {
-				oracle = ExactProfileAnti
-			}
-			got := oracle(code, []Pattern{entry.Pattern}).Entries[0].Possible
-			if !got.Equal(entry.Possible) {
-				e.addEntry(entry)
-				added[i] = true
-				violated++
-				res.LazyRefinements++
-				if violated >= 8 {
-					break // add a few at a time; more may be implied
-				}
-			}
-		}
-		if violated > 0 {
-			continue // the candidate is refuted; re-solve with refinements
-		}
-		res.Codes = append(res.Codes, code)
-		opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})
-		if !firstFound {
-			firstFound = true
-			res.DetermineTime = time.Since(start)
-			start = time.Now()
-		}
-		if !e.s.BlockModel(vars) {
-			res.Exhausted = true
-			break
-		}
-	}
-	if firstFound {
-		res.UniquenessTime = time.Since(start)
-	} else {
-		res.DetermineTime = time.Since(start)
-	}
-	res.Unique = res.Exhausted && len(res.Codes) == 1
-	res.Vars = e.s.NumVars()
-	res.Clauses = e.s.NumClauses()
-	res.Stats = e.s.Stats
-	return res, nil
+	opts.EagerEncode = false
+	return SolveIncremental(ctx, profile, opts)
 }

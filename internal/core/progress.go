@@ -53,6 +53,17 @@ type Event struct {
 	Pass, Passes int
 	// Candidates is the number of candidate codes found so far (StageSolve).
 	Candidates int
+	// Conflicts, Propagations and LearnedClauses snapshot the run's
+	// cumulative SAT-solver counters at emission time (StageSolve events
+	// from the incremental engine; zero elsewhere). Counters only grow
+	// within a run — beerd folds them into its monotonic progress stream
+	// and /healthz solver totals.
+	Conflicts, Propagations, LearnedClauses int64
+	// PatternsUsed and PatternsPlanned report adaptive-planner progress:
+	// how many test patterns have been collected and fed to the solver so
+	// far, out of the full family the exhaustive sweep would use (zero
+	// outside planner runs).
+	PatternsUsed, PatternsPlanned int
 	// Done marks the completion of the event's stage (for Chip).
 	Done bool
 }

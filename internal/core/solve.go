@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/ecc"
@@ -23,16 +22,38 @@ type SolveOptions struct {
 	MaxSolutions int
 	// MaxConflicts bounds SAT effort per Solve call (0 = unlimited).
 	MaxConflicts int64
+	// EagerEncode encodes every profile entry up front instead of deferring
+	// multi-CHARGED entries for counterexample-guided refinement. Eager is
+	// the historical Solve behavior; the deferred default usually encodes a
+	// small fraction of the entries (Result.PatternsSkipped reports how
+	// many were never needed).
+	EagerEncode bool
+	// Backend, when set, supplies the SAT backend a solve session builds
+	// on (one fresh backend per session). Nil selects the in-process CDCL
+	// engine; sat.NewDimacs gives an engine that additionally records the
+	// CNF for export to external solvers.
+	Backend func() sat.Backend
 	// Progress, when set, receives a StageSolve event each time the search
-	// finds another candidate code.
+	// finds another candidate code (with the run's cumulative solver
+	// counters attached).
 	Progress ProgressFunc
 }
 
-// interruptFromCtx wires context cancellation into a solver: the solver
-// polls the hook at every conflict and restart. The returned translate
-// function maps sat.ErrInterrupted back to the context's error.
-func interruptFromCtx(ctx context.Context, s *sat.Solver) (translate func(error) error) {
-	s.Interrupt = func() bool { return ctx.Err() != nil }
+// backend materializes the configured SAT backend.
+func (o SolveOptions) backend() sat.Backend {
+	if o.Backend != nil {
+		if b := o.Backend(); b != nil {
+			return b
+		}
+	}
+	return sat.New()
+}
+
+// interruptFromCtx wires context cancellation into a backend: the solver
+// polls the hook at every conflict, restart and 64th decision. The returned
+// translate function maps sat.ErrInterrupted back to the context's error.
+func interruptFromCtx(ctx context.Context, b sat.Backend) (translate func(error) error) {
+	b.Interrupt(func() bool { return ctx.Err() != nil })
 	return func(err error) error {
 		if errors.Is(err, sat.ErrInterrupted) {
 			if cerr := ctx.Err(); cerr != nil {
@@ -59,8 +80,12 @@ type Result struct {
 	UniquenessTime time.Duration
 	// Vars and Clauses describe the CNF encoding size.
 	Vars, Clauses int
-	// LazyRefinements counts deferred pattern entries that SolveLazy had to
-	// materialize (always zero for the eager Solve).
+	// PatternsUsed counts profile entries actually encoded into the CNF;
+	// PatternsSkipped counts entries the deferred (incremental) engine
+	// never had to materialize. Eager solves use every entry.
+	PatternsUsed, PatternsSkipped int
+	// LazyRefinements counts deferred pattern entries materialized because
+	// a candidate model violated them (always zero for eager solves).
 	LazyRefinements int
 	Stats           sat.Stats
 }
@@ -68,7 +93,7 @@ type Result struct {
 // encoder builds the CNF over the unknown standard-form parity-check matrix
 // H = [P | I]: one SAT variable per P entry.
 type encoder struct {
-	s    *sat.Solver
+	s    sat.Backend
 	k, r int
 	pVar [][]int // pVar[i][j] = variable of P[i][j]
 	// rowParity[i] reifies XOR of row i of P over all k columns, built on
@@ -76,8 +101,11 @@ type encoder struct {
 	rowParity []sat.Lit
 }
 
-func newEncoder(k, r int) *encoder {
-	e := &encoder{s: sat.New(), k: k, r: r}
+func newEncoder(k, r int, b sat.Backend) *encoder {
+	if b == nil {
+		b = sat.New()
+	}
+	e := &encoder{s: b, k: k, r: r}
 	e.pVar = make([][]int, r)
 	for i := 0; i < r; i++ {
 		e.pVar[i] = make([]int, k)
@@ -103,7 +131,7 @@ func (e *encoder) addCodeValidity() {
 		for i := 0; i < e.r; i++ {
 			col[i] = e.p(i, j)
 		}
-		e.s.AddClause(col...) // nonzero
+		e.s.Add(col...) // nonzero
 		// Weight >= 2: any set bit implies another set bit.
 		for i := 0; i < e.r; i++ {
 			cl := make([]sat.Lit, 0, e.r)
@@ -113,7 +141,7 @@ func (e *encoder) addCodeValidity() {
 					cl = append(cl, e.p(i2, j))
 				}
 			}
-			e.s.AddClause(cl...)
+			e.s.Add(cl...)
 		}
 	}
 	// Pairwise distinct data columns.
@@ -121,9 +149,9 @@ func (e *encoder) addCodeValidity() {
 		for j2 := j1 + 1; j2 < e.k; j2++ {
 			diff := make([]sat.Lit, e.r)
 			for i := 0; i < e.r; i++ {
-				diff[i] = e.s.ReifyXor2(e.p(i, j1), e.p(i, j2))
+				diff[i] = sat.ReifyXor2(e.s, e.p(i, j1), e.p(i, j2))
 			}
-			e.s.AddClause(diff...)
+			e.s.Add(diff...)
 		}
 	}
 }
@@ -137,13 +165,13 @@ func (e *encoder) addCodeValidity() {
 // paper counts as one function.
 func (e *encoder) addSymmetryBreaking() {
 	for i := 0; i+1 < e.r; i++ {
-		eq := e.s.True() // rows equal on all columns considered so far
+		eq := sat.True(e.s) // rows equal on all columns considered so far
 		for j := 0; j < e.k; j++ {
 			// If still equal, row i may not have a 1 where row i+1 has a 0.
-			e.s.AddClause(eq.Not(), e.p(i, j).Not(), e.p(i+1, j))
+			e.s.Add(eq.Not(), e.p(i, j).Not(), e.p(i+1, j))
 			if j+1 < e.k {
-				same := e.s.ReifyXor2(e.p(i, j), e.p(i+1, j)).Not()
-				eq = e.s.ReifyAnd(eq, same)
+				same := sat.ReifyXor2(e.s, e.p(i, j), e.p(i+1, j)).Not()
+				eq = sat.ReifyAnd(e.s, eq, same)
 			}
 		}
 	}
@@ -173,7 +201,7 @@ func (e *encoder) addEntry(entry Entry) {
 		for x, j := range s {
 			lits[x] = e.p(i, j)
 		}
-		sigma[i] = e.s.ReifyXor(lits...)
+		sigma[i] = sat.ReifyXor(e.s, lits...)
 	}
 	// Per-representative-subset row XORs over T (excluding b's column).
 	rest := s[1:]
@@ -196,7 +224,7 @@ func (e *encoder) addEntry(entry Entry) {
 			for x, j := range members {
 				lits[x] = e.p(i, j)
 			}
-			row[i] = e.s.ReifyXor(lits...)
+			row[i] = sat.ReifyXor(e.s, lits...)
 		}
 		baseXor[m] = row
 	}
@@ -212,18 +240,18 @@ func (e *encoder) addEntry(entry Entry) {
 				if baseXor[m] == nil {
 					d = e.p(i, b)
 				} else {
-					d = e.s.ReifyXor2(baseXor[m][i], e.p(i, b))
+					d = sat.ReifyXor2(e.s, baseXor[m][i], e.p(i, b))
 				}
 				// Condition per row: sigma_i OR NOT d_i.
-				rowConds[i] = e.s.ReifyOr(sigma[i], d.Not())
+				rowConds[i] = sat.ReifyOr(e.s, sigma[i], d.Not())
 			}
-			conds = append(conds, e.s.ReifyAnd(rowConds...))
+			conds = append(conds, sat.ReifyAnd(e.s, rowConds...))
 		}
-		poss := e.s.ReifyOr(conds...)
+		poss := sat.ReifyOr(e.s, conds...)
 		if entry.Possible.Get(b) {
-			e.s.AddClause(poss)
+			e.s.Add(poss)
 		} else {
-			e.s.AddClause(poss.Not())
+			e.s.Add(poss.Not())
 		}
 	}
 }
@@ -239,15 +267,15 @@ func (e *encoder) addEntry1(a int, entry Entry) {
 		if entry.Possible.Get(b) {
 			// Containment: P[i][b] -> P[i][a] for every row.
 			for i := 0; i < e.r; i++ {
-				e.s.AddClause(e.p(i, b).Not(), e.p(i, a))
+				e.s.Add(e.p(i, b).Not(), e.p(i, a))
 			}
 		} else {
 			// Violation in some row: P[i][b] AND NOT P[i][a].
 			viol := make([]sat.Lit, e.r)
 			for i := 0; i < e.r; i++ {
-				viol[i] = e.s.ReifyAnd(e.p(i, b), e.p(i, a).Not())
+				viol[i] = sat.ReifyAnd(e.s, e.p(i, b), e.p(i, a).Not())
 			}
-			e.s.AddClause(viol...)
+			e.s.Add(viol...)
 		}
 	}
 }
@@ -261,7 +289,7 @@ func (e *encoder) rowParityLits() []sat.Lit {
 			for j := 0; j < e.k; j++ {
 				lits[j] = e.p(i, j)
 			}
-			e.rowParity[i] = e.s.ReifyXor(lits...)
+			e.rowParity[i] = sat.ReifyXor(e.s, lits...)
 		}
 	}
 	return e.rowParity
@@ -282,7 +310,7 @@ func (e *encoder) addEntryAnti(entry Entry) {
 		for _, j := range s {
 			lits = append(lits, e.p(i, j))
 		}
-		discharged[i] = e.s.ReifyXor(lits...)
+		discharged[i] = sat.ReifyXor(e.s, lits...)
 	}
 	nSub := 1 << uint(len(s))
 	baseXor := make([][]sat.Lit, nSub)
@@ -302,7 +330,7 @@ func (e *encoder) addEntryAnti(entry Entry) {
 			for x, j := range members {
 				lits[x] = e.p(i, j)
 			}
-			row[i] = e.s.ReifyXor(lits...)
+			row[i] = sat.ReifyXor(e.s, lits...)
 		}
 		baseXor[m] = row
 	}
@@ -318,18 +346,18 @@ func (e *encoder) addEntryAnti(entry Entry) {
 				if baseXor[m] == nil {
 					d = e.p(i, b)
 				} else {
-					d = e.s.ReifyXor2(baseXor[m][i], e.p(i, b))
+					d = sat.ReifyXor2(e.s, baseXor[m][i], e.p(i, b))
 				}
 				// Row condition: discharged_i -> d_i = 0.
-				rowConds[i] = e.s.ReifyOr(discharged[i].Not(), d.Not())
+				rowConds[i] = sat.ReifyOr(e.s, discharged[i].Not(), d.Not())
 			}
-			conds = append(conds, e.s.ReifyAnd(rowConds...))
+			conds = append(conds, sat.ReifyAnd(e.s, rowConds...))
 		}
-		poss := e.s.ReifyOr(conds...)
+		poss := sat.ReifyOr(e.s, conds...)
 		if entry.Possible.Get(b) {
-			e.s.AddClause(poss)
+			e.s.Add(poss)
 		} else {
-			e.s.AddClause(poss.Not())
+			e.s.Add(poss.Not())
 		}
 	}
 }
@@ -355,79 +383,13 @@ func (e *encoder) pVars() []int {
 }
 
 // Solve finds the ECC functions consistent with a miscorrection profile
-// (paper §5.3). The first solution is the "determine function" phase; the
-// continued enumeration (with blocking clauses) is the "check uniqueness"
-// phase. Cancelling ctx interrupts the SAT search at its next conflict or
-// restart and returns ctx.Err().
+// (paper §5.3) with every entry encoded eagerly — the historical entry
+// point, now a thin shim over the incremental engine (see SolveIncremental
+// and SolveSession; the solver instance, with all its learned clauses,
+// persists across the determine phase and the uniqueness blocking-clause
+// loop). Cancelling ctx interrupts the SAT search at its next conflict,
+// restart or 64th decision and returns ctx.Err().
 func Solve(ctx context.Context, profile *Profile, opts SolveOptions) (*Result, error) {
-	ctx = ctxOrBackground(ctx)
-	if profile.K < 1 {
-		return nil, fmt.Errorf("core: profile has no dataword bits")
-	}
-	r := opts.ParityBits
-	if r == 0 {
-		r = ecc.MinParityBits(profile.K)
-	}
-	maxSol := opts.MaxSolutions
-	if maxSol == 0 {
-		maxSol = 2
-	}
-	e := newEncoder(profile.K, r)
-	e.s.MaxConflicts = opts.MaxConflicts
-	translate := interruptFromCtx(ctx, e.s)
-	for _, entry := range profile.Entries {
-		if entry.Possible.Len() != profile.K {
-			return nil, fmt.Errorf("core: entry %v has %d bits, profile has k=%d",
-				entry.Pattern, entry.Possible.Len(), profile.K)
-		}
-		e.addEntry(entry)
-	}
-	res := &Result{Vars: e.s.NumVars(), Clauses: e.s.NumClauses()}
-
-	start := time.Now()
-	found, err := e.s.Solve()
-	res.DetermineTime = time.Since(start)
-	if err != nil {
-		return res, fmt.Errorf("core: determine phase: %w", translate(err))
-	}
-	if !found {
-		res.Exhausted = true
-		res.Stats = e.s.Stats
-		return res, nil
-	}
-	code, err := e.modelCode()
-	if err != nil {
-		return res, fmt.Errorf("core: SAT model is not a valid code: %w", err)
-	}
-	res.Codes = append(res.Codes, code)
-	opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})
-
-	start = time.Now()
-	vars := e.pVars()
-	for maxSol < 0 || len(res.Codes) < maxSol {
-		if !e.s.BlockModel(vars) {
-			res.Exhausted = true
-			break
-		}
-		found, err := e.s.Solve()
-		if err != nil {
-			res.UniquenessTime = time.Since(start)
-			res.Stats = e.s.Stats
-			return res, fmt.Errorf("core: uniqueness phase: %w", translate(err))
-		}
-		if !found {
-			res.Exhausted = true
-			break
-		}
-		code, err := e.modelCode()
-		if err != nil {
-			return res, fmt.Errorf("core: SAT model is not a valid code: %w", err)
-		}
-		res.Codes = append(res.Codes, code)
-		opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})
-	}
-	res.UniquenessTime = time.Since(start)
-	res.Unique = res.Exhausted && len(res.Codes) == 1
-	res.Stats = e.s.Stats
-	return res, nil
+	opts.EagerEncode = true
+	return SolveIncremental(ctx, profile, opts)
 }

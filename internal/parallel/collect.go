@@ -64,6 +64,9 @@ func (e *Engine) Recover(ctx context.Context, chips []core.Chip, opts core.Recov
 	if len(chips) == 0 {
 		return nil, fmt.Errorf("parallel: no chips")
 	}
+	if opts.UsePlanner {
+		return e.recoverPlanned(ctx, chips, opts)
+	}
 	rep := &core.Report{}
 
 	start := time.Now()
@@ -135,6 +138,128 @@ func (e *Engine) Recover(ctx context.Context, chips []core.Chip, opts core.Recov
 	rep.Result = res
 	if progress != nil {
 		progress(core.Event{Stage: core.StageSolve, Candidates: len(res.Codes), Done: true})
+	}
+	return rep, nil
+}
+
+// recoverPlanned is the multi-chip adaptive-planner recovery behind
+// Engine.Recover with RecoverOptions.UsePlanner: discovery fans out one
+// chip per task, then a single core.Planner drives batched collection —
+// each batch fanning out across every chip with the merged counts feeding
+// the persistent incremental solver — and the whole fleet stops collecting
+// the moment the code is uniquely determined (§6.3 parallelization with
+// solver-in-the-loop early termination). Progress events are chip-stamped
+// and serialized exactly like Recover's, with batch pass counters kept
+// monotonic across the planned run.
+func (e *Engine) recoverPlanned(ctx context.Context, chips []core.Chip, opts core.RecoverOptions) (*core.Report, error) {
+	if opts.UseAntiRows {
+		return nil, fmt.Errorf("parallel: the adaptive planner does not support anti-cell collection")
+	}
+	rep := &core.Report{}
+	progress := opts.Progress
+	var progressMu sync.Mutex
+	chipProgress := func(i int) core.ProgressFunc {
+		if progress == nil {
+			return nil
+		}
+		return func(ev core.Event) {
+			ev.Chip = i
+			progressMu.Lock()
+			defer progressMu.Unlock()
+			progress(ev)
+		}
+	}
+
+	start := time.Now()
+	type discovery struct {
+		classes [][]core.CellClass
+		rows    []core.RowRef
+		layout  core.WordLayout
+	}
+	discovered := make([]discovery, len(chips))
+	err := e.ForEach(ctx, len(chips), func(i int) error {
+		if fn := chipProgress(i); fn != nil {
+			fn(core.Event{Stage: core.StageDiscover})
+		}
+		classes, rows, layout, err := core.DiscoverChip(chips[i], opts)
+		if err != nil {
+			return fmt.Errorf("chip %d: %w", i, err)
+		}
+		discovered[i] = discovery{classes: classes, rows: rows, layout: layout}
+		if fn := chipProgress(i); fn != nil {
+			fn(core.Event{Stage: core.StageDiscover, Done: true})
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, fmt.Errorf("parallel: %w", err)
+	}
+	rep.CellClasses = discovered[0].classes
+	rep.Layout = discovered[0].layout
+	rep.K = discovered[0].layout.K()
+	for i, d := range discovered[1:] {
+		if !d.layout.Equal(rep.Layout) {
+			return rep, fmt.Errorf("parallel: chip %d discovered a different word layout than chip 0 (different models?)", i+1)
+		}
+	}
+	rep.DiscoveryTime = time.Since(start)
+
+	planner, err := core.NewPlanner(rep.K, opts)
+	if err != nil {
+		return rep, err
+	}
+	collectOpts := opts.Collect
+	if collectOpts.Progress == nil {
+		collectOpts.Progress = opts.Progress
+	}
+	// One pass-offsetter per chip keeps every chip's batch pass counters
+	// monotonic; the offsets advance in lockstep since every chip runs the
+	// same sweep per batch. Collect events are chip-stamped and serialized
+	// like Recover's.
+	offsets := make([]*core.CollectPassOffset, len(chips))
+	for i := range offsets {
+		var stamped core.ProgressFunc
+		if base := collectOpts.Progress; base != nil {
+			i := i
+			stamped = func(ev core.Event) {
+				ev.Chip = i
+				progressMu.Lock()
+				defer progressMu.Unlock()
+				base(ev)
+			}
+		}
+		offsets[i] = core.NewCollectPassOffset(stamped)
+	}
+	res, err := planner.Run(ctx, func(ctx context.Context, patterns []core.Pattern) (*core.Counts, error) {
+		batchFns := make([]core.ProgressFunc, len(chips))
+		for i := range chips {
+			batchFns[i] = offsets[i].Next(collectOpts)
+		}
+		return e.CollectShards(ctx, len(chips), func(i int) (*core.Counts, error) {
+			batchOpts := collectOpts
+			batchOpts.Progress = batchFns[i]
+			return core.CollectCounts(ctx, chips[i], discovered[i].rows, rep.Layout, patterns, batchOpts)
+		})
+	})
+	rep.Counts = planner.Counts()
+	rep.Profile = planner.Profile()
+	info := planner.Info()
+	rep.Plan = &info
+	rep.CollectTime, rep.SolveTime = planner.Times()
+	if err != nil {
+		return rep, fmt.Errorf("parallel: planned recovery: %w", err)
+	}
+	rep.Result = res
+	if opts.SolveCache != nil {
+		opts.SolveCache.Store(rep.Profile, res)
+	}
+	if progress != nil {
+		progress(core.Event{Stage: core.StageCollect, Done: true})
+		progress(core.Event{
+			Stage: core.StageSolve, Candidates: len(res.Codes), Done: true,
+			Conflicts: res.Stats.Conflicts, Propagations: res.Stats.Propagations,
+			PatternsUsed: info.PatternsUsed, PatternsPlanned: info.PatternsFull,
+		})
 	}
 	return rep, nil
 }

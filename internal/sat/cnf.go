@@ -5,84 +5,96 @@ package sat
 // and reified conjunctions/disjunctions of those parities (the per-pattern
 // miscorrection conditions). Everything here Tseitin-encodes into plain
 // clauses.
+//
+// The helpers come in two forms: package-level functions generic over the
+// Builder interface (usable with any Backend, including the DIMACS-export
+// one), and the historical *Solver methods, which are thin wrappers over
+// the generic functions.
 
-// True returns a literal that is constant true (backed by a lazily-created,
-// unit-asserted variable).
-func (s *Solver) True() Lit {
-	v := s.NewVar()
+// Builder is the clause-construction surface the CNF helpers need. Every
+// Backend (and therefore *Solver) implements it.
+type Builder interface {
+	NewVar() int
+	Add(lits ...Lit) bool
+}
+
+// True returns a literal that is constant true on b (backed by a
+// lazily-created, unit-asserted variable).
+func True(b Builder) Lit {
+	v := b.NewVar()
 	l := PosLit(v)
-	s.AddClause(l)
+	b.Add(l)
 	return l
 }
 
-// False returns a literal that is constant false.
-func (s *Solver) False() Lit { return s.True().Not() }
+// False returns a literal that is constant false on b.
+func False(b Builder) Lit { return True(b).Not() }
 
-// ReifyXor2 returns a fresh literal y constrained so that y <-> (a XOR b).
-func (s *Solver) ReifyXor2(a, b Lit) Lit {
-	y := PosLit(s.NewVar())
-	s.AddClause(y.Not(), a, b)
-	s.AddClause(y.Not(), a.Not(), b.Not())
-	s.AddClause(y, a.Not(), b)
-	s.AddClause(y, a, b.Not())
+// ReifyXor2 returns a fresh literal y constrained so that y <-> (a XOR c).
+func ReifyXor2(b Builder, a, c Lit) Lit {
+	y := PosLit(b.NewVar())
+	b.Add(y.Not(), a, c)
+	b.Add(y.Not(), a.Not(), c.Not())
+	b.Add(y, a.Not(), c)
+	b.Add(y, a, c.Not())
 	return y
 }
 
 // ReifyXor returns a literal equal to the XOR of all given literals.
 // XOR of no literals is constant false.
-func (s *Solver) ReifyXor(lits ...Lit) Lit {
+func ReifyXor(b Builder, lits ...Lit) Lit {
 	if len(lits) == 0 {
-		return s.False()
+		return False(b)
 	}
 	acc := lits[0]
 	for _, l := range lits[1:] {
-		acc = s.ReifyXor2(acc, l)
+		acc = ReifyXor2(b, acc, l)
 	}
 	return acc
 }
 
 // AddXor asserts XOR(lits) == rhs. An empty XOR equals false, so rhs=true
 // over no literals makes the formula unsatisfiable.
-func (s *Solver) AddXor(lits []Lit, rhs bool) {
+func AddXor(b Builder, lits []Lit, rhs bool) {
 	if len(lits) == 0 {
 		if rhs {
-			s.AddClause() // empty clause: UNSAT
+			b.Add() // empty clause: UNSAT
 		}
 		return
 	}
-	acc := s.ReifyXor(lits...)
+	acc := ReifyXor(b, lits...)
 	if rhs {
-		s.AddClause(acc)
+		b.Add(acc)
 	} else {
-		s.AddClause(acc.Not())
+		b.Add(acc.Not())
 	}
 }
 
 // ReifyAnd returns a fresh literal y with y <-> AND(lits). The AND of no
 // literals is constant true.
-func (s *Solver) ReifyAnd(lits ...Lit) Lit {
+func ReifyAnd(b Builder, lits ...Lit) Lit {
 	if len(lits) == 0 {
-		return s.True()
+		return True(b)
 	}
 	if len(lits) == 1 {
 		return lits[0]
 	}
-	y := PosLit(s.NewVar())
+	y := PosLit(b.NewVar())
 	long := make([]Lit, 0, len(lits)+1)
 	long = append(long, y)
 	for _, l := range lits {
-		s.AddClause(y.Not(), l)
+		b.Add(y.Not(), l)
 		long = append(long, l.Not())
 	}
-	s.AddClause(long...)
+	b.Add(long...)
 	return y
 }
 
 // ReifyOr returns a fresh literal y with y <-> OR(lits). The OR of no
 // literals is constant false.
-func (s *Solver) ReifyOr(lits ...Lit) Lit {
+func ReifyOr(b Builder, lits ...Lit) Lit {
 	if len(lits) == 0 {
-		return s.False()
+		return False(b)
 	}
 	if len(lits) == 1 {
 		return lits[0]
@@ -91,51 +103,52 @@ func (s *Solver) ReifyOr(lits ...Lit) Lit {
 	for i, l := range lits {
 		neg[i] = l.Not()
 	}
-	return s.ReifyAnd(neg...).Not()
+	return ReifyAnd(b, neg...).Not()
 }
 
 // AtMostOne asserts that at most one of the literals is true, using the
 // pairwise encoding (fine for the small cardinalities this project needs).
-func (s *Solver) AtMostOne(lits ...Lit) {
+func AtMostOne(b Builder, lits ...Lit) {
 	for i := 0; i < len(lits); i++ {
 		for j := i + 1; j < len(lits); j++ {
-			s.AddClause(lits[i].Not(), lits[j].Not())
+			b.Add(lits[i].Not(), lits[j].Not())
 		}
 	}
 }
 
 // ExactlyOne asserts that exactly one of the literals is true.
-func (s *Solver) ExactlyOne(lits ...Lit) {
-	s.AddClause(lits...)
-	s.AtMostOne(lits...)
+func ExactlyOne(b Builder, lits ...Lit) {
+	b.Add(lits...)
+	AtMostOne(b, lits...)
 }
 
-// Implies asserts a -> b.
-func (s *Solver) Implies(a, b Lit) { s.AddClause(a.Not(), b) }
+// Implies asserts a -> b on the builder.
+func Implies(b Builder, x, y Lit) { b.Add(x.Not(), y) }
 
-// BlockModel adds a clause forbidding the current assignment restricted to
-// the given variables; used for model enumeration. Returns false when the
-// solver became (or already was) unsatisfiable.
-func (s *Solver) BlockModel(vars []int) bool {
+// BlockModel adds a clause to the backend forbidding its current assignment
+// restricted to the given variables; used for model enumeration. Returns
+// false when the backend became (or already was) unsatisfiable.
+func BlockModel(b Backend, vars []int) bool {
 	lits := make([]Lit, len(vars))
 	for i, v := range vars {
-		lits[i] = MkLit(v, s.Value(v)) // negate the assigned polarity
+		lits[i] = MkLit(v, b.Value(v)) // negate the assigned polarity
 	}
-	return s.AddClause(lits...)
+	return b.Add(lits...)
 }
 
-// EnumerateModels repeatedly solves and blocks solutions projected onto the
-// given variables, invoking fn with each projected model until the formula
-// is exhausted, fn returns false, or limit models have been produced
+// EnumerateModels repeatedly solves b and blocks solutions projected onto
+// the given variables, invoking fn with each projected model until the
+// formula is exhausted, fn returns false, or limit models have been produced
 // (limit <= 0 means no limit). It returns the number of models found and a
-// non-nil error only if the conflict budget was exhausted.
-func (s *Solver) EnumerateModels(vars []int, limit int, fn func(model []bool) bool) (int, error) {
+// non-nil error only if the conflict budget was exhausted or the solve was
+// interrupted.
+func EnumerateModels(b Backend, vars []int, limit int, fn func(model []bool) bool) (int, error) {
 	count := 0
 	for {
 		if limit > 0 && count >= limit {
 			return count, nil
 		}
-		sat, err := s.Solve()
+		sat, err := b.Solve()
 		if err != nil {
 			return count, err
 		}
@@ -145,13 +158,57 @@ func (s *Solver) EnumerateModels(vars []int, limit int, fn func(model []bool) bo
 		count++
 		proj := make([]bool, len(vars))
 		for i, v := range vars {
-			proj[i] = s.Value(v)
+			proj[i] = b.Value(v)
 		}
 		if fn != nil && !fn(proj) {
 			return count, nil
 		}
-		if !s.BlockModel(vars) {
+		if !BlockModel(b, vars) {
 			return count, nil
 		}
 	}
+}
+
+// --- Method forms on *Solver (wrappers over the generic helpers) ---
+
+// True returns a literal that is constant true (backed by a lazily-created,
+// unit-asserted variable).
+func (s *Solver) True() Lit { return True(s) }
+
+// False returns a literal that is constant false.
+func (s *Solver) False() Lit { return False(s) }
+
+// ReifyXor2 returns a fresh literal y constrained so that y <-> (a XOR b).
+func (s *Solver) ReifyXor2(a, b Lit) Lit { return ReifyXor2(s, a, b) }
+
+// ReifyXor returns a literal equal to the XOR of all given literals.
+func (s *Solver) ReifyXor(lits ...Lit) Lit { return ReifyXor(s, lits...) }
+
+// AddXor asserts XOR(lits) == rhs.
+func (s *Solver) AddXor(lits []Lit, rhs bool) { AddXor(s, lits, rhs) }
+
+// ReifyAnd returns a fresh literal y with y <-> AND(lits).
+func (s *Solver) ReifyAnd(lits ...Lit) Lit { return ReifyAnd(s, lits...) }
+
+// ReifyOr returns a fresh literal y with y <-> OR(lits).
+func (s *Solver) ReifyOr(lits ...Lit) Lit { return ReifyOr(s, lits...) }
+
+// AtMostOne asserts that at most one of the literals is true.
+func (s *Solver) AtMostOne(lits ...Lit) { AtMostOne(s, lits...) }
+
+// ExactlyOne asserts that exactly one of the literals is true.
+func (s *Solver) ExactlyOne(lits ...Lit) { ExactlyOne(s, lits...) }
+
+// Implies asserts a -> b.
+func (s *Solver) Implies(a, b Lit) { Implies(s, a, b) }
+
+// BlockModel adds a clause forbidding the current assignment restricted to
+// the given variables; used for model enumeration. Returns false when the
+// solver became (or already was) unsatisfiable.
+func (s *Solver) BlockModel(vars []int) bool { return BlockModel(s, vars) }
+
+// EnumerateModels repeatedly solves and blocks solutions projected onto the
+// given variables; see the package-level EnumerateModels.
+func (s *Solver) EnumerateModels(vars []int, limit int, fn func(model []bool) bool) (int, error) {
+	return EnumerateModels(s, vars, limit, fn)
 }

@@ -2,13 +2,15 @@ package sat
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // php builds the pigeonhole principle PHP(pigeons, holes): UNSAT whenever
 // pigeons > holes, and hard enough to guarantee conflicts — which is where
 // the Interrupt hook is polled.
-func php(s *Solver, pigeons, holes int) {
+func php(s Builder, pigeons, holes int) {
 	vars := make([][]int, pigeons)
 	for p := range vars {
 		vars[p] = make([]int, holes)
@@ -21,12 +23,12 @@ func php(s *Solver, pigeons, holes int) {
 		for h := 0; h < holes; h++ {
 			lits[h] = PosLit(vars[p][h])
 		}
-		s.AddClause(lits...)
+		s.Add(lits...)
 	}
 	for h := 0; h < holes; h++ {
 		for p1 := 0; p1 < pigeons; p1++ {
 			for p2 := p1 + 1; p2 < pigeons; p2++ {
-				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+				s.Add(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
 			}
 		}
 	}
@@ -36,7 +38,7 @@ func TestInterruptStopsSearch(t *testing.T) {
 	s := New()
 	php(s, 8, 7)
 	fired := false
-	s.Interrupt = func() bool { fired = true; return true }
+	s.Interrupt(func() bool { fired = true; return true })
 	ok, err := s.Solve()
 	if ok || !errors.Is(err, ErrInterrupted) {
 		t.Fatalf("Solve = (%v, %v), want (false, ErrInterrupted)", ok, err)
@@ -52,16 +54,63 @@ func TestInterruptSolverReusable(t *testing.T) {
 	s := New()
 	php(s, 6, 5)
 	calls := 0
-	s.Interrupt = func() bool { calls++; return calls == 1 }
+	s.Interrupt(func() bool { calls++; return calls == 1 })
 	if ok, err := s.Solve(); ok || !errors.Is(err, ErrInterrupted) {
 		t.Fatalf("first Solve = (%v, %v), want interrupted", ok, err)
 	}
-	s.Interrupt = nil
+	s.Interrupt(nil)
 	ok, err := s.Solve()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatal("PHP(6,5) reported SAT")
+	}
+}
+
+// TestInterruptPolledOnDecisions: a trivially satisfiable formula with many
+// free variables never conflicts and never restarts, so only the
+// decision-path poll can observe the interrupt. Before the decision-path
+// poll existed, this solve ran to a model despite the hook being hot the
+// whole time.
+func TestInterruptPolledOnDecisions(t *testing.T) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.NewVar()
+	}
+	// One satisfied-by-default clause so the formula is nonempty.
+	s.Add(NegLit(0), NegLit(1))
+	s.Interrupt(func() bool { return true })
+	ok, err := s.Solve()
+	if ok || !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Solve = (%v, %v), want (false, ErrInterrupted) via the decision-path poll", ok, err)
+	}
+	s.Interrupt(nil)
+	if ok, err := s.Solve(); err != nil || !ok {
+		t.Fatalf("post-interrupt Solve = (%v, %v), want SAT", ok, err)
+	}
+}
+
+// TestInterruptConcurrentCancel exercises the cross-goroutine cancellation
+// pattern internal/core uses (a hook reading state another goroutine
+// writes) under the race detector: the shared flag is atomic, the solve
+// must return ErrInterrupted promptly, and the solver must stay reusable.
+func TestInterruptConcurrentCancel(t *testing.T) {
+	s := New()
+	php(s, 8, 7) // hard enough to still be searching when the flag flips
+	var stop atomic.Bool
+	s.Interrupt(stop.Load)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		stop.Store(true)
+	}()
+	ok, err := s.Solve()
+	if ok {
+		t.Fatal("PHP(8,7) reported SAT")
+	}
+	// A fast machine may finish the UNSAT proof before the flag flips; both
+	// outcomes are legal, but nothing else is.
+	if err != nil && !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Solve error = %v, want nil or ErrInterrupted", err)
 	}
 }

@@ -10,12 +10,20 @@
 // between Solve calls, which is how model enumeration (BEER's uniqueness
 // check) adds blocking clauses.
 //
-// Entry points: New + AddClause + Solve; ReifyXor/ReifyAnd/ReifyOr build
-// the Tseitin gadgets the §5.3 encoding needs; BlockModel excludes the
-// current model for enumeration. The Interrupt hook is polled at every
-// conflict and restart — internal/core wires context cancellation into it
-// — and MaxConflicts bounds effort per call. Solvers are single-goroutine:
-// one Solver must never be shared across concurrent solves.
+// Entry points: New + AddClause + Solve; SolveUnderAssumptions solves under
+// a temporary set of assumed literals without touching the clause database
+// (the incremental-solving primitive); ReifyXor/ReifyAnd/ReifyOr build the
+// Tseitin gadgets the §5.3 encoding needs; BlockModel excludes the current
+// model for enumeration. The Interrupt hook is polled at every conflict,
+// every restart and every 64th decision — internal/core wires context
+// cancellation into it — and MaxConflicts bounds effort per call. Solvers
+// are single-goroutine: one Solver must never be shared across concurrent
+// solves.
+//
+// The Backend interface (backend.go) abstracts the solving surface so
+// higher layers can swap engines: *Solver is the default in-process CDCL
+// backend, and Dimacs is a recording backend that exports the accumulated
+// CNF in DIMACS format for external solvers.
 package sat
 
 import (
@@ -114,16 +122,39 @@ type Solver struct {
 	// exceeding it makes Solve return ErrBudget. Zero means unlimited.
 	MaxConflicts int64
 
-	// Interrupt, when set, is polled during search (at every conflict and
-	// every restart). When it returns true, Solve unwinds to decision level 0
-	// and returns ErrInterrupted. The solver stays reusable afterwards: the
-	// caller may add clauses and Solve again. This is how context
-	// cancellation reaches a running solve without the solver depending on
-	// the context package.
-	Interrupt func() bool
+	// interrupt, when set (via Interrupt), is polled during search: at every
+	// conflict, every restart, and every 64th decision. The decision-path
+	// poll bounds cancellation latency even on formulas the solver satisfies
+	// without ever conflicting.
+	interrupt func() bool
 
 	Stats Stats
 }
+
+// Interrupt installs fn as the solver's interrupt hook, polled during search
+// (at every conflict, every restart, and every 64th decision — so a solve
+// that never conflicts still observes cancellation within a bounded number
+// of decisions). When fn returns true the in-progress solve unwinds to
+// decision level 0 and returns ErrInterrupted; the solver stays reusable:
+// the caller may add clauses and solve again. This is how context
+// cancellation reaches a running solve without the solver depending on the
+// context package. A nil fn removes the hook.
+func (s *Solver) Interrupt(fn func() bool) { s.interrupt = fn }
+
+// SetMaxConflicts bounds SAT effort per solve call in conflicts (0 =
+// unlimited); exceeding the budget makes the solve return ErrBudget.
+func (s *Solver) SetMaxConflicts(n int64) { s.MaxConflicts = n }
+
+// Statistics returns the solver's cumulative counters.
+func (s *Solver) Statistics() Stats { return s.Stats }
+
+// Learned returns the number of learnt clauses currently alive in the
+// clause database — the state an incremental caller preserves by reusing
+// one solver across re-solves.
+func (s *Solver) Learned() int64 { return int64(len(s.learnts)) }
+
+// Add is AddClause under the Backend interface's name.
+func (s *Solver) Add(lits ...Lit) bool { return s.AddClause(lits...) }
 
 // ErrBudget is returned by Solve when MaxConflicts is exhausted before a
 // definitive answer is found.
@@ -501,9 +532,26 @@ func luby(x int64) int64 {
 // Solve searches for a satisfying assignment. It returns (true, nil) when one
 // exists (retrievable via Value/Model), (false, nil) when the formula is
 // unsatisfiable, and (false, ErrBudget) when MaxConflicts was exceeded.
-func (s *Solver) Solve() (bool, error) {
+func (s *Solver) Solve() (bool, error) { return s.SolveUnderAssumptions() }
+
+// SolveUnderAssumptions searches for a satisfying assignment under a set of
+// assumed literals, MiniSat-style: the assumptions act as pseudo-decisions
+// taken before the free search, so nothing is added to the clause database
+// and every learnt clause remains valid for later calls with different (or
+// no) assumptions. It returns (false, nil) both when the formula itself is
+// unsatisfiable and when it is unsatisfiable only under the assumptions;
+// in the latter case the solver stays satisfiable and reusable. This is the
+// incremental-solving primitive: callers keep one solver alive, toggle
+// guard literals via assumptions, and retain all learned state across
+// re-solves.
+func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 	if !s.ok {
 		return false, nil
+	}
+	for _, a := range assumptions {
+		if a.Var() >= s.NumVars() {
+			panic(fmt.Sprintf("sat: assumption %v references unknown variable", a))
+		}
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
@@ -542,7 +590,7 @@ func (s *Solver) Solve() (bool, error) {
 				s.cancelUntil(0)
 				return false, ErrBudget
 			}
-			if s.Interrupt != nil && s.Interrupt() {
+			if s.interrupt != nil && s.interrupt() {
 				s.cancelUntil(0)
 				return false, ErrInterrupted
 			}
@@ -554,7 +602,7 @@ func (s *Solver) Solve() (bool, error) {
 			sinceRestart = 0
 			budget = 100 * luby(restart)
 			s.cancelUntil(0)
-			if s.Interrupt != nil && s.Interrupt() {
+			if s.interrupt != nil && s.interrupt() {
 				return false, ErrInterrupted
 			}
 			continue
@@ -563,19 +611,49 @@ func (s *Solver) Solve() (bool, error) {
 			s.reduceDB()
 			maxLearnts = maxLearnts*11/10 + 1
 		}
-		v := s.pickBranchVar()
-		if v == -1 {
-			// All variables assigned: record the model.
-			s.model = make([]bool, s.NumVars())
-			for i := range s.model {
-				s.model[i] = s.assigns[i] == lTrue
+		// Re-establish assumptions as pseudo-decisions: one decision level
+		// per assumption (restarts and deep backjumps pop them; this loop
+		// puts them back before any free branching resumes).
+		next := litUndef
+		for next == litUndef && s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case lTrue:
+				// Already implied: open an empty level so the remaining
+				// assumptions keep their positional levels.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				// The clause database forces the negation under the earlier
+				// assumptions: UNSAT under assumptions, formula untouched.
+				s.cancelUntil(0)
+				return false, nil
+			default:
+				next = a
 			}
-			s.cancelUntil(0)
-			return true, nil
 		}
-		s.Stats.Decisions++
+		if next == litUndef {
+			v := s.pickBranchVar()
+			if v == -1 {
+				// All variables assigned: record the model.
+				s.model = make([]bool, s.NumVars())
+				for i := range s.model {
+					s.model[i] = s.assigns[i] == lTrue
+				}
+				s.cancelUntil(0)
+				return true, nil
+			}
+			s.Stats.Decisions++
+			// Poll the interrupt hook on the decision path too: a formula
+			// the solver satisfies without conflicting or restarting must
+			// still observe cancellation within a bounded number of steps.
+			if s.Stats.Decisions&63 == 0 && s.interrupt != nil && s.interrupt() {
+				s.cancelUntil(0)
+				return false, ErrInterrupted
+			}
+			next = MkLit(v, s.polarity[v])
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(MkLit(v, s.polarity[v]), nil)
+		s.uncheckedEnqueue(next, nil)
 	}
 }
 

@@ -109,6 +109,14 @@ func (t *progressTracker) update(p ProgressStatus) {
 	mergeStage(&c.Discover, p.Discover)
 	mergeStage(&c.Collect, p.Collect)
 	mergeStage(&c.Solve, p.Solve)
+	// Solver counters merge monotonically too, so a failed-over job's
+	// fresh worker (whose counters restart from zero) never appears to
+	// un-learn clauses or un-collect patterns.
+	c.Solver.Conflicts = max(c.Solver.Conflicts, p.Solver.Conflicts)
+	c.Solver.Propagations = max(c.Solver.Propagations, p.Solver.Propagations)
+	c.Solver.Learned = max(c.Solver.Learned, p.Solver.Learned)
+	c.Solver.PatternsUsed = max(c.Solver.PatternsUsed, p.Solver.PatternsUsed)
+	c.Solver.PatternsPlanned = max(c.Solver.PatternsPlanned, p.Solver.PatternsPlanned)
 }
 
 // set replaces the tracked status wholesale (replay of a terminal job).

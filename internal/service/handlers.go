@@ -35,6 +35,12 @@ type JobSpec struct {
 	MaxWindowMinutes int    `json:"max_window_minutes,omitempty"` // largest refresh window (default 48)
 	UseAntiRows      bool   `json:"use_anti_rows,omitempty"`
 	UseLazySolver    bool   `json:"use_lazy_solver,omitempty"`
+	// Plan enables the adaptive pattern planner: collection proceeds in
+	// solver-guided batches on a persistent incremental SAT session and
+	// stops as soon as the code is uniquely determined. The result then
+	// reports patterns_used vs. patterns_full. Incompatible with
+	// use_anti_rows.
+	Plan bool `json:"plan,omitempty"`
 	// Verify compares the recovered function against the simulated chip's
 	// ground truth and reports the outcome in the result.
 	Verify bool `json:"verify,omitempty"`
@@ -183,6 +189,9 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 	if maxWin < 4 || maxWin > 240 {
 		return nil, fmt.Errorf("max_window_minutes=%d out of range [4, 240]", spec.MaxWindowMinutes)
 	}
+	if spec.Plan && spec.UseAntiRows {
+		return nil, fmt.Errorf("plan is incompatible with use_anti_rows (the planner schedules true-cell patterns only)")
+	}
 
 	return func(ctx context.Context, engine *repro.Engine, cache repro.SolveCache, fn repro.ProgressFunc) (*JobResult, error) {
 		opts := []repro.Option{
@@ -201,6 +210,9 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 		if spec.UseLazySolver {
 			opts = append(opts, repro.WithLazySolver())
 		}
+		if spec.Plan {
+			opts = append(opts, repro.WithPlanner())
+		}
 		pipe := repro.NewPipeline(opts...)
 
 		fleet := repro.SimulatedChips(mfr, k, chips, seed)
@@ -215,7 +227,18 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 			Candidates:  len(report.Result.Codes),
 			CollectMS:   report.CollectTime.Seconds() * 1e3,
 			SolveMS:     report.SolveTime.Seconds() * 1e3,
+			Solver: &SolverStats{
+				Conflicts:       report.Result.Stats.Conflicts,
+				Propagations:    report.Result.Stats.Propagations,
+				Learned:         report.Result.Stats.Learnt,
+				Restarts:        report.Result.Stats.Restarts,
+				PatternsSkipped: report.Result.PatternsSkipped,
+			},
 		}}
+		if report.Plan != nil {
+			res.Recover.PatternsUsed = report.Plan.PatternsUsed
+			res.Recover.PatternsFull = report.Plan.PatternsFull
+		}
 		if len(report.Result.Codes) > 0 {
 			code := report.Result.Codes[0]
 			res.Recover.H = strings.Split(code.H().String(), "\n")
@@ -329,9 +352,27 @@ type RecoverResult struct {
 	// GroundTruthMatch reports the verify outcome (recover jobs with
 	// "verify": true against simulated chips only).
 	GroundTruthMatch *bool `json:"ground_truth_match,omitempty"`
+	// PatternsUsed and PatternsFull report the adaptive planner's economy
+	// ("plan": true jobs only): how many test patterns were collected
+	// before the code was determined, against the full-sweep family size.
+	PatternsUsed int `json:"patterns_used,omitempty"`
+	PatternsFull int `json:"patterns_full,omitempty"`
+	// Solver carries the run's SAT-engine counters.
+	Solver *SolverStats `json:"solver,omitempty"`
 	// CollectMS and SolveMS time the experiment and solver phases.
 	CollectMS float64 `json:"collect_ms"`
 	SolveMS   float64 `json:"solve_ms"`
+}
+
+// SolverStats reports the SAT engine's work for one recovery: cumulative
+// conflicts, propagations, learnt clauses and restarts, plus how many
+// profile entries the incremental engine never had to encode.
+type SolverStats struct {
+	Conflicts       int64 `json:"conflicts"`
+	Propagations    int64 `json:"propagations"`
+	Learned         int64 `json:"learned"`
+	Restarts        int64 `json:"restarts"`
+	PatternsSkipped int   `json:"patterns_skipped,omitempty"`
 }
 
 // SimulateResult reports a finished simulation job.
@@ -369,6 +410,20 @@ type ProgressStatus struct {
 	Discover   StageStatus `json:"discover"`
 	Collect    StageStatus `json:"collect"`
 	Solve      StageStatus `json:"solve"`
+	// Solver streams the live SAT-engine counters (and, for planned jobs,
+	// patterns collected vs. the full sweep). Like the stage counters it is
+	// monotonic: values only grow while the job runs, including across a
+	// cluster failover.
+	Solver SolverProgress `json:"solver,omitzero"`
+}
+
+// SolverProgress is the live solver block of a status response.
+type SolverProgress struct {
+	Conflicts       int64 `json:"conflicts,omitempty"`
+	Propagations    int64 `json:"propagations,omitempty"`
+	Learned         int64 `json:"learned,omitempty"`
+	PatternsUsed    int   `json:"patterns_used,omitempty"`
+	PatternsPlanned int   `json:"patterns_planned,omitempty"`
 }
 
 // JobStatus is the body of GET /api/v1/jobs/{id} and the element type of
@@ -506,6 +561,7 @@ type healthStatser interface {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	invocations, hits := s.SolveCounters()
+	totals := s.solve.totals()
 	codes := 0
 	if keys, err := s.store.Backend().Keys(store.BucketCodes); err == nil {
 		codes = len(keys)
@@ -519,9 +575,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"running":   s.RunningJobs(),
 		"store":     s.store.Describe(),
 		"codes":     codes,
-		"solver": map[string]int64{
-			"invocations": invocations,
-			"cache_hits":  hits,
+		"solver": map[string]any{
+			"invocations":      invocations,
+			"cache_hits":       hits,
+			"conflicts":        totals.Conflicts,
+			"propagations":     totals.Propagations,
+			"learned":          totals.Learned,
+			"restarts":         totals.Restarts,
+			"patterns_skipped": totals.PatternsSkipped,
 		},
 	}
 	if s.maxJobs > 0 {

@@ -149,16 +149,40 @@ func (s *Server) SolveCounters() (invocations, cacheHits int64) {
 	return s.solve.counters()
 }
 
-// solveCounter tallies solve-stage traffic across all jobs.
+// solveCounter tallies solve-stage traffic across all jobs, plus the
+// cumulative SAT-engine work of every completed recovery (the /healthz
+// "solver" block).
 type solveCounter struct {
 	mu            sync.Mutex
 	lookups, hits int64
+	stats         SolverStats
 }
 
 func (c *solveCounter) counters() (invocations, cacheHits int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lookups - c.hits, c.hits
+}
+
+// addStats folds one finished recovery's solver counters into the totals.
+func (c *solveCounter) addStats(s *SolverStats) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Conflicts += s.Conflicts
+	c.stats.Propagations += s.Propagations
+	c.stats.Learned += s.Learned
+	c.stats.Restarts += s.Restarts
+	c.stats.PatternsSkipped += s.PatternsSkipped
+}
+
+// totals returns the accumulated solver work.
+func (c *solveCounter) totals() SolverStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // countingCache wraps a job's store-backed solve cache with the server-wide
@@ -392,6 +416,13 @@ func (s *Server) start(j *job, exec Execution) {
 		result, err := exec(j.runCtx, env)
 		switch {
 		case err == nil:
+			if result != nil && result.Recover != nil {
+				// Fold the recovery's solver work into the server totals —
+				// on a coordinator this is the dispatched worker's reported
+				// work, so the fleet's front end aggregates the whole
+				// cluster's solver effort.
+				s.solve.addStats(result.Recover.Solver)
+			}
 			j.finish(StateSucceeded, nil, result)
 		case j.runCtx.Err() != nil:
 			j.finish(StateCanceled, j.runCtx.Err(), nil)
@@ -488,6 +519,7 @@ type progressState struct {
 	collectDone   int
 	candidates    int
 	solveDone     bool
+	solver        SolverProgress
 }
 
 // observe is the repro.ProgressFunc wired into each job's pipeline.
@@ -514,6 +546,13 @@ func (p *progressState) observe(ev repro.ProgressEvent) {
 		if ev.Candidates > p.candidates {
 			p.candidates = ev.Candidates
 		}
+		// Solver counters are cumulative within a run; keep the fold
+		// monotonic anyway so a mixed event stream can't step backwards.
+		p.solver.Conflicts = max(p.solver.Conflicts, ev.Conflicts)
+		p.solver.Propagations = max(p.solver.Propagations, ev.Propagations)
+		p.solver.Learned = max(p.solver.Learned, ev.LearnedClauses)
+		p.solver.PatternsUsed = max(p.solver.PatternsUsed, ev.PatternsUsed)
+		p.solver.PatternsPlanned = max(p.solver.PatternsPlanned, ev.PatternsPlanned)
 		if ev.Done {
 			p.solveDone = true
 		}
@@ -542,6 +581,7 @@ func (p *progressState) snapshot() ProgressStatus {
 			Done:  p.solveDone,
 			Count: int64(p.candidates),
 		},
+		Solver: p.solver,
 	}
 }
 

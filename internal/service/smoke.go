@@ -52,8 +52,11 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 
 	// Submit the fleet. Distinct seeds give every job its own simulated
 	// chips; same-model chips share the secret function, so all recovered
-	// codes must agree.
+	// codes must agree. Every other job runs the adaptive planner, so the
+	// smoke exercises both collection strategies against the same ground
+	// truth and asserts the planner's patterns economy below.
 	ids := make([]string, cfg.Jobs)
+	planned := make([]bool, cfg.Jobs)
 	for i := range ids {
 		spec := JobSpec{
 			Type:         "recover",
@@ -62,13 +65,15 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 			Chips:        1,
 			Seed:         uint64(1 + i),
 			Verify:       true,
+			Plan:         i%2 == 1,
 		}
+		planned[i] = spec.Plan
 		var status JobStatus
 		if err := postJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs", spec, &status); err != nil {
 			return fmt.Errorf("submit job %d: %w", i, err)
 		}
 		ids[i] = status.ID
-		logf("submitted %s (seed %d)", status.ID, spec.Seed)
+		logf("submitted %s (seed %d, plan %v)", status.ID, spec.Seed, spec.Plan)
 	}
 
 	// Poll all jobs to completion, asserting monotonic progress.
@@ -127,9 +132,10 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 	}
 
 	// Fetch results: every job must have recovered the unique secret
-	// function, matching ground truth, and all codes must agree.
+	// function, matching ground truth, and all codes must agree. Planned
+	// jobs must additionally have stopped collecting before the full sweep.
 	var reference *ecc.Code
-	for _, id := range ids {
+	for i, id := range ids {
 		var res JobResult
 		if err := getJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs/"+id+"/result", &res); err != nil {
 			return fmt.Errorf("result %s: %w", id, err)
@@ -143,6 +149,16 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 		}
 		if rec.GroundTruthMatch == nil || !*rec.GroundTruthMatch {
 			return fmt.Errorf("%s: recovered function does not match ground truth", id)
+		}
+		if planned[i] {
+			if rec.PatternsUsed == 0 || rec.PatternsFull == 0 {
+				return fmt.Errorf("%s: planned job reported no pattern counts: %+v", id, rec)
+			}
+			if rec.PatternsUsed >= rec.PatternsFull {
+				return fmt.Errorf("%s: planner used %d of %d patterns; expected strictly fewer than the full sweep",
+					id, rec.PatternsUsed, rec.PatternsFull)
+			}
+			logf("%s: planner used %d of %d patterns", id, rec.PatternsUsed, rec.PatternsFull)
 		}
 		code := new(ecc.Code)
 		if err := code.UnmarshalText([]byte(rec.Code)); err != nil {

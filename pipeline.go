@@ -149,6 +149,31 @@ func WithAntiRows() Option { return func(p *Pipeline) { p.recover.UseAntiRows = 
 // WithLazySolver switches recovery to the CEGAR-style lazy SAT solver.
 func WithLazySolver() Option { return func(p *Pipeline) { p.recover.UseLazySolver = true } }
 
+// WithPlanner replaces the exhaustive pattern sweep with the adaptive
+// pattern planner (core.Planner): collection proceeds in solver-guided
+// batches feeding one persistent incremental SAT session, and stops — fleet
+// wide, on multi-chip runs — the moment the ECC function is uniquely
+// determined. Report.Plan records patterns used vs. the full sweep.
+// Incompatible with WithAntiRows.
+func WithPlanner() Option { return func(p *Pipeline) { p.recover.UsePlanner = true } }
+
+// WithPlanOptions tunes the adaptive planner (batch size, pattern budget);
+// implies WithPlanner.
+func WithPlanOptions(opts PlanOptions) Option {
+	return func(p *Pipeline) {
+		p.recover.UsePlanner = true
+		p.recover.Plan = opts
+	}
+}
+
+// WithSolverBackend installs a factory for the SAT backend recovery solves
+// build on (one fresh backend per solve session). The default is the
+// in-process CDCL engine; a factory returning sat.NewDimacs-wrapped
+// backends additionally records every CNF for export to external solvers.
+func WithSolverBackend(factory func() SolverBackend) Option {
+	return func(p *Pipeline) { p.recover.Solve.Backend = factory }
+}
+
 // WithThreshold configures the §5.2 miscorrection filter: minFraction is the
 // per-word observation-rate cutoff, minCount the absolute floor.
 func WithThreshold(minFraction float64, minCount int64) Option {

@@ -51,6 +51,7 @@ import (
 	"repro/internal/einsim"
 	"repro/internal/ondie"
 	"repro/internal/parallel"
+	"repro/internal/sat"
 )
 
 // Re-exported types. These aliases are the supported public names; the
@@ -81,6 +82,17 @@ type (
 	// hash (Profile.Hash) was solved before; install one with WithSolveCache.
 	// internal/store provides the durable, content-addressed implementation.
 	SolveCache = core.SolveCache
+	// SolverBackend is the pluggable SAT engine behind recovery solves
+	// (install a factory with WithSolverBackend): the in-process CDCL
+	// solver by default, or a DIMACS-recording backend for export to
+	// external solvers.
+	SolverBackend = sat.Backend
+	// PlanOptions tunes the adaptive pattern planner (WithPlanOptions).
+	PlanOptions = core.PlanOptions
+	// PlanInfo summarizes a planned recovery (Report.Plan): patterns used
+	// vs. the full sweep, batch count, and whether the planner decided
+	// early.
+	PlanInfo = core.PlanInfo
 	// BEEPOptions configures BEEP profiling.
 	BEEPOptions = beep.Options
 	// BEEPOutcome reports BEEP's findings for one word.
@@ -99,6 +111,20 @@ const (
 	MfrB = ondie.MfrB
 	MfrC = ondie.MfrC
 )
+
+// DimacsBackend is a recording SolverBackend that exports the accumulated
+// CNF in DIMACS format (WriteDIMACS) while delegating solving to an inner
+// backend; see NewDimacsBackend and WithSolverBackend.
+type DimacsBackend = sat.Dimacs
+
+// NewSolverBackend returns a fresh in-process CDCL SAT backend — what
+// recovery solves use by default.
+func NewSolverBackend() SolverBackend { return sat.New() }
+
+// NewDimacsBackend returns a recording backend over the default in-process
+// engine: solves behave identically, and the CNF every solve accumulated
+// can be exported with WriteDIMACS for external SAT solvers.
+func NewDimacsBackend() *DimacsBackend { return sat.NewDimacs(nil) }
 
 // NewHammingCode returns a uniformly random systematic SEC Hamming code with
 // k data bits, seeded deterministically.
