@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-baseline fuzz-smoke fmt serve-smoke cluster-smoke
+# Tag naming the committed benchmark baseline (BENCH_$(BENCH_TAG).json).
+# Bump once per PR that re-baselines; bench-gate compares fresh runs against
+# the file this expands to, so bench jobs no longer need per-PR edits.
+BENCH_TAG ?= pr6
+
+.PHONY: all build test lint bench bench-baseline bench-gate fuzz-smoke fmt serve-smoke cluster-smoke
 
 all: build lint test
 
@@ -23,23 +28,33 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # One-shot benchmark sweep parsed into a JSON baseline (tools/benchjson).
-# CI uploads BENCH_pr5.json as an artifact, extending the bench trajectory
-# (now including the Eager-vs-Incremental solve pairs and the
-# FullSweep-vs-Planner end-to-end recovery pair).
+# CI uploads BENCH_$(BENCH_TAG).json as an artifact, extending the bench
+# trajectory (now including the bitsliced Fig8/Fig9 sweeps and the
+# serial-vs-parallel collect pair).
 # Two steps (not a pipe) so a bench compile failure fails the target instead
 # of silently writing an empty baseline.
 bench-baseline:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.out
-	$(GO) run ./tools/benchjson < bench.out > BENCH_pr5.json
+	$(GO) run ./tools/benchjson < bench.out > BENCH_$(BENCH_TAG).json
 	@rm -f bench.out
-	@echo "wrote BENCH_pr5.json"
+	@echo "wrote BENCH_$(BENCH_TAG).json"
 
-# Short coverage-guided fuzz smoke of the SAT solver core and the CNF
-# builder (differential-tested against brute force; seed corpus committed
-# under internal/sat/testdata/fuzz). CI runs the same two commands.
+# Regression gate: rerun the sweep and diff it against the committed baseline.
+# Exits nonzero when a key benchmark (Fig8/Fig9, end-to-end recovery, the
+# collect pair) regresses >30% in ns/op or bytes/op, or when parallel
+# collection falls more than 25% behind serial. CI runs this on every PR.
+bench-gate:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.out
+	$(GO) run ./tools/benchjson -compare BENCH_$(BENCH_TAG).json < bench.out
+	@rm -f bench.out
+
+# Short coverage-guided fuzz smoke of the SAT solver core, the CNF builder,
+# and the bitsliced-vs-scalar ECC differential (seed corpora committed under
+# internal/*/testdata/fuzz). CI runs the same three commands.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolver -fuzztime 15s ./internal/sat
 	$(GO) test -run '^$$' -fuzz FuzzCNFBuilder -fuzztime 15s ./internal/sat
+	$(GO) test -run '^$$' -fuzz FuzzBitsliced -fuzztime 15s ./internal/ecc
 
 # Boot an ephemeral beerd, submit 8 concurrent FastRecovery jobs against
 # simulated MfrB chips, assert monotonic per-stage progress and that every

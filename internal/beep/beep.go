@@ -87,6 +87,20 @@ type Profiler struct {
 	code *ecc.Code
 	opts Options
 	rng  *rand.Rand
+	// pmat is the code's P submatrix, cloned once; Code.P() clones per call
+	// and inferErrors runs on every observed miscorrection.
+	pmat gf2.Mat
+	// satNarrow and satBoot are the persistent incremental crafters, built
+	// on first use. Every craftSAT call solves the same formula under
+	// different assumptions. Suspect-restricted ("narrow") and bootstrap
+	// (all-cells) crafts run on separate solver instances so that the
+	// bootstrap solves — whose assumption sets share nothing with the narrow
+	// ones — do not evict the narrow chain's reusable propagation trail.
+	satNarrow *satCrafter
+	satBoot   *satCrafter
+
+	suspectBuf []int // craftPattern scratch, reused across crafts
+	allCells   []int // [0..n), built lazily, shared by bootstrap crafts
 }
 
 // NewProfiler builds a profiler for the given (BEER-recovered) code.
@@ -97,7 +111,7 @@ func NewProfiler(code *ecc.Code, opts Options, rng *rand.Rand) *Profiler {
 	if opts.TrialsPerPattern <= 0 {
 		opts.TrialsPerPattern = 1
 	}
-	return &Profiler{code: code, opts: opts, rng: rng}
+	return &Profiler{code: code, opts: opts, rng: rng, pmat: code.P()}
 }
 
 // Run profiles one ECC word, returning every error-prone cell identified.
@@ -144,9 +158,10 @@ func (p *Profiler) Run(ctx context.Context, w WordTester) (*Outcome, error) {
 // exhibit an observable miscorrection if the target fails together with
 // known (or, when none are known, any) errors. Phase 1 of Figure 7.
 func (p *Profiler) craftPattern(target int, known map[int]bool) (gf2.Vec, bool) {
-	// Suspects: known errors plus the target. When nothing is known yet, all
-	// cells are candidate failures (bootstrap; see package comment).
-	suspects := make([]int, 0, len(known)+1)
+	// Suspects: known errors plus the target, in a buffer reused across the
+	// passes×n crafts of a run. When nothing is known yet, all cells are
+	// candidate failures (bootstrap; see package comment).
+	suspects := p.suspectBuf[:0]
 	for e := range known {
 		if e != target {
 			suspects = append(suspects, e)
@@ -154,15 +169,19 @@ func (p *Profiler) craftPattern(target int, known map[int]bool) (gf2.Vec, bool) 
 	}
 	sort.Ints(suspects)
 	suspects = append(suspects, target)
+	p.suspectBuf = suspects
 
 	// Bootstrap / last resort companion set: any charged cell may be a
 	// failure candidate. The linear crafter samples companions rather than
 	// taking all n cells; randomness comes from the profiler's rng either
 	// way.
-	all := make([]int, p.code.N())
-	for i := range all {
-		all[i] = i
+	if p.allCells == nil {
+		p.allCells = make([]int, p.code.N())
+		for i := range p.allCells {
+			p.allCells[i] = i
+		}
 	}
+	all := p.allCells
 
 	if p.opts.Crafter == CrafterLinear {
 		if d, ok := p.craftLinear(target, suspects, p.opts.WorstCaseNeighbors); ok {
@@ -184,10 +203,155 @@ func (p *Profiler) craftPattern(target int, known map[int]bool) (gf2.Vec, bool) 
 	// clauses are guarded by an activation literal asserted via solver
 	// assumptions, so dropping them re-solves the same (already learned-in)
 	// formula instead of rebuilding it.
-	if d, ok := p.craftSAT(target, suspects, p.opts.WorstCaseNeighbors, len(known) > 0); ok {
-		return d, true
+	//
+	// A lone suspect (the target itself, nothing known yet) can never craft:
+	// the selected-failure syndrome would be the target's own H column, whose
+	// only landing bit is the target — which constraint 1 forces CHARGED.
+	// Hamming columns are distinct, so that solve is UNSAT by construction;
+	// skip straight to the bootstrap set instead of paying for it.
+	if len(suspects) > 1 {
+		if d, ok := p.craftSAT(target, suspects, p.opts.WorstCaseNeighbors, len(known) > 0); ok {
+			return d, true
+		}
 	}
 	return p.craftSAT(target, all, p.opts.WorstCaseNeighbors, true)
+}
+
+// satCrafter is the persistent incremental form of the phase-1 SAT problem.
+// The formula is target- and suspect-agnostic: it is built once per Profiler
+// and every craftSAT call selects its sub-problem purely through solver
+// assumptions, so learned clauses, Tseitin gates and saved phases carry over
+// across all targets and passes. (Building a fresh CNF per target dominated
+// the Figure 8/9 runtime before this.)
+//
+// Per-call specialization, all via assumptions — no clause is ever added
+// after construction:
+//   - cw[target] and sel[target] are assumed directly: "target CHARGED and
+//     selected as a failure" (assumptions are arbitrary literals, so Tseitin
+//     parity gates work as targets too).
+//   - ¬cw[target±1] are assumed for the worst-case neighbor-discharge
+//     constraint, last so a relaxed retry just truncates them.
+//   - ¬sel[e] is assumed for every cell e outside the call's suspect set,
+//     which collapses the full-width syndrome XORs to the suspect-only XORs
+//     the per-call formulation would have built.
+//
+// Pattern diversity across calls comes from re-randomizing the data bits'
+// polarities and branching activity before every solve: the data variables
+// outrank the Tseitin gates, so each model follows that call's fresh random
+// phases rather than the saved phases of the previous model.
+//
+// With the clause database frozen, consecutive solves that share an
+// assumption prefix reuse the solver's propagation trail (see
+// sat.SolveUnderAssumptions). The ¬sel assumptions are ordered first,
+// ascending by cell, because the suspect set changes by only a couple of
+// cells between consecutive targets.
+type satCrafter struct {
+	s     *sat.Solver
+	dVars []int
+	cw    []sat.Lit // codeword literals: data vars, then parity XOR gates
+	sel   []sat.Lit // per-cell "selected failure" literals, all n cells
+
+	suspect []bool    // scratch: membership mask for the current call
+	assumps []sat.Lit // scratch: assumption buffer reused across calls
+}
+
+// crafter returns one of the profiler's persistent SAT crafters, building the
+// shared formula on first use. Bootstrap (all-cells) and narrow crafts get
+// separate instances; see the Profiler field comment.
+func (p *Profiler) crafter(bootstrap bool) *satCrafter {
+	slot := &p.satNarrow
+	if bootstrap {
+		slot = &p.satBoot
+	}
+	if *slot != nil {
+		return *slot
+	}
+	n, k, r := p.code.N(), p.code.K(), p.code.ParityBits()
+	c := &satCrafter{s: sat.New()}
+	s := c.s
+	// The formula's variable count is known up front: k data + r parity +
+	// n sel + r syndrome + k ReifyAnd gates. Reserving once removes the
+	// slice-growth churn of incremental NewVar calls (a crafter pair is
+	// rebuilt for every profiled word).
+	s.Reserve(n + 2*k + 2*r + 16)
+	c.dVars = make([]int, k)
+	for j := range c.dVars {
+		c.dVars[j] = s.NewVar()
+	}
+	// Codeword literals: data bits directly, parity bits as XORs of the data
+	// bits in their parity-check row.
+	c.cw = make([]sat.Lit, n)
+	for j := 0; j < k; j++ {
+		c.cw[j] = sat.PosLit(c.dVars[j])
+	}
+	// Parity bits are native XOR constraints (parityVar ⊕ data-row = 0)
+	// rather than Tseitin XOR2 trees: the solver then re-derives a parity bit
+	// in one forced assignment per re-solve instead of walking the whole tree.
+	var xlits []sat.Lit
+	for i := 0; i < r; i++ {
+		pv := s.NewVar()
+		c.cw[k+i] = sat.PosLit(pv)
+		xlits = xlits[:0]
+		for j := 0; j < k; j++ {
+			if p.pmat.Get(i, j) {
+				xlits = append(xlits, sat.PosLit(c.dVars[j]))
+			}
+		}
+		xlits = append(xlits, c.cw[k+i])
+		s.AddXor(xlits, false)
+	}
+	// Constraint 2 skeleton: every cell gets a "selected failure" literal
+	// (only charged cells can fail); the selected set's syndrome must equal
+	// the H column of some DISCHARGED, unselected data bit.
+	c.sel = make([]sat.Lit, n)
+	for e := 0; e < n; e++ {
+		l := sat.PosLit(s.NewVar())
+		c.sel[e] = l
+		s.Implies(l, c.cw[e])
+	}
+	// Syndrome bits of the selected-failure set, likewise native XORs over
+	// the sel variables in each H row.
+	h := p.code.H()
+	synd := make([]sat.Lit, r)
+	for i := 0; i < r; i++ {
+		sv := s.NewVar()
+		synd[i] = sat.PosLit(sv)
+		xlits = xlits[:0]
+		for e := 0; e < n; e++ {
+			if h.Get(i, e) {
+				xlits = append(xlits, c.sel[e])
+			}
+		}
+		xlits = append(xlits, synd[i])
+		s.AddXor(xlits, false)
+	}
+	hits := make([]sat.Lit, 0, k)
+	conds := make([]sat.Lit, 0, r+2)
+	for b := 0; b < k; b++ {
+		conds = conds[:0]
+		col := p.code.Column(b)
+		for i := 0; i < r; i++ {
+			if col.Get(i) {
+				conds = append(conds, synd[i])
+			} else {
+				conds = append(conds, synd[i].Not())
+			}
+		}
+		conds = append(conds, c.cw[b].Not())  // landing bit must be DISCHARGED
+		conds = append(conds, c.sel[b].Not()) // and not itself a selected failure
+		hits = append(hits, s.ReifyAnd(conds...))
+	}
+	s.AddClause(hits...)
+
+	// Branch on data bits before gate variables, permanently: an explicit
+	// decision order outranks conflict-driven activity without per-craft heap
+	// maintenance. Per-call model diversity comes from re-randomized
+	// polarities alone.
+	s.SetDecisionOrder(c.dVars)
+
+	c.suspect = make([]bool, n)
+	*slot = c
+	return c
 }
 
 // craftSAT encodes phase 1 as SAT: dataword bits are free variables; parity
@@ -195,122 +359,83 @@ func (p *Profiler) craftPattern(target int, known map[int]bool) (gf2.Vec, bool) 
 // landing bits of "syndrome of the selected failures equals that bit's H
 // column while the bit is DISCHARGED".
 //
-// The worst-case neighbor clauses (constraint 1) are guarded by an
-// activation literal and enabled via SolveUnderAssumptions, so when they
-// make crafting infeasible and relaxAllowed is set, the relaxed retry
-// reuses the same solver — clause database, learned clauses, saved phases —
-// instead of rebuilding the CNF from scratch.
+// The formula lives on a persistent solver shared by every call (see
+// satCrafter); this call only pushes assumptions. When the worst-case
+// neighbor clauses make crafting infeasible and relaxAllowed is set, the
+// relaxed retry drops just that guard on the warm solver — clause database,
+// learned clauses, saved phases all carry over.
 func (p *Profiler) craftSAT(target int, suspects []int, worstCase, relaxAllowed bool) (gf2.Vec, bool) {
-	n, k, r := p.code.N(), p.code.K(), p.code.ParityBits()
-	s := sat.New()
-	dVars := make([]int, k)
-	for j := range dVars {
-		dVars[j] = s.NewVar()
-		// Bias free data bits toward CHARGED about half the time, and make
-		// sure the solver branches on data bits (not Tseitin gates) first:
-		// dense, varied patterns maximize the chance that the word's
-		// (unknown) error-prone cells are charged together and produce an
-		// observable miscorrection, while keeping enough DISCHARGED bits to
-		// land one.
-		s.SetPolarity(dVars[j], p.rng.IntN(2) == 0)
-		s.BoostActivity(dVars[j], 100+float64(p.rng.IntN(100)))
+	n, k := p.code.N(), p.code.K()
+	c := p.crafter(len(suspects) == n)
+	s := c.s
+	for _, v := range c.dVars {
+		// Bias free data bits toward CHARGED about half the time: dense,
+		// varied patterns maximize the chance that the word's (unknown)
+		// error-prone cells are charged together and produce an observable
+		// miscorrection, while keeping enough DISCHARGED bits to land one.
+		// Re-randomized every call so patterns vary across targets even
+		// though the solver persists; the crafter's fixed decision order
+		// guarantees the solver branches on data bits (not gate variables)
+		// first, so models follow these phases.
+		s.SetPolarity(v, p.rng.IntN(2) == 0)
 	}
-	// Codeword literals: data bits directly, parity bits as XORs of the data
-	// bits in their parity-check row.
-	cw := make([]sat.Lit, n)
-	for j := 0; j < k; j++ {
-		cw[j] = sat.PosLit(dVars[j])
+	// Most-stable assumptions first (see satCrafter doc): the ¬sel block
+	// barely changes between consecutive targets, so the solver's trail
+	// reuse skips re-propagating most of it; the per-target literals go
+	// last, with the worst-case neighbor constraints at the very end so the
+	// relaxed retry can truncate them without disturbing the prefix.
+	for _, e := range suspects {
+		c.suspect[e] = true
 	}
-	pmat := p.code.P()
-	for i := 0; i < r; i++ {
-		var lits []sat.Lit
-		for j := 0; j < k; j++ {
-			if pmat.Get(i, j) {
-				lits = append(lits, sat.PosLit(dVars[j]))
-			}
+	// The ¬sel block is ordered ascending by cell, except that the cells of
+	// the target's reuseWindow-aligned window are deferred to the end of the
+	// block. Consecutive targets share a window, so the long leading block is
+	// IDENTICAL across a window's worth of solves and the solver's trail
+	// reuse skips re-propagating it; plain ascending order would diverge at
+	// the previous target's cell and cap reuse near 50%.
+	const reuseWindow = 8
+	base := target - target%reuseWindow
+	hi := base + reuseWindow
+	assumps := c.assumps[:0]
+	for e := 0; e < n; e++ {
+		if !c.suspect[e] && (e < base || e >= hi) {
+			assumps = append(assumps, c.sel[e].Not())
 		}
-		cw[k+i] = s.ReifyXor(lits...)
 	}
-	// Constraint 1: target charged, neighbors discharged (worst case). The
-	// neighbor clauses activate only while `guard` is assumed.
-	s.AddClause(cw[target])
-	var assumps []sat.Lit
+	for e := base; e < hi && e < n; e++ {
+		if !c.suspect[e] {
+			assumps = append(assumps, c.sel[e].Not())
+		}
+	}
+	for _, e := range suspects {
+		c.suspect[e] = false
+	}
+	assumps = append(assumps, c.cw[target], c.sel[target])
+	wcStart := len(assumps)
 	if worstCase {
-		guard := sat.PosLit(s.NewVar())
 		if target > 0 {
-			s.AddClause(guard.Not(), cw[target-1].Not())
+			assumps = append(assumps, c.cw[target-1].Not())
 		}
 		if target+1 < n {
-			s.AddClause(guard.Not(), cw[target+1].Not())
+			assumps = append(assumps, c.cw[target+1].Not())
 		}
-		assumps = append(assumps, guard)
 	}
-	// Constraint 2: some subset of suspect failures (the target forced in)
-	// produces a syndrome equal to a DISCHARGED data bit's column.
-	sel := make(map[int]sat.Lit, len(suspects))
-	for _, e := range suspects {
-		l := sat.PosLit(s.NewVar())
-		sel[e] = l
-		s.Implies(l, cw[e]) // only charged cells can fail
-	}
-	s.AddClause(sel[target])
-	synd := make([]sat.Lit, r)
-	h := p.code.H()
-	for i := 0; i < r; i++ {
-		var lits []sat.Lit
-		for _, e := range suspects {
-			if h.Get(i, e) {
-				lits = append(lits, sel[e])
-			}
-		}
-		synd[i] = s.ReifyXor(lits...)
-	}
-	var hits []sat.Lit
-	for b := 0; b < k; b++ {
-		conds := make([]sat.Lit, 0, r+2)
-		for i := 0; i < r; i++ {
-			if p.code.Column(b).Get(i) {
-				conds = append(conds, synd[i])
-			} else {
-				conds = append(conds, synd[i].Not())
-			}
-		}
-		conds = append(conds, cw[b].Not()) // landing bit must be DISCHARGED
-		if l, isSuspect := sel[b]; isSuspect {
-			conds = append(conds, l.Not()) // and not itself a selected failure
-		}
-		hits = append(hits, s.ReifyAnd(conds...))
-	}
-	s.AddClause(hits...)
 
 	ok, err := s.SolveUnderAssumptions(assumps...)
-	if (err != nil || !ok) && len(assumps) > 0 && relaxAllowed {
+	if (err != nil || !ok) && relaxAllowed && len(assumps) > wcStart {
 		// Constraint 1 was the blocker; the paper drops it before giving
-		// up (§7.1.2). Releasing the assumption deactivates the guarded
-		// neighbor clauses on the warm solver.
-		assumps = nil
-		ok, err = s.Solve()
+		// up (§7.1.2). Truncating the assumptions deactivates the neighbor
+		// constraints on the warm solver.
+		assumps = assumps[:wcStart]
+		ok, err = s.SolveUnderAssumptions(assumps...)
 	}
+	c.assumps = assumps[:0]
 	if err != nil || !ok {
 		return gf2.Vec{}, false
 	}
 	d := gf2.NewVec(k)
 	for j := 0; j < k; j++ {
-		d.Set(j, s.Value(dVars[j]))
-	}
-	// Randomize the free variables across calls by blocking and re-solving a
-	// few times; this spreads coverage over equivalent patterns.
-	for spin := p.rng.IntN(3); spin > 0; spin-- {
-		if !s.BlockModel(dVars) {
-			break
-		}
-		ok, err := s.SolveUnderAssumptions(assumps...)
-		if err != nil || !ok {
-			break
-		}
-		for j := 0; j < k; j++ {
-			d.Set(j, s.Value(dVars[j]))
-		}
+		d.Set(j, s.Value(c.dVars[j]))
 	}
 	return d, true
 }
@@ -340,7 +465,7 @@ func (p *Profiler) inferErrors(written, got gf2.Vec) ([]int, bool) {
 	// Equation 4: H * c' = s with the n-k parity bits of c' unknown. In
 	// standard form H = [P | I], so parity' = s XOR P*data' — one unique
 	// solution, as the paper notes (H has full rank).
-	preParity := syndrome.Xor(p.code.P().MulVec(preData))
+	preParity := syndrome.Xor(p.pmat.MulVec(preData))
 	preCodeword := preData.Concat(preParity)
 	// Errors are the difference against what was actually stored.
 	errVec := p.code.Encode(written).Xor(preCodeword)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/ecc"
@@ -95,52 +96,7 @@ func (p *Profile) Append(o *Profile) *Profile {
 // S requires sum_T H_col + m = H_col(b) for some choice, i.e.
 // (sum_T H_col XOR H_col(b)) within support(sigma).
 func ExactProfile(code *ecc.Code, patterns []Pattern) *Profile {
-	k := code.K()
-	r := code.ParityBits()
-	// Columns packed as uint64 for speed (r <= 64 by ecc invariant).
-	cols := make([]uint64, k)
-	for j := 0; j < k; j++ {
-		cols[j] = code.Column(j).Uint64()
-	}
-	full := ^uint64(0)
-	if r < 64 {
-		full = (1 << uint(r)) - 1
-	}
-	prof := &Profile{K: k, Entries: make([]Entry, 0, len(patterns))}
-	for _, pat := range patterns {
-		s := pat.Charged()
-		var sigma uint64
-		for _, j := range s {
-			sigma ^= cols[j]
-		}
-		notSigma := ^sigma & full
-		// Enumerate error subsets T of S; 2^|S| is small (|S| <= 3 in all
-		// paper configurations).
-		subsets := make([]uint64, 0, 1<<uint(len(s)))
-		for mask := 0; mask < 1<<uint(len(s)); mask++ {
-			var v uint64
-			for bi, j := range s {
-				if mask>>uint(bi)&1 == 1 {
-					v ^= cols[j]
-				}
-			}
-			subsets = append(subsets, v)
-		}
-		possible := gf2.NewVec(k)
-		for b := 0; b < k; b++ {
-			if pat.Has(b) {
-				continue
-			}
-			for _, v := range subsets {
-				if (v^cols[b])&notSigma == 0 {
-					possible.Set(b, true)
-					break
-				}
-			}
-		}
-		prof.Entries = append(prof.Entries, Entry{Pattern: pat, Possible: possible})
-	}
-	return prof
+	return exactProfileSliced(code, patterns, false)
 }
 
 // ExactProfileAnti computes the miscorrection profile of a known code for
@@ -156,6 +112,110 @@ func ExactProfile(code *ecc.Code, patterns []Pattern) *Profile {
 // (rowParity XOR sigma)_i = 1 has (sum_T H_col XOR H_col(b))_i = 0.
 // The rowParity term is information the true-cell profile cannot see.
 func ExactProfileAnti(code *ecc.Code, patterns []Pattern) *Profile {
+	return exactProfileSliced(code, patterns, true)
+}
+
+// exactProfileSliced is the bitsliced kernel behind ExactProfile and
+// ExactProfileAnti. Instead of testing (v ^ cols[b]) & constrained == 0 one
+// data bit at a time, it transposes H into row planes — plane i is a
+// lane-packed word whose bit b holds H[i][b] — so one pass of word ops
+// answers the membership test for 64 data bits at once:
+//
+//	b is possible under subset value v  iff  for every constrained row i,
+//	plane[i] bit b == v bit i
+//
+// which is an AND over the constrained rows of (plane_i or its complement).
+// The constrained row set is notSigma for true-cell regions and the
+// discharged parity rows for anti-cell regions; nothing else differs.
+func exactProfileSliced(code *ecc.Code, patterns []Pattern, anti bool) *Profile {
+	k := code.K()
+	r := code.ParityBits()
+	chunks := (k + 63) / 64
+	// Columns packed as uint64 (r <= 64 by ecc invariant) drive the sigma /
+	// subset arithmetic; the transposed planes drive the per-bit test.
+	cols := make([]uint64, k)
+	planes := make([]uint64, r*chunks)
+	var rowParity uint64
+	for j := 0; j < k; j++ {
+		c := code.Column(j).Uint64()
+		cols[j] = c
+		rowParity ^= c
+		for i := 0; i < r; i++ {
+			planes[i*chunks+j/64] |= (c >> uint(i) & 1) << uint(j%64)
+		}
+	}
+	full := ^uint64(0)
+	if r < 64 {
+		full = (1 << uint(r)) - 1
+	}
+	// laneFull[c] masks the valid data-bit lanes of chunk c (the last chunk
+	// is ragged when k is not a multiple of 64).
+	laneFull := make([]uint64, chunks)
+	for c := range laneFull {
+		laneFull[c] = ^uint64(0)
+	}
+	if k%64 != 0 {
+		laneFull[chunks-1] = (1 << uint(k%64)) - 1
+	}
+	chargedLanes := make([]uint64, chunks)
+	prof := &Profile{K: k, Entries: make([]Entry, 0, len(patterns))}
+	for _, pat := range patterns {
+		s := pat.Charged()
+		var sigma uint64
+		clear(chargedLanes)
+		for _, j := range s {
+			sigma ^= cols[j]
+			chargedLanes[j/64] |= 1 << uint(j%64)
+		}
+		constrained := ^sigma & full
+		if anti {
+			// Rows whose parity cell is DISCHARGED (bit 1): the error
+			// subset's syndrome must vanish there.
+			constrained = (rowParity ^ sigma) & full
+		}
+		// Enumerate error subsets T of S; 2^|S| is small (|S| <= 3 in all
+		// paper configurations).
+		subsets := make([]uint64, 0, 1<<uint(len(s)))
+		for mask := 0; mask < 1<<uint(len(s)); mask++ {
+			var v uint64
+			for bi, j := range s {
+				if mask>>uint(bi)&1 == 1 {
+					v ^= cols[j]
+				}
+			}
+			subsets = append(subsets, v)
+		}
+		possible := gf2.NewVec(k)
+		w := possible.Words()
+		for c := 0; c < chunks; c++ {
+			var poss uint64
+			for _, v := range subsets {
+				acc := laneFull[c]
+				for m := constrained; m != 0 && acc != 0; m &= m - 1 {
+					i := bits.TrailingZeros64(m)
+					pl := planes[i*chunks+c]
+					if v>>uint(i)&1 == 1 {
+						acc &= pl
+					} else {
+						acc &= ^pl
+					}
+				}
+				poss |= acc
+				if poss == laneFull[c] {
+					break
+				}
+			}
+			// Charged positions are ambiguous, never "possible".
+			w[c] = poss &^ chargedLanes[c]
+		}
+		prof.Entries = append(prof.Entries, Entry{Pattern: pat, Possible: possible, Anti: anti})
+	}
+	return prof
+}
+
+// exactProfileScalar is the straightforward per-data-bit form of the oracle,
+// retained as the differential reference for exactProfileSliced.
+func exactProfileScalar(code *ecc.Code, patterns []Pattern, anti bool) *Profile {
 	k := code.K()
 	r := code.ParityBits()
 	cols := make([]uint64, k)
@@ -175,9 +235,10 @@ func ExactProfileAnti(code *ecc.Code, patterns []Pattern) *Profile {
 		for _, j := range s {
 			sigma ^= cols[j]
 		}
-		// Rows whose parity cell is DISCHARGED (bit 1): the error subset's
-		// syndrome must vanish there.
-		discharged := (rowParity ^ sigma) & full
+		constrained := ^sigma & full
+		if anti {
+			constrained = (rowParity ^ sigma) & full
+		}
 		subsets := make([]uint64, 0, 1<<uint(len(s)))
 		for mask := 0; mask < 1<<uint(len(s)); mask++ {
 			var v uint64
@@ -194,13 +255,13 @@ func ExactProfileAnti(code *ecc.Code, patterns []Pattern) *Profile {
 				continue
 			}
 			for _, v := range subsets {
-				if (v^cols[b])&discharged == 0 {
+				if (v^cols[b])&constrained == 0 {
 					possible.Set(b, true)
 					break
 				}
 			}
 		}
-		prof.Entries = append(prof.Entries, Entry{Pattern: pat, Possible: possible, Anti: true})
+		prof.Entries = append(prof.Entries, Entry{Pattern: pat, Possible: possible, Anti: anti})
 	}
 	return prof
 }

@@ -68,6 +68,37 @@ func TestExactProfileMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestExactProfileSlicedMatchesScalar holds the transposed-lane kernel
+// bit-identical to the per-data-bit scalar reference across code shapes —
+// including k > 64, where the lane planes span a ragged second chunk — for
+// both true-cell and anti-cell semantics.
+func TestExactProfileSlicedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(70, 80))
+	shapes := []struct{ k, r int }{
+		{4, 3},
+		{11, 4},
+		{26, 5},
+		{57, 6},
+		{64, 7},  // exactly one full chunk
+		{71, 7},  // ragged second chunk
+		{110, 7}, // two nearly full chunks
+	}
+	for _, shape := range shapes {
+		for trial := 0; trial < 4; trial++ {
+			code := ecc.RandomHammingWithParity(shape.k, shape.r, rng)
+			patterns := append(Set12.Patterns(shape.k), NCharged(shape.k, 3)...)
+			for _, anti := range []bool{false, true} {
+				got := exactProfileSliced(code, patterns, anti)
+				want := exactProfileScalar(code, patterns, anti)
+				if !got.Equal(want) {
+					t.Fatalf("(k=%d,r=%d) trial %d anti=%v: bitsliced oracle diverges from scalar",
+						shape.k, shape.r, trial, anti)
+				}
+			}
+		}
+	}
+}
+
 // TestTable2 reproduces the paper's Table 2: the miscorrection profile of
 // the Equation-1 (7,4) Hamming code under the 1-CHARGED patterns.
 // Miscorrections are possible only for the pattern charging bit 0, and then

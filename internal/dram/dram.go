@@ -37,6 +37,7 @@ package dram
 import (
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"time"
 
 	"repro/internal/gf2"
@@ -166,6 +167,13 @@ type Config struct {
 	TransientBER float64
 }
 
+// vrtJitterBound bounds |NormalInv(Uniform01(h))| for any hash h: Uniform01
+// maps into the open interval [0.5/2^52, 1-0.5/2^52], whose normal quantiles
+// are about +/-8.3. The bound is deliberately slack (see TestVRTJitterBound)
+// so the ReadRow fast path's jitter band stays conservative even against
+// last-ulp rounding in Exp/Erfinv.
+const vrtJitterBound = 12.0
+
 // Chip is a simulated DRAM chip storing raw cells. It has no ECC; package
 // ondie layers on-die ECC on top.
 type Chip struct {
@@ -178,6 +186,13 @@ type Chip struct {
 	thermalSeconds float64
 	rows           [][]rowState
 	readCounter    uint64
+	// vrtLo/vrtHi bracket the per-read VRT jitter factor exp(VRTSigmaLog*z)
+	// for every reachable z (|z| < vrtJitterBound). ReadRow only evaluates
+	// the exact jitter for cells whose retention time falls inside
+	// [exposure/vrtHi, exposure/vrtLo]; outside the band the decay decision
+	// is provably identical (float multiply and Exp are monotone), which
+	// removes the Exp+Erfinv pair from almost every cell read.
+	vrtLo, vrtHi float64
 }
 
 type rowState struct {
@@ -185,6 +200,11 @@ type rowState struct {
 	charges gf2.Vec
 	// writeStamp is the chip's thermalSeconds at the time of the write.
 	writeStamp float64
+	// ret lazily caches each cell's fixed retention time in seconds at the
+	// reference temperature. Retention is a pure function of the address, so
+	// the cache never invalidates — it just removes the per-read hash +
+	// LogNormal evaluation that used to dominate collection time.
+	ret []float64
 }
 
 // New constructs a chip. Zero-valued retention fields fall back to
@@ -200,7 +220,11 @@ func New(cfg Config) *Chip {
 	if cfg.Retention == (RetentionModel{}) {
 		cfg.Retention = DefaultRetention()
 	}
-	c := &Chip{cfg: cfg, tempC: cfg.Retention.ReferenceTempC}
+	c := &Chip{cfg: cfg, tempC: cfg.Retention.ReferenceTempC, vrtLo: 1, vrtHi: 1}
+	if vs := cfg.Retention.VRTSigmaLog; vs > 0 {
+		c.vrtLo = math.Exp(vs * -vrtJitterBound)
+		c.vrtHi = math.Exp(vs * vrtJitterBound)
+	}
 	c.rows = make([][]rowState, cfg.Banks)
 	for b := range c.rows {
 		c.rows[b] = make([]rowState, cfg.Rows)
@@ -255,13 +279,29 @@ func (c *Chip) WriteRow(bank, row int, bits gf2.Vec) {
 		panic(fmt.Sprintf("dram: WriteRow got %d bits, row holds %d cells", bits.Len(), c.cfg.CellsPerRow))
 	}
 	st := c.rowAt(bank, row)
-	charges := bits.Clone()
-	if c.cfg.Layout(bank, row) == AntiCell {
-		invert(charges)
+	if st.written && st.charges.Len() == bits.Len() {
+		st.charges.CopyFrom(bits) // reuse the row's storage across rewrites
+	} else {
+		st.charges = bits.Clone()
 	}
-	st.charges = charges
+	if c.cfg.Layout(bank, row) == AntiCell {
+		invert(st.charges)
+	}
 	st.written = true
 	st.writeStamp = c.thermalSeconds
+}
+
+// retentionOf returns the row's per-cell retention-time cache, building it on
+// first use.
+func (c *Chip) retentionOf(bank, row int, st *rowState) []float64 {
+	if st.ret == nil {
+		st.ret = make([]float64, c.cfg.CellsPerRow)
+		for i := range st.ret {
+			h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
+			st.ret[i] = c.cfg.Retention.CellRetentionSeconds(h)
+		}
+	}
+	return st.ret
 }
 
 // ReadRow senses the row's cells, applying any retention decay accumulated
@@ -269,6 +309,17 @@ func (c *Chip) WriteRow(bank, row int, bits gf2.Vec) {
 // to logical bits. Reading an unwritten row panics: real cells power up in an
 // undefined state, and the methodology never reads before writing.
 func (c *Chip) ReadRow(bank, row int) gf2.Vec {
+	return c.ReadRowInto(bank, row, gf2.NewVec(c.cfg.CellsPerRow))
+}
+
+// ReadRowInto is ReadRow writing into caller-owned storage: dst must have
+// length CellsPerRow and is returned for convenience. Repeated reads through
+// a reused dst allocate nothing, which is what makes tight read loops
+// (profile collection, BEEP) memory-bound no longer.
+func (c *Chip) ReadRowInto(bank, row int, dst gf2.Vec) gf2.Vec {
+	if dst.Len() != c.cfg.CellsPerRow {
+		panic(fmt.Sprintf("dram: ReadRowInto got %d bits, row holds %d cells", dst.Len(), c.cfg.CellsPerRow))
+	}
 	st := c.rowAt(bank, row)
 	if !st.written {
 		panic(fmt.Sprintf("dram: ReadRow of never-written row (%d,%d)", bank, row))
@@ -276,28 +327,48 @@ func (c *Chip) ReadRow(bank, row int) gf2.Vec {
 	c.readCounter++
 	exposure := c.thermalSeconds - st.writeStamp
 	m := c.cfg.Retention
-	charges := st.charges.Clone()
+	dst.CopyFrom(st.charges)
 	if exposure > 0 {
-		for _, i := range st.charges.Support() { // only CHARGED cells can decay
-			h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
-			tRet := m.CellRetentionSeconds(h)
-			if m.VRTSigmaLog > 0 {
-				jitter := stats.NormalInv(stats.Uniform01(stats.HashN(h, c.readCounter)))
-				tRet *= math.Exp(m.VRTSigmaLog * jitter)
-			}
-			if tRet < exposure {
-				charges.Set(i, false)
+		ret := c.retentionOf(bank, row, st)
+		dw := dst.Words()
+		for wi, w := range st.charges.Words() { // only CHARGED cells can decay
+			for w != 0 {
+				b := mathbits.TrailingZeros64(w)
+				w &= w - 1
+				i := wi*64 + b
+				tRet := ret[i]
+				if m.VRTSigmaLog > 0 {
+					// Jitter band: outside [exposure/vrtHi, exposure/vrtLo]
+					// the decision cannot depend on the per-read jitter (the
+					// factor is bounded by [vrtLo, vrtHi] and float multiply/
+					// Exp are monotone), so only borderline cells pay for the
+					// exact hash + NormalInv + Exp evaluation.
+					switch {
+					case tRet*c.vrtHi < exposure:
+						// decays for every reachable jitter
+					case tRet*c.vrtLo >= exposure:
+						continue // survives for every reachable jitter
+					default:
+						h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
+						jitter := stats.NormalInv(stats.Uniform01(stats.HashN(h, c.readCounter)))
+						if tRet*math.Exp(m.VRTSigmaLog*jitter) >= exposure {
+							continue
+						}
+					}
+				} else if tRet >= exposure {
+					continue
+				}
+				dw[wi] &^= 1 << uint(b)
 			}
 		}
 	}
-	bits := charges
 	if c.cfg.Layout(bank, row) == AntiCell {
-		invert(bits)
+		invert(dst)
 	}
 	if c.cfg.TransientBER > 0 {
-		c.injectTransient(bits, bank, row)
+		c.injectTransient(dst, bank, row)
 	}
-	return bits
+	return dst
 }
 
 // injectTransient flips each bit independently with probability
@@ -361,11 +432,15 @@ func (c *Chip) RefreshAll() {
 			if exposure <= 0 {
 				continue
 			}
-			m := c.cfg.Retention
-			for _, i := range st.charges.Support() {
-				h := stats.HashN(c.cfg.Seed, uint64(b), uint64(r), uint64(i))
-				if m.CellRetentionSeconds(h) < exposure {
-					st.charges.Set(i, false)
+			ret := c.retentionOf(b, r, st)
+			cw := st.charges.Words()
+			for wi, w := range cw {
+				for w != 0 {
+					bit := mathbits.TrailingZeros64(w)
+					w &= w - 1
+					if ret[wi*64+bit] < exposure {
+						cw[wi] &^= 1 << uint(bit)
+					}
 				}
 			}
 			st.writeStamp = c.thermalSeconds
@@ -374,7 +449,11 @@ func (c *Chip) RefreshAll() {
 }
 
 func invert(v gf2.Vec) {
-	for i := 0; i < v.Len(); i++ {
-		v.Flip(i)
+	w := v.Words()
+	for i := range w {
+		w[i] = ^w[i]
+	}
+	if r := v.Len() % 64; r != 0 && len(w) > 0 {
+		w[len(w)-1] &= 1<<uint(r) - 1
 	}
 }

@@ -1,0 +1,101 @@
+package dram
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/gf2"
+	"repro/internal/stats"
+)
+
+// TestVRTJitterBound proves the constant the ReadRow fast path leans on:
+// Uniform01 never reaches 0 or 1, so the normal quantile of any hash is
+// strictly inside (-vrtJitterBound, vrtJitterBound). The extreme hashes give
+// the extreme quantiles (Uniform01 depends monotonically on h>>12).
+func TestVRTJitterBound(t *testing.T) {
+	lo := stats.NormalInv(stats.Uniform01(0))
+	hi := stats.NormalInv(stats.Uniform01(^uint64(0)))
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) || math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatalf("extreme quantiles not finite: %v, %v", lo, hi)
+	}
+	// Leave a wide margin: the band argument tolerates rounding slop only
+	// because the bound is far outside the reachable range (~8.3).
+	if lo <= -vrtJitterBound+2 || hi >= vrtJitterBound-2 {
+		t.Fatalf("jitter bound too tight: reachable range [%v, %v] vs bound %v", lo, hi, vrtJitterBound)
+	}
+}
+
+// referenceRead recomputes a row read the way the pre-fast-path code did:
+// every charged cell evaluates its full jittered retention time. readCounter
+// is the value the chip used for that read.
+func referenceRead(c *Chip, bank, row int, charges gf2.Vec, exposure float64, readCounter uint64) gf2.Vec {
+	m := DefaultRetention()
+	out := charges.Clone()
+	if exposure > 0 {
+		for _, i := range charges.Support() {
+			h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
+			tRet := m.CellRetentionSeconds(h)
+			if m.VRTSigmaLog > 0 {
+				jitter := stats.NormalInv(stats.Uniform01(stats.HashN(h, readCounter)))
+				tRet *= math.Exp(m.VRTSigmaLog * jitter)
+			}
+			if tRet < exposure {
+				out.Set(i, false)
+			}
+		}
+	}
+	return out
+}
+
+// TestReadRowFastPathExact holds the banded fast path bit-identical to the
+// straightforward per-cell jitter evaluation across many reads and decay
+// windows (including heavy-decay ones where most cells sit far outside the
+// jitter band).
+func TestReadRowFastPathExact(t *testing.T) {
+	c := New(Config{Banks: 1, Rows: 4, CellsPerRow: 256, Seed: 0xfa57})
+	rng := rand.New(rand.NewPCG(5, 6))
+	written := make([]gf2.Vec, 4)
+	for r := range written {
+		v := gf2.NewVec(256)
+		for i := 0; i < 256; i++ {
+			v.Set(i, rng.IntN(4) != 0)
+		}
+		written[r] = v
+		c.WriteRow(0, r, v)
+	}
+	for _, pause := range []time.Duration{0, time.Minute, 10 * time.Minute, 3 * time.Hour, 48 * time.Hour} {
+		c.PauseRefresh(pause)
+		for r := 0; r < 4; r++ {
+			for rep := 0; rep < 5; rep++ {
+				exposure := c.thermalSeconds - c.rows[0][r].writeStamp
+				got := c.ReadRow(0, r)
+				want := referenceRead(c, 0, r, c.rows[0][r].charges, exposure, c.readCounter)
+				if !got.Equal(want) {
+					t.Fatalf("pause %v row %d rep %d: fast path diverges from reference", pause, r, rep)
+				}
+			}
+		}
+	}
+}
+
+// TestReadRowIntoReuse checks that reads through a reused destination match
+// fresh-allocation reads and do not allocate.
+func TestReadRowIntoReuse(t *testing.T) {
+	c := New(Config{Banks: 1, Rows: 1, CellsPerRow: 128, Seed: 9})
+	v := gf2.NewVec(128)
+	for i := 0; i < 128; i += 3 {
+		v.Set(i, true)
+	}
+	c.WriteRow(0, 0, v)
+	c.PauseRefresh(20 * time.Minute)
+	dst := gf2.NewVec(128)
+	c.ReadRowInto(0, 0, dst) // warm the retention cache
+	allocs := testing.AllocsPerRun(50, func() {
+		c.ReadRowInto(0, 0, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ReadRowInto allocated %v times per read", allocs)
+	}
+}

@@ -37,6 +37,8 @@ type Code struct {
 	// colBySyndrome maps a syndrome (packed into uint64) to the codeword bit
 	// position whose H column equals it, used by syndrome decoding.
 	colBySyndrome map[uint64]int
+	// bits is the precomputed bitsliced batch codec (see Bitsliced).
+	bits *BitCodec
 }
 
 // ErrNotSEC is wrapped by New when the parity-check block does not describe a
@@ -74,6 +76,7 @@ func New(p gf2.Mat) (*Code, error) {
 	for j := 0; j < c.n; j++ {
 		c.colBySyndrome[c.h.Col(j).Uint64()] = j
 	}
+	c.bits = newBitCodec(c)
 	return c, nil
 }
 

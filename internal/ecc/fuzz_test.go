@@ -1,0 +1,89 @@
+package ecc
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// fuzzBit streams bit i out of b, wrapping; an empty slice reads as zeros.
+func fuzzBit(b []byte, i int) bool {
+	if len(b) == 0 {
+		return false
+	}
+	i %= 8 * len(b)
+	return b[i/8]>>(uint(i)%8)&1 == 1
+}
+
+// fuzzCode deterministically builds a valid SEC Hamming code from fuzz
+// bytes: r parity rows from rSel, one H data column per byte of colBytes,
+// nudging invalid or duplicate columns to the next valid value so nearly
+// every input exercises the codec instead of being skipped.
+func fuzzCode(rSel uint8, colBytes []byte) *Code {
+	r := 3 + int(rSel%6) // 3..8 parity bits
+	maxK := (1 << uint(r)) - r - 1
+	k := len(colBytes)
+	if k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		return nil
+	}
+	mask := uint64(1<<uint(r)) - 1
+	seen := make(map[uint64]bool, k)
+	p := gf2.NewMat(r, k)
+	for j := 0; j < k; j++ {
+		col := uint64(colBytes[j]) & mask
+		for steps := 0; ; steps++ {
+			if steps > 1<<uint(r) {
+				return nil // exhausted (cannot happen while k <= maxK)
+			}
+			if bits.OnesCount64(col) >= 2 && !seen[col] {
+				break
+			}
+			col = (col + 1) & mask
+		}
+		seen[col] = true
+		for i := 0; i < r; i++ {
+			p.Set(i, j, col>>uint(i)&1 == 1)
+		}
+	}
+	code, err := New(p)
+	if err != nil {
+		return nil
+	}
+	return code
+}
+
+// FuzzBitsliced holds the bitsliced batch codec bit-identical to the scalar
+// Encode/Decode reference across random codes, datawords, error masks and
+// lane counts (including ragged batches of fewer than 64 lanes). Any
+// divergence between the two representations fails here first.
+func FuzzBitsliced(f *testing.F) {
+	f.Add(uint8(0), []byte{0x03, 0x05, 0x06, 0x07}, uint8(1), []byte{0xff}, []byte{0x01})
+	f.Add(uint8(3), []byte("sequential-ish-columns!"), uint8(64), []byte("data"), []byte{0xaa, 0x55})
+	f.Add(uint8(2), []byte{7, 11, 13, 14, 19, 21, 22, 25}, uint8(17), []byte{}, []byte{0x80, 0x00, 0x40})
+	f.Add(uint8(5), []byte{3, 5, 6, 9, 10}, uint8(63), []byte{0x12, 0x34}, []byte{})
+	f.Fuzz(func(t *testing.T, rSel uint8, colBytes []byte, laneSel uint8, dataBytes, maskBytes []byte) {
+		code := fuzzCode(rSel, colBytes)
+		if code == nil {
+			t.Skip("no valid code from input")
+		}
+		lanes := 1 + int(laneSel%64)
+		n, k := code.N(), code.K()
+		data := make([]gf2.Vec, lanes)
+		maskVecs := make([]gf2.Vec, lanes)
+		for j := 0; j < lanes; j++ {
+			data[j] = gf2.NewVec(k)
+			for i := 0; i < k; i++ {
+				data[j].Set(i, fuzzBit(dataBytes, j*k+i))
+			}
+			maskVecs[j] = gf2.NewVec(n)
+			for i := 0; i < n; i++ {
+				maskVecs[j].Set(i, fuzzBit(maskBytes, j*n+i))
+			}
+		}
+		diffOneBatch(t, code, lanes, data, maskVecs)
+	})
+}

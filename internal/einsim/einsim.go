@@ -10,6 +10,13 @@
 // post-correction error distribution across bit positions is a fingerprint
 // of the specific parity-check matrix.
 //
+// The simulator is bitsliced (DESIGN.md §11): words are processed in batches
+// of 64 lanes through ecc.BitCodec, so encode, injection, syndrome and
+// correction cost one word operation per bit position instead of per word,
+// and batch buffers come from a pooled gf2.Slab so the steady state
+// allocates nothing per batch. RunScalar keeps the original one-word-at-a-
+// time gf2.Vec path as the differential-testing reference.
+//
 // Entry points: Run simulates one Config serially from a caller-supplied
 // RNG; parallel.Engine.Simulate shards the same computation bit-identically
 // across a worker pool (facade: repro.Pipeline.Simulate; CLI: cmd/einsim,
@@ -21,7 +28,9 @@ package einsim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/ecc"
 	"repro/internal/gf2"
@@ -113,8 +122,9 @@ type Result struct {
 	WordsWithPostError int64
 }
 
-// Run simulates cfg.Words ECC words and aggregates statistics.
-func Run(cfg Config, rng *rand.Rand) (*Result, error) {
+// validate checks cfg and, for conditioned sampling, builds the truncated
+// binomial CDF the sampler draws error counts from.
+func validate(cfg Config) ([]float64, error) {
 	if cfg.Code == nil {
 		return nil, fmt.Errorf("einsim: no code configured")
 	}
@@ -128,14 +138,182 @@ func Run(cfg Config, rng *rand.Rand) (*Result, error) {
 	if cfg.ConditionMinErrors > 0 && cfg.Model != ModelUniform {
 		return nil, fmt.Errorf("einsim: conditioned sampling requires ModelUniform")
 	}
-	n, k := cfg.Code.N(), cfg.Code.K()
-	var errCountDist []float64
 	if cfg.ConditionMinErrors > 0 {
-		errCountDist = truncatedBinomialCDF(n, cfg.RBER, cfg.ConditionMinErrors)
-		if errCountDist == nil {
+		cdf := truncatedBinomialCDF(cfg.Code.N(), cfg.RBER, cfg.ConditionMinErrors)
+		if cdf == nil {
 			return nil, fmt.Errorf("einsim: conditioning on >=%d errors is impossible", cfg.ConditionMinErrors)
 		}
+		return cdf, nil
 	}
+	return nil, nil
+}
+
+// scratch is the per-Run batch working set: one slab backs every batch
+// buffer, perm is the partial-shuffle buffer for conditioned sampling. Runs
+// borrow a scratch from a package pool, so shards re-use warm buffers and a
+// steady-state batch allocates nothing.
+type scratch struct {
+	slab gf2.Slab
+	perm []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// Run simulates cfg.Words ECC words and aggregates statistics. Words are
+// processed in bitsliced batches of up to 64 lanes (the final batch may be
+// ragged); the per-word statistics are identical in distribution to
+// RunScalar, but the RNG consumption differs, so seed-for-seed streams are
+// not comparable between the two.
+func Run(cfg Config, rng *rand.Rand) (*Result, error) {
+	errCountDist, err := validate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bc := cfg.Code.Bitsliced()
+	n, k, r := bc.N(), bc.K(), bc.ParityBits()
+	res := &Result{
+		N: n, K: k,
+		PreErrors:  make([]int64, n),
+		PostErrors: make([]int64, k),
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	for remaining := cfg.Words; remaining > 0; {
+		lanes := 64
+		if remaining < lanes {
+			lanes = remaining
+		}
+		remaining -= lanes
+
+		sc.slab.Reset()
+		data := sc.slab.Alloc(k, lanes)
+		cw := sc.slab.Alloc(n, lanes)
+		mask := sc.slab.Alloc(n, lanes)
+		synd := sc.slab.Alloc(r, lanes)
+		lm := data.LaneMask()
+		dw, cww, mw := data.Words(), cw.Words(), mask.Words()
+
+		switch cfg.Pattern {
+		case PatternAllOnes:
+			for b := 0; b < k; b++ {
+				dw[b] = lm
+			}
+		case PatternAllZeros:
+			// Slab buffers come back zeroed.
+		case PatternCustom:
+			for b := 0; b < k; b++ {
+				if cfg.CustomData.Get(b) {
+					dw[b] = lm
+				}
+			}
+		case PatternRandom:
+			for b := 0; b < k; b++ {
+				dw[b] = rng.Uint64() & lm
+			}
+		}
+		bc.Encode(data, cw)
+		if errCountDist != nil {
+			sc.injectConditionedBatch(mask, errCountDist, rng)
+		} else {
+			injectBatch(cfg, cw, mask, rng)
+		}
+
+		// Apply the error mask and classify per-lane injected-error counts
+		// with a carry-save counter: after the loop, ones holds the count
+		// mod 2 and twos flags lanes with >= 2 errors.
+		var ones, twos uint64
+		for i := 0; i < n; i++ {
+			m := mw[i]
+			cww[i] ^= m
+			res.PreErrors[i] += int64(bits.OnesCount64(m))
+			twos |= ones & m
+			ones ^= m
+		}
+		bc.Syndrome(cw, synd)
+		dec := bc.Decode(cw, synd, mw)
+
+		var postAny uint64
+		for b := 0; b < k; b++ {
+			diff := cww[b] ^ dw[b]
+			res.PostErrors[b] += int64(bits.OnesCount64(diff))
+			postAny |= diff
+		}
+		res.Words += int64(lanes)
+		res.WordsWithPostError += int64(bits.OnesCount64(postAny))
+		res.Correctable += int64(bits.OnesCount64(ones &^ twos))
+		multi := twos
+		res.Silent += int64(bits.OnesCount64(multi &^ dec.SyndromeNonzero))
+		detected := multi & dec.SyndromeNonzero
+		// Partial: the decoder flipped one of the true errors, or detected
+		// an unmatched syndrome and left the word alone (shortened codes).
+		partial := detected&dec.FlippedErr | detected&^dec.FlippedAny
+		res.Partial += int64(bits.OnesCount64(partial))
+		res.Miscorrected += int64(bits.OnesCount64(detected & dec.FlippedAny &^ dec.FlippedErr))
+	}
+	return res, nil
+}
+
+// injectBatch applies the configured error model across the whole batch with
+// one geometric-skipping scan over the flattened lane-major position space,
+// writing flips into mask. Retention-model draws that land on a discharged
+// cell are consumed without flipping, mirroring the scalar path.
+func injectBatch(cfg Config, cw, mask gf2.Batch, rng *rand.Rand) {
+	if cfg.RBER == 0 {
+		return
+	}
+	n, lanes := cw.Bits(), cw.Lanes()
+	cww, mw := cw.Words(), mask.Words()
+	total := n * lanes
+	for pos := nextHit(rng, cfg.RBER, -1); pos < total; pos = nextHit(rng, cfg.RBER, pos) {
+		lane, bit := pos/n, pos%n
+		lb := uint64(1) << uint(lane)
+		if cfg.Model == ModelUniform || cww[bit]&lb != 0 {
+			mw[bit] |= lb
+		}
+	}
+}
+
+// injectConditionedBatch draws a per-lane error count from the truncated
+// binomial CDF and flips that many uniformly-chosen distinct positions in
+// each lane, via a partial Fisher-Yates shuffle over the reusable perm
+// buffer.
+func (sc *scratch) injectConditionedBatch(mask gf2.Batch, cdf []float64, rng *rand.Rand) {
+	n, lanes := mask.Bits(), mask.Lanes()
+	if cap(sc.perm) < n {
+		sc.perm = make([]int, n)
+	}
+	perm := sc.perm[:n]
+	mw := mask.Words()
+	for lane := 0; lane < lanes; lane++ {
+		u := rng.Float64()
+		m := 0
+		for m < len(cdf)-1 && cdf[m] < u {
+			m++
+		}
+		for i := range perm {
+			perm[i] = i
+		}
+		lb := uint64(1) << uint(lane)
+		for t := 0; t < m; t++ {
+			s := t + rng.IntN(n-t)
+			perm[t], perm[s] = perm[s], perm[t]
+			mw[perm[t]] |= lb
+		}
+	}
+}
+
+// RunScalar simulates cfg.Words ECC words one at a time through the scalar
+// gf2.Vec / Code.Decode path. It is the reference implementation the
+// bitsliced Run is differentially tested against (FuzzBitsliced holds the
+// codec layers identical; TestRunMatchesScalar holds the aggregate
+// statistics together). Production callers should use Run.
+func RunScalar(cfg Config, rng *rand.Rand) (*Result, error) {
+	errCountDist, err := validate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n, k := cfg.Code.N(), cfg.Code.K()
 	res := &Result{
 		N: n, K: k,
 		PreErrors:  make([]int64, n),

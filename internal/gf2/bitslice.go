@@ -1,0 +1,172 @@
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Batch is a bitsliced batch of up to 64 equal-length bit vectors, the
+// word-wide formulation of the simulation hot path (DESIGN.md §11). Where a
+// Vec packs the *bits of one vector* into words, a Batch transposes: row r is
+// a single uint64 whose bit j holds bit r of lane (vector) j. Encoding,
+// syndrome computation and correction over 64 independent codewords then
+// become one XOR/AND per bit position instead of 64.
+//
+// Lanes beyond Lanes() ("inactive" lanes of a ragged final batch) must be
+// kept zero in every row; LaneMask masks them out of popcounts. A Batch is a
+// view over caller-owned storage — see Slab for the reuse discipline.
+type Batch struct {
+	bits  int
+	lanes int
+	w     []uint64 // len == bits; row-indexed
+}
+
+// NewBatch returns an all-zero batch of the given shape with fresh storage.
+func NewBatch(bitsN, lanes int) Batch {
+	checkShape(bitsN, lanes)
+	return Batch{bits: bitsN, lanes: lanes, w: make([]uint64, bitsN)}
+}
+
+func checkShape(bitsN, lanes int) {
+	if bitsN < 0 {
+		panic(fmt.Sprintf("gf2: negative batch bit count %d", bitsN))
+	}
+	if lanes < 1 || lanes > wordBits {
+		panic(fmt.Sprintf("gf2: batch lane count %d out of range [1,64]", lanes))
+	}
+}
+
+// Bits returns the per-lane vector length (the number of rows).
+func (b Batch) Bits() int { return b.bits }
+
+// Lanes returns the number of active lanes (1..64).
+func (b Batch) Lanes() int { return b.lanes }
+
+// LaneMask returns a word with one bit set per active lane.
+func (b Batch) LaneMask() uint64 {
+	if b.lanes == wordBits {
+		return ^uint64(0)
+	}
+	return 1<<uint(b.lanes) - 1
+}
+
+// Words returns the backing row words. The slice aliases the batch: writes
+// through it mutate the batch, and callers must keep inactive-lane bits zero.
+// This is the hot-path accessor; Get/Set exist for tests and glue.
+func (b Batch) Words() []uint64 { return b.w }
+
+// Row returns row r (bit position r across all lanes).
+func (b Batch) Row(r int) uint64 { return b.w[r] }
+
+// Get reports whether bit r of lane j is set.
+func (b Batch) Get(r, j int) bool {
+	b.checkAt(r, j)
+	return b.w[r]>>uint(j)&1 == 1
+}
+
+// Set sets bit r of lane j.
+func (b Batch) Set(r, j int, bit bool) {
+	b.checkAt(r, j)
+	if bit {
+		b.w[r] |= 1 << uint(j)
+	} else {
+		b.w[r] &^= 1 << uint(j)
+	}
+}
+
+func (b Batch) checkAt(r, j int) {
+	if r < 0 || r >= b.bits {
+		panic(fmt.Sprintf("gf2: batch row %d out of range [0,%d)", r, b.bits))
+	}
+	if j < 0 || j >= b.lanes {
+		panic(fmt.Sprintf("gf2: batch lane %d out of range [0,%d)", j, b.lanes))
+	}
+}
+
+// ZeroRows clears every row.
+func (b Batch) ZeroRows() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
+// PackVec scatters scalar vector v into lane j. v.Len() must equal Bits().
+func (b Batch) PackVec(j int, v Vec) {
+	if v.Len() != b.bits {
+		panic(fmt.Sprintf("gf2: packing length-%d vector into %d-bit batch", v.Len(), b.bits))
+	}
+	bit := uint64(1) << uint(j)
+	for r := 0; r < b.bits; r++ {
+		if v.w[r/wordBits]>>(uint(r)%wordBits)&1 == 1 {
+			b.w[r] |= bit
+		} else {
+			b.w[r] &^= bit
+		}
+	}
+}
+
+// UnpackLane gathers lane j into a fresh scalar vector of length Bits().
+func (b Batch) UnpackLane(j int) Vec {
+	v := NewVec(b.bits)
+	b.UnpackLaneInto(j, v)
+	return v
+}
+
+// UnpackLaneInto gathers lane j into dst, which must have length Bits().
+func (b Batch) UnpackLaneInto(j int, dst Vec) {
+	if dst.Len() != b.bits {
+		panic(fmt.Sprintf("gf2: unpacking %d-bit batch lane into length-%d vector", b.bits, dst.Len()))
+	}
+	for i := range dst.w {
+		dst.w[i] = 0
+	}
+	for r := 0; r < b.bits; r++ {
+		if b.w[r]>>uint(j)&1 == 1 {
+			dst.w[r/wordBits] |= 1 << (uint(r) % wordBits)
+		}
+	}
+}
+
+// PopRow returns the number of active lanes whose bit r is set.
+func (b Batch) PopRow(r int) int {
+	return bits.OnesCount64(b.w[r] & b.LaneMask())
+}
+
+// Slab is a bump allocator for batch rows: one backing array serves every
+// Batch a simulation step needs, so per-batch work allocates nothing. The
+// ownership rule (DESIGN.md §11) is strict: Alloc returns views into the
+// slab, Reset reclaims them all at once, and no view may be used after the
+// Reset that reclaimed it. Slabs are not safe for concurrent use; keep one
+// per worker (or pool them with sync.Pool).
+type Slab struct {
+	buf []uint64
+	off int
+}
+
+// Alloc carves an all-zero bits×lanes Batch out of the slab, growing the
+// backing array if needed. Growth never invalidates earlier views: they keep
+// their slice headers into the previous backing array.
+func (s *Slab) Alloc(bitsN, lanes int) Batch {
+	checkShape(bitsN, lanes)
+	if s.off+bitsN > len(s.buf) {
+		size := 2 * len(s.buf)
+		if size < bitsN+s.off {
+			size = bitsN + s.off
+		}
+		if size < 256 {
+			size = 256
+		}
+		s.buf = make([]uint64, size)
+		s.off = 0
+	}
+	w := s.buf[s.off : s.off+bitsN : s.off+bitsN]
+	s.off += bitsN
+	for i := range w {
+		w[i] = 0
+	}
+	return Batch{bits: bitsN, lanes: lanes, w: w}
+}
+
+// Reset reclaims every outstanding view at once. Views handed out before the
+// Reset must not be used afterwards: the next Alloc reuses their rows.
+func (s *Slab) Reset() { s.off = 0 }

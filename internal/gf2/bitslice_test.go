@@ -1,0 +1,128 @@
+package gf2
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randVec(n int, rng *rand.Rand) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.IntN(2) == 1)
+	}
+	return v
+}
+
+func TestBatchPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, shape := range []struct{ bits, lanes int }{
+		{1, 1}, {7, 3}, {39, 64}, {64, 64}, {130, 17}, {64, 1},
+	} {
+		b := NewBatch(shape.bits, shape.lanes)
+		want := make([]Vec, shape.lanes)
+		for j := range want {
+			want[j] = randVec(shape.bits, rng)
+			b.PackVec(j, want[j])
+		}
+		for j := range want {
+			if got := b.UnpackLane(j); !got.Equal(want[j]) {
+				t.Fatalf("shape %dx%d lane %d: got %s want %s", shape.bits, shape.lanes, j, got, want[j])
+			}
+		}
+		// Transposition invariant: row r bit j == lane j bit r.
+		for r := 0; r < shape.bits; r++ {
+			for j := 0; j < shape.lanes; j++ {
+				if b.Get(r, j) != want[j].Get(r) {
+					t.Fatalf("shape %dx%d: Get(%d,%d) mismatch", shape.bits, shape.lanes, r, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchLaneMask(t *testing.T) {
+	if got := NewBatch(4, 64).LaneMask(); got != ^uint64(0) {
+		t.Fatalf("full mask: got %#x", got)
+	}
+	if got := NewBatch(4, 3).LaneMask(); got != 0b111 {
+		t.Fatalf("3-lane mask: got %#x", got)
+	}
+}
+
+func TestBatchPopRow(t *testing.T) {
+	b := NewBatch(2, 5)
+	b.Set(0, 1, true)
+	b.Set(0, 4, true)
+	b.Set(1, 0, true)
+	if got := b.PopRow(0); got != 2 {
+		t.Fatalf("row 0 popcount: got %d want 2", got)
+	}
+	if got := b.PopRow(1); got != 1 {
+		t.Fatalf("row 1 popcount: got %d want 1", got)
+	}
+}
+
+func TestBatchSetClears(t *testing.T) {
+	b := NewBatch(1, 2)
+	b.Set(0, 1, true)
+	b.Set(0, 1, false)
+	if b.Get(0, 1) {
+		t.Fatal("Set(false) did not clear the bit")
+	}
+}
+
+func TestSlabAllocZeroesReusedRows(t *testing.T) {
+	var s Slab
+	a := s.Alloc(10, 8)
+	for r := 0; r < 10; r++ {
+		a.Words()[r] = ^uint64(0)
+	}
+	s.Reset()
+	b := s.Alloc(10, 8)
+	for r := 0; r < 10; r++ {
+		if b.Row(r) != 0 {
+			t.Fatalf("row %d not zeroed after slab reuse", r)
+		}
+	}
+}
+
+func TestSlabGrowthKeepsOldViews(t *testing.T) {
+	var s Slab
+	a := s.Alloc(4, 2)
+	a.Set(0, 1, true)
+	// Force growth past the initial chunk.
+	for i := 0; i < 8; i++ {
+		s.Alloc(300, 64)
+	}
+	if !a.Get(0, 1) {
+		t.Fatal("growth invalidated an earlier view")
+	}
+}
+
+func TestSlabAllocDoesNotAllocateAfterWarmup(t *testing.T) {
+	var s Slab
+	s.Alloc(512, 64)
+	s.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		b := s.Alloc(512, 64)
+		_ = b.Row(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm slab alloc allocated %v times per run", allocs)
+	}
+}
+
+func TestVecWordsAlias(t *testing.T) {
+	v := NewVec(70)
+	v.Words()[1] = 1 // bit 64
+	if !v.Get(64) {
+		t.Fatal("Words() write not visible through Get")
+	}
+	u := NewVec(70)
+	u.Set(3, true)
+	v.CopyFrom(u)
+	if !v.Equal(u) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}

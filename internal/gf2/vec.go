@@ -263,6 +263,19 @@ func (v Vec) Concat(u Vec) Vec {
 	return out
 }
 
+// Words returns the backing words of v: bit i lives at word i/64, bit i%64.
+// The slice aliases v — writes through it mutate the vector. Callers must
+// keep bits at positions >= Len() zero; every other method relies on that.
+// This is the hot-path escape hatch for the bitsliced batch code; prefer
+// Get/Set elsewhere.
+func (v Vec) Words() []uint64 { return v.w }
+
+// CopyFrom overwrites v with the bits of u. Lengths must match.
+func (v Vec) CopyFrom(u Vec) {
+	v.sameLen(u)
+	copy(v.w, u.w)
+}
+
 // Uint64 returns the vector packed into a uint64 (bit 0 = index 0).
 // Panics if the vector is longer than 64 bits.
 func (v Vec) Uint64() uint64 {

@@ -1,0 +1,93 @@
+package ondie
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestBitslicedRowsMatchScalar holds the bitsliced WriteRow/ReadRow path
+// byte-identical to the scalar per-word reference across manufacturers,
+// decay and transient noise. Identical seeds give identical substrate decay,
+// so any divergence is in the codec layering.
+func TestBitslicedRowsMatchScalar(t *testing.T) {
+	for _, mfr := range []Manufacturer{MfrA, MfrB, MfrC} {
+		cfg := Config{
+			Manufacturer:  mfr,
+			DataBits:      32,
+			Banks:         1,
+			Rows:          32,
+			RegionsPerRow: 3,
+			Seed:          77,
+			TransientBER:  1e-3,
+		}
+		fast := MustNew(cfg)
+		cfg.ScalarECC = true
+		ref := MustNew(cfg)
+
+		rng := rand.New(rand.NewPCG(1, uint64(len(mfr))))
+		rows := fast.Rows()
+		data := make([][]byte, rows)
+		for r := 0; r < rows; r++ {
+			data[r] = make([]byte, fast.DataBytesPerRow())
+			for i := range data[r] {
+				data[r][i] = byte(rng.Uint32())
+			}
+			fast.WriteRow(0, r, data[r])
+			ref.WriteRow(0, r, data[r])
+		}
+		for pass, pause := range []time.Duration{0, 5 * time.Minute, time.Hour} {
+			fast.PauseRefresh(pause)
+			ref.PauseRefresh(pause)
+			for r := 0; r < rows; r++ {
+				got := fast.ReadRow(0, r)
+				want := ref.ReadRow(0, r)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("mfr %s pass %d row %d: bitsliced read diverges from scalar", mfr, pass, r)
+				}
+			}
+		}
+	}
+}
+
+// TestWriteRowSteadyStateAllocs pins the per-chip-scratch property: warm row
+// writes allocate nothing, warm reads allocate only the returned bytes.
+func TestWriteRowSteadyStateAllocs(t *testing.T) {
+	c := MustNew(Config{Manufacturer: MfrB, DataBits: 16, Banks: 1, Rows: 4, RegionsPerRow: 4, Seed: 3})
+	data := make([]byte, c.DataBytesPerRow())
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	c.WriteRow(0, 0, data)
+	c.ReadRow(0, 0)
+	if allocs := testing.AllocsPerRun(50, func() { c.WriteRow(0, 0, data) }); allocs != 0 {
+		t.Fatalf("warm WriteRow allocated %v times per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { c.ReadRow(0, 0) }); allocs > 1 {
+		t.Fatalf("warm ReadRow allocated %v times per call; want only the result slice", allocs)
+	}
+}
+
+// TestManyWordsPerRow exercises the >64-words-per-row chunking (two ragged
+// batch chunks per row).
+func TestManyWordsPerRow(t *testing.T) {
+	cfg := Config{Manufacturer: MfrB, DataBits: 8, Banks: 1, Rows: 2, RegionsPerRow: 40, Seed: 11}
+	fast := MustNew(cfg)
+	cfg.ScalarECC = true
+	ref := MustNew(cfg)
+	if fast.WordsPerRow() <= 64 {
+		t.Fatalf("config does not exceed 64 words per row (%d)", fast.WordsPerRow())
+	}
+	data := make([]byte, fast.DataBytesPerRow())
+	for i := range data {
+		data[i] = byte(255 - i)
+	}
+	fast.WriteRow(0, 1, data)
+	ref.WriteRow(0, 1, data)
+	fast.PauseRefresh(30 * time.Minute)
+	ref.PauseRefresh(30 * time.Minute)
+	if got, want := fast.ReadRow(0, 1), ref.ReadRow(0, 1); !bytes.Equal(got, want) {
+		t.Fatal("chunked bitsliced read diverges from scalar")
+	}
+}

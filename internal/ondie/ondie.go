@@ -30,6 +30,7 @@ package ondie
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"math/rand/v2"
 	"time"
 
@@ -71,6 +72,10 @@ type Config struct {
 	TransientBER float64
 	// Code overrides the manufacturer's secret ECC function (testing only).
 	Code *ecc.Code
+	// ScalarECC routes WriteRow/ReadRow through the scalar per-word
+	// Encode/Decode reference path instead of the bitsliced batch codec
+	// (testing only: determinism tests hold the two paths byte-identical).
+	ScalarECC bool
 }
 
 // DefaultConfig returns a chip configuration comparable to the paper's
@@ -96,6 +101,11 @@ type Chip struct {
 	code        *ecc.Code // the secret on-die ECC function
 	wordsPerRow int
 	dataBytes   int // bytes per dataword (k/8)
+	// Bitsliced row scratch. A Chip is stateful and not safe for concurrent
+	// use (each parallel shard owns its chips), so per-chip buffers make
+	// row writes and reads allocation-free in the steady state.
+	cells gf2.Vec // wordsPerRow * n substrate cells
+	slab  gf2.Slab
 }
 
 // New constructs a simulated chip.
@@ -119,6 +129,7 @@ func New(cfg Config) (*Chip, error) {
 		wordsPerRow: 2 * cfg.RegionsPerRow,
 		dataBytes:   cfg.DataBits / 8,
 	}
+	c.cells = gf2.NewVec(c.wordsPerRow * code.N())
 	c.sub = dram.New(dram.Config{
 		Banks:        cfg.Banks,
 		Rows:         cfg.Rows,
@@ -204,10 +215,60 @@ func (c *Chip) wordBit(word, bit int) int { return word*c.code.N() + bit }
 
 // WriteRow encodes and stores a full row of data bytes.
 // len(data) must equal DataBytesPerRow.
+//
+// The row's words are encoded through the bitsliced batch codec, up to 64
+// words per chunk, into a per-chip cell buffer — no allocation per write.
 func (c *Chip) WriteRow(bank, row int, data []byte) {
 	if len(data) != c.DataBytesPerRow() {
 		panic(fmt.Sprintf("ondie: WriteRow got %d bytes, want %d", len(data), c.DataBytesPerRow()))
 	}
+	if c.cfg.ScalarECC {
+		c.writeRowScalar(bank, row, data)
+		return
+	}
+	n, k := c.code.N(), c.code.K()
+	bc := c.code.Bitsliced()
+	cellw := c.cells.Words()
+	for i := range cellw {
+		cellw[i] = 0
+	}
+	c.slab.Reset()
+	for w0 := 0; w0 < c.wordsPerRow; w0 += 64 {
+		lanes := c.wordsPerRow - w0
+		if lanes > 64 {
+			lanes = 64
+		}
+		db := c.slab.Alloc(k, lanes)
+		cb := c.slab.Alloc(n, lanes)
+		dw := db.Words()
+		for lane := 0; lane < lanes; lane++ {
+			w := w0 + lane
+			base := (w / 2) * c.RegionBytes()
+			phase := w % 2
+			lb := uint64(1) << uint(lane)
+			for b := 0; b < c.dataBytes; b++ {
+				by := data[base+2*b+phase]
+				for bit := 0; by != 0; bit, by = bit+1, by>>1 {
+					if by&1 == 1 {
+						dw[8*b+bit] |= lb
+					}
+				}
+			}
+		}
+		bc.Encode(db, cb)
+		for bit, rw := range cb.Words() {
+			for m := rw; m != 0; m &= m - 1 {
+				lane := mathbits.TrailingZeros64(m)
+				cell := c.wordBit(w0+lane, bit)
+				cellw[cell>>6] |= 1 << (uint(cell) & 63)
+			}
+		}
+	}
+	c.sub.WriteRow(bank, row, c.cells)
+}
+
+// writeRowScalar is the per-word reference path behind Config.ScalarECC.
+func (c *Chip) writeRowScalar(bank, row int, data []byte) {
 	cells := gf2.NewVec(c.wordsPerRow * c.code.N())
 	for w := 0; w < c.wordsPerRow; w++ {
 		d := c.datawordOf(data, w)
@@ -221,8 +282,55 @@ func (c *Chip) WriteRow(bank, row int, data []byte) {
 	c.sub.WriteRow(bank, row, cells)
 }
 
-// ReadRow reads, ECC-decodes, and de-interleaves a full row.
+// ReadRow reads, ECC-decodes, and de-interleaves a full row. Decoding runs
+// through the bitsliced batch codec over a per-chip cell buffer; only the
+// returned byte slice is allocated.
 func (c *Chip) ReadRow(bank, row int) []byte {
+	if c.cfg.ScalarECC {
+		return c.readRowScalar(bank, row)
+	}
+	n, r := c.code.N(), c.code.ParityBits()
+	bc := c.code.Bitsliced()
+	cells := c.sub.ReadRowInto(bank, row, c.cells)
+	cellw := cells.Words()
+	data := make([]byte, c.DataBytesPerRow())
+	c.slab.Reset()
+	for w0 := 0; w0 < c.wordsPerRow; w0 += 64 {
+		lanes := c.wordsPerRow - w0
+		if lanes > 64 {
+			lanes = 64
+		}
+		cb := c.slab.Alloc(n, lanes)
+		sb := c.slab.Alloc(r, lanes)
+		cbw := cb.Words()
+		for bit := 0; bit < n; bit++ {
+			var rw uint64
+			for lane := 0; lane < lanes; lane++ {
+				cell := c.wordBit(w0+lane, bit)
+				rw |= (cellw[cell>>6] >> (uint(cell) & 63) & 1) << uint(lane)
+			}
+			cbw[bit] = rw
+		}
+		bc.Syndrome(cb, sb)
+		bc.Decode(cb, sb, nil)
+		for lane := 0; lane < lanes; lane++ {
+			w := w0 + lane
+			base := (w / 2) * c.RegionBytes()
+			phase := w % 2
+			for b := 0; b < c.dataBytes; b++ {
+				var by byte
+				for bit := 0; bit < 8; bit++ {
+					by |= byte(cbw[8*b+bit]>>uint(lane)&1) << uint(bit)
+				}
+				data[base+2*b+phase] = by
+			}
+		}
+	}
+	return data
+}
+
+// readRowScalar is the per-word reference path behind Config.ScalarECC.
+func (c *Chip) readRowScalar(bank, row int) []byte {
 	cells := c.sub.ReadRow(bank, row)
 	data := make([]byte, c.DataBytesPerRow())
 	for w := 0; w < c.wordsPerRow; w++ {

@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ondie"
+)
+
+// scalarTestChip mirrors testChip but forces the per-word scalar ECC path,
+// giving a reference engine that shares the substrate seed (and therefore the
+// exact decay behavior) with the bitsliced chips.
+func scalarTestChip(t testing.TB, seed uint64) *ondie.Chip {
+	t.Helper()
+	return ondie.MustNew(ondie.Config{
+		Manufacturer:  ondie.MfrB,
+		DataBits:      16,
+		Banks:         1,
+		Rows:          192,
+		RegionsPerRow: 16,
+		Seed:          seed,
+		ScalarECC:     true,
+	})
+}
+
+// TestCollectBitslicedMatchesScalarEngine is the cross-layer determinism
+// guarantee the bitsliced refactor must uphold: fanning collection out over
+// bitsliced chips at 1, 2, and 8 workers produces merged counts bit-identical
+// to a serial run over scalar-ECC chips with the same seeds. Any divergence
+// isolates a codec bug, since identical seeds give identical substrate decay.
+func TestCollectBitslicedMatchesScalarEngine(t *testing.T) {
+	const shards = 3
+	scalarChips := make([]*ondie.Chip, shards)
+	for i := range scalarChips {
+		scalarChips[i] = scalarTestChip(t, uint64(300+i))
+	}
+	want, err := New(1).CollectShards(context.Background(), shards, func(shard int) (*core.Counts, error) {
+		return collectFromChip(scalarChips[shard])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts {
+		chips := make([]*ondie.Chip, shards)
+		for i := range chips {
+			chips[i] = testChip(t, uint64(300+i))
+		}
+		got, err := New(workers).CollectShards(context.Background(), shards, func(shard int) (*core.Counts, error) {
+			return collectFromChip(chips[shard])
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: bitsliced merged counts diverge from the scalar engine", workers)
+		}
+	}
+	var observed int64
+	for _, e := range want.Entries {
+		for _, n := range e.Errors {
+			observed += n
+		}
+	}
+	if observed == 0 {
+		t.Fatal("collection observed no errors; test is vacuous")
+	}
+}
+
+// timeCollect runs one full CollectShards fan-out and returns its wall time.
+// Chips are rebuilt per run so every engine does identical work from an
+// identical cold state.
+func timeCollect(t *testing.T, workers, shards int) time.Duration {
+	t.Helper()
+	chips := make([]*ondie.Chip, shards)
+	for i := range chips {
+		chips[i] = testChip(t, uint64(500+i))
+	}
+	e := New(workers)
+	start := time.Now()
+	if _, err := e.CollectShards(context.Background(), shards, func(shard int) (*core.Counts, error) {
+		return collectFromChip(chips[shard])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// TestCollectThroughputScalesWithWorkers checks that multi-chip collection
+// actually gets faster with a wider pool. Shards are CPU-bound, so this can
+// only hold on a multi-core host; single-CPU CI runners skip. Taking the
+// minimum of several runs filters scheduler noise, and the serial run must
+// beat the parallel one by a real margin (not a tie within jitter).
+func TestCollectThroughputScalesWithWorkers(t *testing.T) {
+	cpus := runtime.NumCPU()
+	if cpus < 2 {
+		t.Skipf("need >=2 CPUs to observe scaling, have %d", cpus)
+	}
+	workers := cpus
+	if workers > 4 {
+		workers = 4
+	}
+	shards := 2 * workers
+	minSerial, minParallel := time.Duration(1<<62), time.Duration(1<<62)
+	for run := 0; run < 3; run++ {
+		if d := timeCollect(t, 1, shards); d < minSerial {
+			minSerial = d
+		}
+		if d := timeCollect(t, workers, shards); d < minParallel {
+			minParallel = d
+		}
+	}
+	if minParallel >= minSerial {
+		t.Fatalf("collection did not speed up: serial %v vs %d workers %v", minSerial, workers, minParallel)
+	}
+	t.Logf("collect speedup at %d workers: %.2fx (%v -> %v)", workers, float64(minSerial)/float64(minParallel), minSerial, minParallel)
+}

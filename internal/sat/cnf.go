@@ -184,9 +184,6 @@ func (s *Solver) ReifyXor2(a, b Lit) Lit { return ReifyXor2(s, a, b) }
 // ReifyXor returns a literal equal to the XOR of all given literals.
 func (s *Solver) ReifyXor(lits ...Lit) Lit { return ReifyXor(s, lits...) }
 
-// AddXor asserts XOR(lits) == rhs.
-func (s *Solver) AddXor(lits []Lit, rhs bool) { AddXor(s, lits, rhs) }
-
 // ReifyAnd returns a fresh literal y with y <-> AND(lits).
 func (s *Solver) ReifyAnd(lits ...Lit) Lit { return ReifyAnd(s, lits...) }
 

@@ -28,6 +28,7 @@ package sat
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -84,6 +85,27 @@ type clause struct {
 	learnt bool
 }
 
+// xorClause is a native parity constraint: the XOR of its variables must equal
+// rhs. Encoding parity through Tseitin XOR2 chains makes unit propagation walk
+// every internal gate of the tree (~|vars| enqueues per re-propagation); the
+// native form propagates lazily with two watched variables and forces at most
+// one literal, which is what makes wide parity rows (ECC parity-check and
+// syndrome equations) cheap on re-solve-heavy incremental workloads.
+//
+// scratch is a reusable reason/conflict clause, rewritten in place each time
+// the constraint forces a literal or detects a violation. Reuse is sound
+// because a forcing XOR has every variable assigned afterwards: it cannot
+// force again until backtracking unassigns the previously forced literal
+// (whose decision level is the maximum over the constraint), so no stale
+// reason is ever reachable from the trail.
+type xorClause struct {
+	vars    []int
+	rhs     bool
+	w       [2]int // indices into vars of the two watched variables
+	scan    int    // rotating start for the replacement-watch scan
+	scratch clause
+}
+
 // Stats aggregates solver counters across all Solve calls.
 type Stats struct {
 	Conflicts    int64
@@ -98,7 +120,10 @@ type Stats struct {
 type Solver struct {
 	clauses []*clause // problem clauses
 	learnts []*clause
-	watches [][]*clause // indexed by literal
+	watches [][]watcher // indexed by literal
+
+	xors   []*xorClause   // native parity constraints
+	xwatch [][]*xorClause // indexed by variable (parity ignores polarity)
 
 	assigns  []lbool
 	level    []int32
@@ -117,6 +142,17 @@ type Solver struct {
 
 	ok    bool // false once UNSAT is established at level 0
 	model []bool
+
+	litStamp []uint32 // AddClause dedupe stamps, indexed by literal
+	stampGen uint32
+
+	addBuf   []Lit        // AddClause normalization scratch
+	xorSeen  map[int]bool // addXorVars dedupe scratch, reused across calls
+	claBlock []clause     // arena block for problem clause headers
+	litBlock []Lit        // arena block for problem clause literals
+
+	decideFirst []int // explicit branching priority (SetDecisionOrder)
+	dfCursor    int   // first possibly-unassigned index in decideFirst
 
 	// MaxConflicts, when positive, bounds the total conflicts per Solve call;
 	// exceeding it makes Solve return ErrBudget. Zero means unlimited.
@@ -191,8 +227,80 @@ func (s *Solver) BoostActivity(v int, amount float64) {
 	s.order.update(v)
 }
 
+// ActivityScale returns the solver's current activity increment — the bump a
+// conflict gives each involved variable. It inflates geometrically as
+// conflicts accumulate, so callers that want a boost to keep outranking
+// conflict-driven activity express the boost as a multiple of this scale.
+func (s *Solver) ActivityScale() float64 { return s.varInc }
+
+// SetDecisionOrder installs an explicit branching priority: when the solver
+// needs a decision it tries these variables first, in the given order,
+// before falling back to activity-ordered branching. Unlike BoostActivity
+// this is permanent (conflict-driven activity never overtakes it) and free of
+// heap maintenance — re-solve-heavy incremental callers re-decide the same
+// variable block every call, and a cursor over a fixed slice replaces two
+// O(log n) heap sifts per variable per solve. The slice is retained, not
+// copied; nil restores pure activity ordering.
+func (s *Solver) SetDecisionOrder(vars []int) {
+	s.decideFirst = vars
+	s.dfCursor = 0
+}
+
 // NumClauses returns the number of problem (non-learnt) clauses.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Reserve pre-sizes the solver's per-variable storage for a formula that will
+// grow to about nVars variables. Purely a capacity hint: callers that rebuild
+// a formula per problem (BEEP constructs two crafter solvers per profiled
+// word) otherwise pay for every slice in NewVar growing by amortized doubling,
+// which dominates construction allocation.
+func (s *Solver) Reserve(nVars int) {
+	if extra := nVars - s.NumVars(); extra > 0 {
+		s.assigns = slices.Grow(s.assigns, extra)
+		s.level = slices.Grow(s.level, extra)
+		s.reason = slices.Grow(s.reason, extra)
+		s.polarity = slices.Grow(s.polarity, extra)
+		s.activity = slices.Grow(s.activity, extra)
+		s.seen = slices.Grow(s.seen, extra)
+		s.watches = slices.Grow(s.watches, 2*extra)
+		s.xwatch = slices.Grow(s.xwatch, extra)
+		s.trail = slices.Grow(s.trail, extra)
+		s.order.heap = slices.Grow(s.order.heap, extra)
+		s.order.pos = slices.Grow(s.order.pos, extra)
+	}
+	if want := 4 * nVars; len(s.litStamp) < want {
+		s.litStamp = make([]uint32, want)
+		s.stampGen = 0
+	}
+}
+
+// arenaLits copies normalized clause literals into the solver's literal arena
+// and returns a full-capacity-clipped view. Problem clauses are never freed
+// individually (only learnt clauses are, and those stay heap-allocated), so
+// block allocation is safe and removes a per-clause allocation.
+func (s *Solver) arenaLits(src []Lit) []Lit {
+	if cap(s.litBlock)-len(s.litBlock) < len(src) {
+		n := 1 << 12
+		if len(src) > n {
+			n = len(src)
+		}
+		s.litBlock = make([]Lit, 0, n)
+	}
+	start := len(s.litBlock)
+	s.litBlock = append(s.litBlock, src...)
+	return s.litBlock[start:len(s.litBlock):len(s.litBlock)]
+}
+
+// newProblemClause allocates a clause header from the header arena. Headers
+// are handed out as pointers into the current block; a block is abandoned (not
+// reallocated) when full, so outstanding pointers stay valid.
+func (s *Solver) newProblemClause(lits []Lit) *clause {
+	if len(s.claBlock) == cap(s.claBlock) {
+		s.claBlock = make([]clause, 0, 256)
+	}
+	s.claBlock = append(s.claBlock, clause{lits: lits})
+	return &s.claBlock[len(s.claBlock)-1]
+}
 
 // NewVar creates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -204,6 +312,7 @@ func (s *Solver) NewVar() int {
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.xwatch = append(s.xwatch, nil)
 	s.order.insert(v)
 	return v
 }
@@ -227,26 +336,42 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	s.cancelUntil(0)
 	// Normalize: sort-free dedupe, drop root-false literals, detect
-	// tautologies and root-true literals.
-	seen := make(map[Lit]bool, len(lits))
-	out := make([]Lit, 0, len(lits))
+	// tautologies and root-true literals. Dedupe uses a generation-stamped
+	// per-literal array rather than a map: formula construction calls
+	// AddClause thousands of times and the map allocation dominated build
+	// cost on incremental workloads that rebuild formulas per problem.
+	if len(s.litStamp) < 2*s.NumVars() {
+		// Grow with headroom: variable creation and clause addition
+		// interleave during formula construction, so sizing exactly would
+		// reallocate on nearly every call.
+		s.litStamp = make([]uint32, 4*s.NumVars())
+		s.stampGen = 0
+	}
+	s.stampGen++
+	if s.stampGen == 0 { // generation wrap: stale stamps could collide
+		clear(s.litStamp)
+		s.stampGen = 1
+	}
+	gen := s.stampGen
+	out := s.addBuf[:0]
 	for _, l := range lits {
 		if l.Var() >= s.NumVars() {
 			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
 		}
 		switch {
-		case seen[l]:
+		case s.litStamp[l] == gen:
 			continue
-		case seen[l.Not()]:
+		case s.litStamp[l.Not()] == gen:
 			return true // tautology: always satisfied
 		case s.valueLit(l) == lTrue:
 			return true // already satisfied at root
 		case s.valueLit(l) == lFalse:
 			continue // cannot help
 		}
-		seen[l] = true
+		s.litStamp[l] = gen
 		out = append(out, l)
 	}
+	s.addBuf = out[:0]
 	switch len(out) {
 	case 0:
 		s.ok = false
@@ -259,15 +384,98 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return true
 	}
-	c := &clause{lits: out}
+	c := s.newProblemClause(s.arenaLits(out))
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
 }
 
+// AddXor asserts the parity constraint XOR(lits) == rhs as a native XOR
+// clause (negated literals fold their sign into the constant). This shadows
+// the CNF Tseitin encoding the generic Builder helper produces: the native
+// form propagates with two watched variables and touches each constraint at
+// most once per re-solve, instead of walking an XOR2 gate tree. Returns false
+// when the solver is (or becomes) unsatisfiable.
+func (s *Solver) AddXor(lits []Lit, rhs bool) bool {
+	vars := make([]int, len(lits))
+	for i, l := range lits {
+		if l.Sign() {
+			rhs = !rhs
+		}
+		vars[i] = l.Var()
+	}
+	return s.addXorVars(rhs, vars)
+}
+
+// addXorVars adds xor(vars) == rhs over plain variables. Duplicate variable
+// pairs cancel (x⊕x = 0) and root-assigned variables fold into the constant.
+// Like AddClause, adding a constraint cancels any in-progress search.
+func (s *Solver) addXorVars(rhs bool, vars []int) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.xorSeen == nil {
+		s.xorSeen = make(map[int]bool, 64)
+	} else {
+		clear(s.xorSeen)
+	}
+	seen := s.xorSeen
+	for _, v := range vars {
+		if v < 0 || v >= s.NumVars() {
+			panic(fmt.Sprintf("sat: xor references unknown variable %d", v))
+		}
+		seen[v] = !seen[v]
+	}
+	out := make([]int, 0, len(vars))
+	for _, v := range vars {
+		if !seen[v] {
+			continue
+		}
+		seen[v] = false
+		if s.assigns[v] != lUndef {
+			if s.assigns[v] == lTrue {
+				rhs = !rhs
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	switch len(out) {
+	case 0:
+		if rhs {
+			s.ok = false
+		}
+		return s.ok
+	case 1:
+		s.uncheckedEnqueue(MkLit(out[0], !rhs), nil)
+		if s.propagate() != nil {
+			s.ok = false
+		}
+		return s.ok
+	}
+	xc := &xorClause{vars: out, rhs: rhs, w: [2]int{0, 1}}
+	xc.scratch.lits = make([]Lit, 0, len(out))
+	s.xors = append(s.xors, xc)
+	s.xwatch[out[0]] = append(s.xwatch[out[0]], xc)
+	s.xwatch[out[1]] = append(s.xwatch[out[1]], xc)
+	return true
+}
+
+// watcher pairs a watched clause with a blocker literal — some other literal
+// of the clause, checked before dereferencing the clause at all. When the
+// blocker is already true the clause is satisfied and the visit costs one
+// array read. For binary clauses the blocker is exactly the other literal, so
+// they propagate and conflict without ever touching clause memory or moving
+// watches.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
 func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
 }
 
 func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
@@ -290,17 +498,44 @@ func (s *Solver) propagate() *clause {
 		s.Stats.Propagations++
 		ws := s.watches[p]
 		j := 0
+		notP := p.Not()
 	nextClause:
 		for i := 0; i < len(ws); i++ {
-			c := ws[i]
+			w := ws[i]
+			// Blocker check: one array read settles an already-satisfied
+			// clause without dereferencing it.
+			if s.valueLit(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Binary fast path: the blocker IS the other literal, known
+			// false-or-unassigned by now; no watch ever moves.
+			if len(c.lits) == 2 {
+				ws[j] = w
+				j++
+				if s.valueLit(w.blocker) == lFalse {
+					for i++; i < len(ws); i++ {
+						ws[j] = ws[i]
+						j++
+					}
+					s.watches[p] = ws[:j]
+					s.qhead = len(s.trail)
+					return c
+				}
+				s.uncheckedEnqueue(w.blocker, c)
+				continue
+			}
 			// Ensure the false literal (~p) sits at position 1.
-			notP := p.Not()
 			if c.lits[0] == notP {
 				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
 			}
-			// If the other watch is already true the clause is satisfied.
-			if s.valueLit(c.lits[0]) == lTrue {
-				ws[j] = c
+			first := c.lits[0]
+			// If the other watch is already true the clause is satisfied;
+			// remember it as the new blocker.
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				ws[j] = watcher{c, first}
 				j++
 				continue
 			}
@@ -308,15 +543,15 @@ func (s *Solver) propagate() *clause {
 			for k := 2; k < len(c.lits); k++ {
 				if s.valueLit(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					w := c.lits[1].Not()
-					s.watches[w] = append(s.watches[w], c)
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
 					continue nextClause
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[j] = c
+			ws[j] = watcher{c, first}
 			j++
-			if s.valueLit(c.lits[0]) == lFalse {
+			if s.valueLit(first) == lFalse {
 				// Conflict: keep the rest of the watch list intact.
 				for i++; i < len(ws); i++ {
 					ws[j] = ws[i]
@@ -326,10 +561,95 @@ func (s *Solver) propagate() *clause {
 				s.qhead = len(s.trail)
 				return c
 			}
-			s.uncheckedEnqueue(c.lits[0], c)
+			s.uncheckedEnqueue(first, c)
 		}
 		s.watches[p] = ws[:j]
+		if confl := s.propagateXor(p.Var()); confl != nil {
+			return &confl.scratch
+		}
 	}
+	return nil
+}
+
+// propagateXor visits every XOR constraint watching variable pv (just
+// assigned, either polarity — parity does not care). Each constraint either
+// moves its watch to another unassigned variable, forces its last unassigned
+// variable to the parity-completing value, verifies itself when fully
+// assigned, or reports a conflict. Unprocessed entries on a conflict are safe
+// to abandon mid-list: the conflicting assignment sits at the current decision
+// level, so conflict analysis always backtracks it off the trail and its
+// watches get revisited when it is enqueued again.
+func (s *Solver) propagateXor(pv int) *xorClause {
+	xw := s.xwatch[pv]
+	if len(xw) == 0 {
+		return nil
+	}
+	j := 0
+	for i := 0; i < len(xw); i++ {
+		xc := xw[i]
+		wi := 0
+		if xc.vars[xc.w[1]] == pv {
+			wi = 1
+		} else if xc.vars[xc.w[0]] != pv {
+			continue // stale entry: watch already moved elsewhere
+		}
+		other := xc.vars[xc.w[1-wi]]
+		// Rotating-start scan: consecutive assignments walk the constraint's
+		// variables in order, so resuming where the last scan stopped keeps
+		// the total replacement work per full pass linear instead of
+		// quadratic.
+		moved := false
+		nv := len(xc.vars)
+		for t, k := 0, xc.scan; t < nv; t, k = t+1, k+1 {
+			if k >= nv {
+				k = 0
+			}
+			if u := xc.vars[k]; u != other && s.assigns[u] == lUndef {
+				xc.w[wi] = k
+				xc.scan = k + 1
+				s.xwatch[u] = append(s.xwatch[u], xc)
+				moved = true
+				break
+			}
+		}
+		if moved {
+			continue
+		}
+		// Everything but (possibly) the other watch is assigned: settle parity.
+		xw[j] = xc
+		j++
+		parity := xc.rhs
+		for _, u := range xc.vars {
+			if u != other && s.assigns[u] == lTrue {
+				parity = !parity
+			}
+		}
+		if s.assigns[other] == lUndef {
+			forced := MkLit(other, !parity)
+			xc.scratch.lits = append(xc.scratch.lits[:0], forced)
+			for _, u := range xc.vars {
+				if u != other {
+					xc.scratch.lits = append(xc.scratch.lits, MkLit(u, s.assigns[u] == lTrue))
+				}
+			}
+			s.uncheckedEnqueue(forced, &xc.scratch)
+			continue
+		}
+		if (s.assigns[other] == lTrue) != parity {
+			xc.scratch.lits = xc.scratch.lits[:0]
+			for _, u := range xc.vars {
+				xc.scratch.lits = append(xc.scratch.lits, MkLit(u, s.assigns[u] == lTrue))
+			}
+			for i++; i < len(xw); i++ {
+				xw[j] = xw[i]
+				j++
+			}
+			s.xwatch[pv] = xw[:j]
+			s.qhead = len(s.trail)
+			return xc
+		}
+	}
+	s.xwatch[pv] = xw[:j]
 	return nil
 }
 
@@ -438,6 +758,7 @@ func (s *Solver) cancelUntil(level int) {
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:level]
 	s.qhead = len(s.trail)
+	s.dfCursor = 0
 }
 
 func (s *Solver) varBump(v int) {
@@ -468,8 +789,17 @@ func (s *Solver) claBump(c *clause) {
 
 func (s *Solver) claDecay() { s.claInc /= 0.999 }
 
-// pickBranchVar pops the highest-activity unassigned variable.
+// pickBranchVar returns the next unassigned variable to branch on: the
+// explicit decision order first (cursor resets on backtrack), then the
+// highest-activity variable from the order heap.
 func (s *Solver) pickBranchVar() int {
+	for s.dfCursor < len(s.decideFirst) {
+		v := s.decideFirst[s.dfCursor]
+		if s.assigns[v] == lUndef {
+			return v
+		}
+		s.dfCursor++
+	}
 	for !s.order.empty() {
 		v := s.order.pop()
 		if s.assigns[v] == lUndef {
@@ -503,8 +833,8 @@ func (s *Solver) reduceDB() {
 func (s *Solver) detach(c *clause) {
 	for _, w := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
 		ws := s.watches[w]
-		for i, cc := range ws {
-			if cc == c {
+		for i := range ws {
+			if ws[i].c == c {
 				ws[i] = ws[len(ws)-1]
 				s.watches[w] = ws[:len(ws)-1]
 				break
@@ -553,7 +883,29 @@ func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 			panic(fmt.Sprintf("sat: assumption %v references unknown variable", a))
 		}
 	}
-	s.cancelUntil(0)
+	// Assumption-prefix trail reuse: a successful solve leaves its assumption
+	// levels on the trail (see the model-recording return below). When the
+	// next call shares a prefix of those assumptions, the prefix's decisions
+	// and their propagations are already in place and need not be replayed —
+	// only the suffix is re-established. Callers that fan many solves out of
+	// one formula (BEEP crafts one pattern per target bit this way) order
+	// their most-stable assumptions first to maximize the match.
+	reuse := 0
+	for reuse < len(assumptions) && reuse < s.decisionLevel() {
+		base := s.trailLim[reuse]
+		end := len(s.trail)
+		if reuse+1 < s.decisionLevel() {
+			end = s.trailLim[reuse+1]
+		}
+		// Empty levels mark assumptions that were already implied when they
+		// were established; without replaying we cannot attribute them, so
+		// matching stops there.
+		if end <= base || s.trail[base] != assumptions[reuse] {
+			break
+		}
+		reuse++
+	}
+	s.cancelUntil(reuse)
 	if s.propagate() != nil {
 		s.ok = false
 		return false, nil
@@ -625,21 +977,35 @@ func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 			case lFalse:
 				// The clause database forces the negation under the earlier
 				// assumptions: UNSAT under assumptions, formula untouched.
-				s.cancelUntil(0)
+				// The established prefix stays on the trail so the next
+				// call can still reuse it.
 				return false, nil
 			default:
 				next = a
 			}
 		}
 		if next == litUndef {
-			v := s.pickBranchVar()
+			// Total-assignment check by trail length: when propagation has
+			// assigned every variable, draining the order heap just to
+			// discover there is nothing left to decide costs hundreds of
+			// O(log n) pops per solve on formulas that complete with few
+			// conflicts (the BEEP crafting workload). The heap keeps the
+			// assigned vars; they are discarded lazily on later pops.
+			v := -1
+			if len(s.trail) != len(s.assigns) {
+				v = s.pickBranchVar()
+			}
 			if v == -1 {
-				// All variables assigned: record the model.
-				s.model = make([]bool, s.NumVars())
+				// All variables assigned: record the model. Free-search
+				// decisions are popped but the assumption levels stay on the
+				// trail so the next call can reuse a shared prefix.
+				if len(s.model) != s.NumVars() {
+					s.model = make([]bool, s.NumVars())
+				}
 				for i := range s.model {
 					s.model[i] = s.assigns[i] == lTrue
 				}
-				s.cancelUntil(0)
+				s.cancelUntil(len(assumptions))
 				return true, nil
 			}
 			s.Stats.Decisions++

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bl(benches ...Benchmark) *Baseline { return &Baseline{Benchmarks: benches} }
+
+func opts() compareOptions {
+	return compareOptions{
+		Keys:      []string{"BenchmarkFig8", "BenchmarkSerialCollect", "BenchmarkParallelCollect"},
+		Tolerance: 0.30,
+		PairGrace: 1.25,
+	}
+}
+
+func TestBenchKeyStripsGomaxprocs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFig8":               "BenchmarkFig8",
+		"BenchmarkFig8-8":             "BenchmarkFig8",
+		"BenchmarkFig8-128":           "BenchmarkFig8",
+		"BenchmarkSolve/k=8-4":        "BenchmarkSolve/k=8",
+		"BenchmarkOne-Charged":        "BenchmarkOne-Charged", // non-numeric suffix kept
+		"BenchmarkAblation/1-CHARGED": "BenchmarkAblation/1-CHARGED",
+	}
+	for in, want := range cases {
+		if got := benchKey(in); got != want {
+			t.Errorf("benchKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	old := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, BytesPerOp: 100},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500, BytesPerOp: 50},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400, BytesPerOp: 50},
+	)
+	new := bl(
+		Benchmark{Name: "BenchmarkFig8-8", NsPerOp: 1200, BytesPerOp: 120}, // +20%, inside 30%
+		Benchmark{Name: "BenchmarkSerialCollect-8", NsPerOp: 500, BytesPerOp: 50},
+		Benchmark{Name: "BenchmarkParallelCollect-8", NsPerOp: 450, BytesPerOp: 50},
+	)
+	rep := compare(old, new, opts())
+	if len(rep.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", rep.Failures)
+	}
+	if !strings.Contains(rep.Table, "BenchmarkFig8") {
+		t.Fatal("delta table missing BenchmarkFig8 row")
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	old := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, BytesPerOp: 100},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+	)
+	new := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1400, BytesPerOp: 100}, // +40%
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+	)
+	rep := compare(old, new, opts())
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "ns/op regressed") {
+		t.Fatalf("want one ns/op failure, got %v", rep.Failures)
+	}
+}
+
+func TestCompareBytesRegressionFails(t *testing.T) {
+	old := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, BytesPerOp: 100},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+	)
+	new := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, BytesPerOp: 140}, // +40% bytes
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+	)
+	rep := compare(old, new, opts())
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "bytes/op regressed") {
+		t.Fatalf("want one bytes/op failure, got %v", rep.Failures)
+	}
+}
+
+func TestCompareNonKeyRegressionAdvisory(t *testing.T) {
+	o := opts()
+	old := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+		Benchmark{Name: "BenchmarkOther", NsPerOp: 100},
+	)
+	new := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+		Benchmark{Name: "BenchmarkOther", NsPerOp: 900}, // 9x, but not a key
+	)
+	rep := compare(old, new, o)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("non-key regression must be advisory, got %v", rep.Failures)
+	}
+	if !strings.Contains(rep.Table, "BenchmarkOther") {
+		t.Fatal("non-key benchmark missing from delta table")
+	}
+}
+
+func TestCompareMissingKeyFails(t *testing.T) {
+	old := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+	)
+	new := bl(
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 400},
+	)
+	rep := compare(old, new, opts())
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "missing from new run") {
+		t.Fatalf("want missing-key failure, got %v", rep.Failures)
+	}
+}
+
+func TestCompareCollectPairGate(t *testing.T) {
+	old := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 650},
+	)
+	new := bl(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkSerialCollect", NsPerOp: 500},
+		// 1.4x serial trips the pair gate, but +7.7% over its own baseline
+		// stays inside the per-benchmark tolerance.
+		Benchmark{Name: "BenchmarkParallelCollect", NsPerOp: 700},
+	)
+	rep := compare(old, new, opts())
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "stopped scaling") {
+		t.Fatalf("want collect-pair failure, got %v", rep.Failures)
+	}
+	// Within grace (single-CPU tie) passes.
+	new.Benchmarks[2].NsPerOp = 600 // 1.2x serial, inside 1.25 grace
+	if rep := compare(old, new, opts()); len(rep.Failures) != 0 {
+		t.Fatalf("in-grace pair flagged: %v", rep.Failures)
+	}
+}
+
+func TestReadBaselineDetectsJSON(t *testing.T) {
+	jsonDoc := `{"benchmarks":[{"name":"BenchmarkFig8","iterations":1,"ns_per_op":123}]}`
+	b, err := readBaseline(strings.NewReader(jsonDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 1 || b.Benchmarks[0].NsPerOp != 123 {
+		t.Fatalf("JSON baseline misparsed: %+v", b)
+	}
+	text := "goos: linux\npkg: repro\nBenchmarkFig8 \t 1 \t 456 ns/op \t 7 B/op\n"
+	b, err = readBaseline(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Goos != "linux" || len(b.Benchmarks) != 1 || b.Benchmarks[0].NsPerOp != 456 || b.Benchmarks[0].BytesPerOp != 7 {
+		t.Fatalf("text baseline misparsed: %+v", b)
+	}
+}

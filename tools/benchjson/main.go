@@ -6,13 +6,23 @@
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x -run '^$' ./... | go run ./tools/benchjson > BENCH_pr3.json
+//	go test -bench . -benchtime 1x -run '^$' ./... | go run ./tools/benchjson > BENCH_pr6.json
+//
+// With -compare, benchjson becomes the CI regression gate: it reads the
+// committed baseline from the named file, reads the fresh run from stdin
+// (either raw `go test -bench` text or an already-converted JSON document),
+// prints per-benchmark deltas, and exits nonzero when any key benchmark
+// regresses beyond the tolerance in ns/op or bytes/op:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | go run ./tools/benchjson -compare BENCH_pr6.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -40,9 +50,83 @@ type Baseline struct {
 }
 
 func main() {
+	comparePath := flag.String("compare", "", "baseline JSON file to gate the stdin run against")
+	keys := flag.String("key", strings.Join(defaultKeys, ","), "comma-separated key benchmarks the gate enforces")
+	tolerance := flag.Float64("tolerance", 0.30, "fractional ns/op and bytes/op regression allowed on key benchmarks")
+	pairGrace := flag.Float64("collect-pair-grace", 1.25, "max allowed ParallelCollect/SerialCollect ns ratio (slack for single-CPU hosts)")
+	flag.Parse()
+
+	in, err := readBaseline(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *comparePath == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(in); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	raw, err := os.ReadFile(*comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var old Baseline
+	if err := json.Unmarshal(raw, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *comparePath, err)
+		os.Exit(1)
+	}
+	rep := compare(&old, in, compareOptions{
+		Keys:      strings.Split(*keys, ","),
+		Tolerance: *tolerance,
+		PairGrace: *pairGrace,
+	})
+	os.Stdout.WriteString(rep.Table)
+	if len(rep.Failures) > 0 {
+		for _, f := range rep.Failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("bench gate: all key benchmarks within tolerance")
+}
+
+// readBaseline reads either raw `go test -bench` text or an existing JSON
+// baseline (detected by a leading '{') and returns the parsed document.
+func readBaseline(r io.Reader) (*Baseline, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			// Empty input parses as an empty text baseline.
+			return parseBenchText(br)
+		}
+		if b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r' {
+			br.Discard(1)
+			continue
+		}
+		if b[0] == '{' {
+			var out Baseline
+			if err := json.NewDecoder(br).Decode(&out); err != nil {
+				return nil, fmt.Errorf("parsing JSON baseline: %w", err)
+			}
+			return &out, nil
+		}
+		return parseBenchText(br)
+	}
+}
+
+// parseBenchText parses `go test -bench` text output into a Baseline.
+func parseBenchText(r io.Reader) (*Baseline, error) {
 	var out Baseline
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -63,18 +147,12 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	if out.Benchmarks == nil {
 		out.Benchmarks = []Benchmark{}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return &out, nil
 }
 
 // parseBenchLine parses "BenchmarkName-8  10  123 ns/op  4 B/op  1 allocs/op
