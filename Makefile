@@ -41,20 +41,23 @@ bench-baseline:
 
 # Regression gate: rerun the sweep and diff it against the committed baseline.
 # Exits nonzero when a key benchmark (Fig8/Fig9, end-to-end recovery, the
-# collect pair) regresses >30% in ns/op or bytes/op, or when parallel
-# collection falls more than 25% behind serial. CI runs this on every PR.
+# collect pair, the exact-vs-PBEM_75 noisy solve pair) regresses >30% in
+# ns/op or bytes/op, or when parallel collection falls more than 25% behind
+# serial. CI runs this on every PR.
 bench-gate:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.out
 	$(GO) run ./tools/benchjson -compare BENCH_$(BENCH_TAG).json < bench.out
 	@rm -f bench.out
 
 # Short coverage-guided fuzz smoke of the SAT solver core, the CNF builder,
-# and the bitsliced-vs-scalar ECC differential (seed corpora committed under
-# internal/*/testdata/fuzz). CI runs the same three commands.
+# the bitsliced-vs-scalar ECC differential, and the noisy drop-k solver's
+# recovery-or-clean-UNSAT contract (seed corpora committed under
+# internal/*/testdata/fuzz). CI runs the same four commands.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolver -fuzztime 15s ./internal/sat
 	$(GO) test -run '^$$' -fuzz FuzzCNFBuilder -fuzztime 15s ./internal/sat
 	$(GO) test -run '^$$' -fuzz FuzzBitsliced -fuzztime 15s ./internal/ecc
+	$(GO) test -run '^$$' -fuzz FuzzNoisyRecover -fuzztime 15s ./internal/core
 
 # Boot an ephemeral beerd, submit 8 concurrent FastRecovery jobs against
 # simulated MfrB chips, assert monotonic per-stage progress and that every

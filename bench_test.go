@@ -19,6 +19,7 @@ import (
 	"repro/internal/einsim"
 	"repro/internal/figures"
 	"repro/internal/gf2"
+	"repro/internal/noise"
 	"repro/internal/ondie"
 )
 
@@ -375,4 +376,55 @@ func BenchmarkAblationCrafter(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Exact vs. noisy drop-k solve pair (PR 7) ---
+// BenchmarkNoisyRecoverExact / BenchmarkNoisyRecoverPBEM75 are the
+// confidence-weighted solver's bench-gate pair on the seed-configuration
+// profile (k=16, {1,2}-CHARGED, 136 entries): the clean entry bounds the
+// overhead of the guard-literal machinery against BenchmarkSolveIncremental
+// on the same profile, and the PBEM_75 entry (HARP's 75%-observation
+// dropout model) tracks the cost of the core-guided retraction loop under
+// heavy corruption. Both run under the same drop budget: the clean solve
+// never consumes it, while PBEM_75 corrupts far more entries than any
+// budget absorbs, so that leg times retraction-to-honest-UNSAT (unbounded
+// retraction on this profile runs for tens of seconds — too slow and too
+// noisy for a -benchtime 1x gate).
+func benchNoisyRecover(b *testing.B, model *noise.Model) {
+	b.Helper()
+	code, prof := benchProfile()
+	if model != nil {
+		prof, _ = model.Perturb(prof)
+	}
+	opts := core.SolveOptions{
+		ParityBits: code.ParityBits(),
+		Noisy:      &core.NoisyOptions{MaxDrop: 24},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveNoisy(context.Background(), prof, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Noise == nil {
+			b.Fatal("noisy solve reported no noise info")
+		}
+		if model == nil && (!res.Unique || res.Noise.Confidence != 1.0) {
+			b.Fatalf("clean profile solved with %d candidates, confidence %v",
+				len(res.Codes), res.Noise.Confidence)
+		}
+		if model != nil && len(res.Codes) != 0 {
+			b.Fatalf("PBEM_75 corruption under a %d-entry budget must report clean UNSAT, got %d candidates",
+				opts.Noisy.MaxDrop, len(res.Codes))
+		}
+	}
+}
+
+func BenchmarkNoisyRecoverExact(b *testing.B) { benchNoisyRecover(b, nil) }
+
+func BenchmarkNoisyRecoverPBEM75(b *testing.B) {
+	m := noise.PBEM75
+	m.Seed = 7
+	benchNoisyRecover(b, &m)
 }

@@ -9,6 +9,15 @@
 //	beer -mfr B -k 16 -chips 4 -verify     # parallel collection across 4 same-model chips
 //	beer -mfr B -k 16 -plan -verify        # adaptive planner: stop collecting when unique
 //	beer -mfr B -k 16 -progress            # live per-stage status on stderr
+//	beer -mfr B -k 16 -noise fp=0.002 -verify  # corrupt the profile, recover with drop-k + confidence
+//	beer -mfr B -k 16 -noise fp=0.001,fn=0.01 -max-drop 16 -verify
+//
+// -noise also accepts the HARP observation-model presets pbem25..pbem100
+// (per-bit true-positive dropout of 75%..0%); the aggressive presets
+// corrupt far more entries than the drop budget can absorb on a single
+// profile, which is the point — they demonstrate the honest clean-UNSAT
+// failure mode rather than a silent wrong answer.
+//
 //	beer -mfr B -k 16 -o code.json         # export the recovered function (einsim -code reads it)
 //
 // The -o export uses the shared code wire format (internal/store.CodeExport,
@@ -27,11 +36,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/noise"
 	"repro/internal/ondie"
 	"repro/internal/store"
 )
@@ -55,6 +67,9 @@ func main() {
 		planMax  = flag.Int("plan-budget", 0, "planner pattern budget (0 = the full family; implies -plan)")
 		progress = flag.Bool("progress", false, "stream live pipeline progress to stderr")
 		outFile  = flag.String("o", "", "write the recovered function as a code-export JSON file")
+		noiseArg = flag.String("noise", "", "perturb the observed profile with an observation-error model: pbem25|pbem50|pbem75|pbem100 or fp=X,fn=Y (extension)")
+		noiseSd  = flag.Uint64("noise-seed", 1, "noise-model perturbation seed")
+		maxDrop  = flag.Int("max-drop", -1, "drop-k budget for noise-tolerant solving (0 = none, negative = unlimited); implies the noisy solver when -noise is set")
 	)
 	flag.Parse()
 
@@ -116,6 +131,16 @@ func main() {
 		}
 		opts = append(opts, repro.WithPlanOptions(repro.PlanOptions{MaxPatterns: *planMax}))
 	}
+	if *noiseArg != "" {
+		if *usePlan || *planMax > 0 {
+			fatal(fmt.Errorf("-noise is incompatible with -plan (the planner path does not perturb profiles)"))
+		}
+		model, err := parseNoise(*noiseArg, *noiseSd)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, repro.WithNoiseModel(model), repro.WithMaxDrop(*maxDrop))
+	}
 	if *progress {
 		opts = append(opts, repro.WithProgress(printProgress))
 	}
@@ -154,6 +179,10 @@ func main() {
 	if rep.Plan != nil {
 		fmt.Printf("planner:                 %d of %d patterns collected in %d batches (decided early: %v)\n",
 			rep.Plan.PatternsUsed, rep.Plan.PatternsFull, rep.Plan.Batches, rep.Plan.DecidedEarly)
+	}
+	if ni := rep.Result.Noise; ni != nil {
+		fmt.Printf("noise:                   retained %d/%d profile entries (dropped %v), confidence %.3f, support margin %.3f\n",
+			ni.Retained, ni.Total, ni.DroppedEntries, ni.Confidence, ni.Margin)
 	}
 	fmt.Printf("simulation wall clock:   %v\n\n", time.Since(start).Round(time.Millisecond))
 
@@ -212,6 +241,43 @@ func printProgress(ev repro.ProgressEvent) {
 	default:
 		fmt.Fprintf(os.Stderr, "[chip %d] %s: started\n", ev.Chip, ev.Stage)
 	}
+}
+
+// parseNoise turns the -noise argument into a model: a HARP PBEM preset
+// name or explicit fp=X,fn=Y rates.
+func parseNoise(s string, seed uint64) (repro.NoiseModel, error) {
+	var m repro.NoiseModel
+	switch s {
+	case "pbem25":
+		m = noise.PBEM25
+	case "pbem50":
+		m = noise.PBEM50
+	case "pbem75":
+		m = noise.PBEM75
+	case "pbem100":
+		m = noise.PBEM100
+	default:
+		for _, part := range strings.Split(s, ",") {
+			key, val, ok := strings.Cut(part, "=")
+			if !ok {
+				return m, fmt.Errorf("bad -noise %q: want a pbemNN preset or fp=X,fn=Y", s)
+			}
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return m, fmt.Errorf("bad -noise rate %q: %v", part, err)
+			}
+			switch key {
+			case "fp":
+				m.FP = rate
+			case "fn":
+				m.FN = rate
+			default:
+				return m, fmt.Errorf("bad -noise key %q: want fp or fn", key)
+			}
+		}
+	}
+	m.Seed = seed
+	return m, m.Validate()
 }
 
 func totalWords(c *core.Counts) int64 {

@@ -22,6 +22,8 @@ import (
 	"math/rand/v2"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/ecc"
@@ -36,7 +38,8 @@ func main() {
 		rber     = flag.Float64("rber", 1e-4, "raw (pre-correction) bit error rate")
 		words    = flag.Int("words", 100000, "number of ECC words to simulate")
 		pattern  = flag.String("pattern", "0xFF", "data pattern: 0xFF, 0x00 or RANDOM")
-		model    = flag.String("model", "uniform", "error model: uniform or retention")
+		model    = flag.String("model", "uniform", "error model: uniform, retention or perbit")
+		hotBits  = flag.String("hot-bits", "", "perbit model: comma-separated bit:rate overrides on the -rber base, e.g. 0:0.01,5:0.3")
 		family   = flag.String("family", "sequential", "code family: sequential, bitreversed or random")
 		codeFile = flag.String("code", "", "code-export JSON file to simulate (overrides -family/-k; see beer -o)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -96,6 +99,31 @@ func main() {
 		cfg.Model = einsim.ModelUniform
 	case "retention":
 		cfg.Model = einsim.ModelRetention
+	case "perbit":
+		// HARP-style per-bit Bernoulli rates: -rber everywhere, except the
+		// -hot-bits overrides.
+		cfg.Model = einsim.ModelPerBitBernoulli
+		cfg.BitFailProb = make([]float64, cfg.Code.N())
+		for i := range cfg.BitFailProb {
+			cfg.BitFailProb[i] = cfg.RBER
+		}
+		if *hotBits != "" {
+			for _, part := range strings.Split(*hotBits, ",") {
+				bitStr, rateStr, ok := strings.Cut(part, ":")
+				if !ok {
+					fatal(fmt.Errorf("bad -hot-bits entry %q: want bit:rate", part))
+				}
+				bit, err := strconv.Atoi(bitStr)
+				if err != nil || bit < 0 || bit >= cfg.Code.N() {
+					fatal(fmt.Errorf("bad -hot-bits bit %q (code has n=%d)", bitStr, cfg.Code.N()))
+				}
+				rate, err := strconv.ParseFloat(rateStr, 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad -hot-bits rate %q: %v", rateStr, err))
+				}
+				cfg.BitFailProb[bit] = rate
+			}
+		}
 	default:
 		fatal(fmt.Errorf("unknown model %q", *model))
 	}

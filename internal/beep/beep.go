@@ -33,8 +33,10 @@ package beep
 
 import (
 	"context"
+	"errors"
 	"math/rand/v2"
 	"sort"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/gf2"
@@ -62,6 +64,12 @@ type Options struct {
 	// Crafter selects the pattern-crafting engine: the paper's SAT approach
 	// (default) or the linear-algebra formulation of §7.3 (see linear.go).
 	Crafter Crafter
+	// CraftTimeout bounds each SAT craft in wall-clock time (0 = unlimited)
+	// with HARP's discard semantics: a timed-out craft is dropped like an
+	// infeasible one — the target bit is skipped and the run continues on
+	// the same warm solver. Only the SAT crafter observes it; the linear
+	// crafter has no search to bound.
+	CraftTimeout time.Duration
 }
 
 // DefaultOptions mirror the paper's single-pass configuration.
@@ -80,6 +88,10 @@ type Outcome struct {
 	PatternsTested int
 	// Miscorrections counts observed (unambiguous) miscorrection events.
 	Miscorrections int
+	// CraftTimeouts counts SAT crafts discarded by Options.CraftTimeout
+	// (each is also reflected in SkippedBits unless a fallback craft
+	// succeeded for the same target).
+	CraftTimeouts int
 }
 
 // Profiler runs BEEP against a known ECC function.
@@ -101,6 +113,8 @@ type Profiler struct {
 
 	suspectBuf []int // craftPattern scratch, reused across crafts
 	allCells   []int // [0..n), built lazily, shared by bootstrap crafts
+
+	craftTimeouts int // SAT crafts discarded by CraftTimeout this Run
 }
 
 // NewProfiler builds a profiler for the given (BEER-recovered) code.
@@ -123,6 +137,7 @@ func (p *Profiler) Run(ctx context.Context, w WordTester) (*Outcome, error) {
 		ctx = context.Background()
 	}
 	out := &Outcome{}
+	p.craftTimeouts = 0
 	known := map[int]bool{}
 	for pass := 0; pass < p.opts.Passes; pass++ {
 		for target := 0; target < p.code.N(); target++ {
@@ -150,6 +165,7 @@ func (p *Profiler) Run(ctx context.Context, w WordTester) (*Outcome, error) {
 		out.Identified = append(out.Identified, e)
 	}
 	sort.Ints(out.Identified)
+	out.CraftTimeouts = p.craftTimeouts
 	return out, nil
 }
 
@@ -269,6 +285,10 @@ func (p *Profiler) crafter(bootstrap bool) *satCrafter {
 	n, k, r := p.code.N(), p.code.K(), p.code.ParityBits()
 	c := &satCrafter{s: sat.New()}
 	s := c.s
+	// The wall-clock craft budget applies per SolveUnderAssumptions call;
+	// a timed-out craft is discarded (HARP semantics) and the solver stays
+	// warm for the next target.
+	s.SetTimeout(p.opts.CraftTimeout)
 	// The formula's variable count is known up front: k data + r parity +
 	// n sel + r syndrome + k ReifyAnd gates. Reserving once removes the
 	// slice-growth churn of incremental NewVar calls (a crafter pair is
@@ -422,7 +442,7 @@ func (p *Profiler) craftSAT(target int, suspects []int, worstCase, relaxAllowed 
 	}
 
 	ok, err := s.SolveUnderAssumptions(assumps...)
-	if (err != nil || !ok) && relaxAllowed && len(assumps) > wcStart {
+	if err == nil && !ok && relaxAllowed && len(assumps) > wcStart {
 		// Constraint 1 was the blocker; the paper drops it before giving
 		// up (§7.1.2). Truncating the assumptions deactivates the neighbor
 		// constraints on the warm solver.
@@ -430,6 +450,11 @@ func (p *Profiler) craftSAT(target int, suspects []int, worstCase, relaxAllowed 
 		ok, err = s.SolveUnderAssumptions(assumps...)
 	}
 	c.assumps = assumps[:0]
+	if errors.Is(err, sat.ErrTimeout) {
+		// HARP discard semantics: the craft is dropped, not retried — the
+		// caller skips this target and the run continues on the warm solver.
+		p.craftTimeouts++
+	}
 	if err != nil || !ok {
 		return gf2.Vec{}, false
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/gf2"
@@ -271,5 +272,52 @@ func TestCraftLinearWorstCase(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no targets craftable with worst-case constraints")
+	}
+}
+
+// A generous craft budget must not perturb the profile: same seeds, same
+// identified cells as an unbounded run.
+func TestCraftTimeoutGenerousBudgetIdentical(t *testing.T) {
+	code := ecc.RandomHamming(32, rand.New(rand.NewPCG(20, 21)))
+	cells := []int{3, 17, 30}
+	run := func(timeout time.Duration) *Outcome {
+		rng := rand.New(rand.NewPCG(22, 23))
+		word := &SimWord{Code: code, ErrorCells: cells, PErr: 1.0, Rng: rng}
+		opts := Options{Passes: 2, TrialsPerPattern: 1, WorstCaseNeighbors: true, CraftTimeout: timeout}
+		out, err := NewProfiler(code, opts, rng).Run(context.Background(), word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	exact, bounded := run(0), run(time.Minute)
+	if bounded.CraftTimeouts != 0 {
+		t.Fatalf("a one-minute craft budget timed out %d crafts", bounded.CraftTimeouts)
+	}
+	if !sameSet(exact.Identified, bounded.Identified) || exact.PatternsTested != bounded.PatternsTested {
+		t.Fatalf("bounded run diverged: %+v vs %+v", bounded, exact)
+	}
+}
+
+// An absurd craft budget exercises the HARP discard semantics: timed-out
+// crafts are dropped, the run completes without error on the same warm
+// solver, and the discards are reported.
+func TestCraftTimeoutDiscards(t *testing.T) {
+	rng := rand.New(rand.NewPCG(24, 25))
+	code := ecc.RandomHamming(57, rng) // (63,57): crafts need >64 decisions
+	word := &SimWord{Code: code, ErrorCells: []int{5, 40}, PErr: 1.0, Rng: rng}
+	opts := Options{Passes: 1, TrialsPerPattern: 1, WorstCaseNeighbors: true, CraftTimeout: time.Nanosecond}
+	out, err := NewProfiler(code, opts, rng).Run(context.Background(), word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CraftTimeouts == 0 {
+		t.Fatal("1ns craft budget discarded no crafts")
+	}
+	if out.SkippedBits == 0 {
+		t.Fatal("discarded crafts produced no skipped targets")
+	}
+	if out.PatternsTested+out.SkippedBits < code.N() {
+		t.Fatalf("run did not visit every target: %+v", out)
 	}
 }

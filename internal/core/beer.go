@@ -39,7 +39,18 @@ type RecoverOptions struct {
 	// canonical hash (Profile.Hash) was solved before replays the cached
 	// Result with zero SAT invocations, and fresh successful solves are
 	// offered back to the cache. See the SolveCache interface contract.
+	// Noisy solves (Solve.Noisy) bypass the cache entirely: its key is the
+	// profile alone, but a noisy result also depends on the drop budget and
+	// support scores.
 	SolveCache SolveCache
+	// PerturbProfile, when set, transforms the thresholded profile before
+	// the solve stage — the injection point for probabilistic observation
+	// models (internal/noise installs per-bit Bernoulli FP-injection /
+	// TP-dropout perturbation here). Applied by Recover and by the
+	// multi-chip parallel recovery alike, after count merging and
+	// thresholding; the planner path does not support it (the planner's
+	// solver consumes entries as collected).
+	PerturbProfile func(*Profile) *Profile
 	// Progress, when set, receives pipeline events: stage entries and
 	// completions, per-(round, window) collection passes, and solver
 	// candidate counts. See ProgressFunc for the concurrency contract.
@@ -206,6 +217,9 @@ func Recover(ctx context.Context, chip Chip, opts RecoverOptions) (*Report, erro
 	if obs.AntiCounts != nil {
 		rep.Profile = rep.Profile.Append(obs.AntiCounts.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount))
 	}
+	if opts.PerturbProfile != nil {
+		rep.Profile = opts.PerturbProfile(rep.Profile)
+	}
 
 	start := time.Now()
 	res, err := SolveStage(ctx, rep.Profile, opts)
@@ -322,6 +336,16 @@ func RecoverPlanned(ctx context.Context, chip Chip, opts RecoverOptions) (*Repor
 // parallel.Engine.Recover so single-chip and multi-chip runs hit the same
 // registry.
 func SolveStage(ctx context.Context, profile *Profile, opts RecoverOptions) (*Result, error) {
+	if opts.Solve.Noisy != nil {
+		// Noisy solves neither consult nor feed the SolveCache: the cache
+		// key is the profile hash alone, and a noisy result additionally
+		// depends on the drop budget and entry-support scores.
+		solveOpts := opts.Solve
+		if solveOpts.Progress == nil {
+			solveOpts.Progress = opts.Progress
+		}
+		return SolveNoisy(ctx, profile, solveOpts)
+	}
 	if opts.SolveCache != nil {
 		if res, ok := opts.SolveCache.Lookup(profile); ok {
 			opts.Progress.emit(Event{Stage: StageSolve, Candidates: len(res.Codes)})

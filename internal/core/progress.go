@@ -64,6 +64,15 @@ type Event struct {
 	// far, out of the full family the exhaustive sweep would use (zero
 	// outside planner runs).
 	PatternsUsed, PatternsPlanned int
+	// DroppedEntries reports noisy-recovery progress (StageSolve events
+	// from a NoisySolveSession): how many profile entries the drop-k
+	// relaxation has retracted so far. Monotonic within a run; zero on
+	// exact solves.
+	DroppedEntries int
+	// Confidence is the noisy solve's current confidence in the surviving
+	// candidate set, in [0, 1] (see NoiseInfo.Confidence). Zero outside
+	// noisy StageSolve events.
+	Confidence float64
 	// Done marks the completion of the event's stage (for Chip).
 	Done bool
 }

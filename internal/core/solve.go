@@ -33,6 +33,13 @@ type SolveOptions struct {
 	// engine; sat.NewDimacs gives an engine that additionally records the
 	// CNF for export to external solvers.
 	Backend func() sat.Backend
+	// Noisy, when set, routes the solve through the noise-tolerant
+	// NoisySolveSession (see noisy.go): every profile entry becomes
+	// retractable behind a guard literal and a drop-k relaxation loop
+	// retracts the least-supported entries of successive UNSAT cores until
+	// a code is found (or the drop budget is spent). Nil keeps the exact
+	// path, which treats every entry as ground truth.
+	Noisy *NoisyOptions
 	// Progress, when set, receives a StageSolve event each time the search
 	// finds another candidate code (with the run's cumulative solver
 	// counters attached).
@@ -87,7 +94,12 @@ type Result struct {
 	// LazyRefinements counts deferred pattern entries materialized because
 	// a candidate model violated them (always zero for eager solves).
 	LazyRefinements int
-	Stats           sat.Stats
+	// Noise reports the drop-k relaxation outcome of a noisy solve
+	// (SolveOptions.Noisy): entries retained vs dropped, the confidence of
+	// the surviving candidate set, and the support margin between the
+	// retained and dropped sets. Nil for exact solves.
+	Noise *NoiseInfo
+	Stats sat.Stats
 }
 
 // encoder builds the CNF over the unknown standard-form parity-check matrix
@@ -99,6 +111,16 @@ type encoder struct {
 	// rowParity[i] reifies XOR of row i of P over all k columns, built on
 	// first use (needed only for anti-cell entries).
 	rowParity []sat.Lit
+	// guard, when guarded is set, weakens every top-level constraint clause
+	// the entry encoders assert (see assert): the clause holds only when
+	// the guard literal is true, so assuming the guard activates the entry
+	// and leaving it unassumed retracts it — the retractable-constraint
+	// primitive NoisySolveSession's drop-k relaxation is built on. Tseitin
+	// definitional clauses stay unguarded: they only define auxiliary
+	// variables and are satisfiable under any P assignment, so sharing them
+	// across entries (sigma, rowParity) remains sound.
+	guard   sat.Lit
+	guarded bool
 }
 
 func newEncoder(k, r int, b sat.Backend) *encoder {
@@ -119,6 +141,24 @@ func newEncoder(k, r int, b sat.Backend) *encoder {
 }
 
 func (e *encoder) p(i, j int) sat.Lit { return sat.PosLit(e.pVar[i][j]) }
+
+// setGuard makes subsequent addEntry calls assert their constraint clauses
+// behind ¬g; clearGuard restores unconditional assertion.
+func (e *encoder) setGuard(g sat.Lit) { e.guard, e.guarded = g, true }
+func (e *encoder) clearGuard()        { e.guarded = false }
+
+// assert adds a top-level entry-constraint clause, weakened by the active
+// guard when one is set.
+func (e *encoder) assert(lits ...sat.Lit) {
+	if !e.guarded {
+		e.s.Add(lits...)
+		return
+	}
+	cl := make([]sat.Lit, 0, len(lits)+1)
+	cl = append(cl, lits...)
+	cl = append(cl, e.guard.Not())
+	e.s.Add(cl...)
+}
 
 // addCodeValidity asserts the basic linear-code constraints (paper §5.3
 // constraint 1): every H column nonzero and pairwise distinct. In standard
@@ -249,9 +289,9 @@ func (e *encoder) addEntry(entry Entry) {
 		}
 		poss := sat.ReifyOr(e.s, conds...)
 		if entry.Possible.Get(b) {
-			e.s.Add(poss)
+			e.assert(poss)
 		} else {
-			e.s.Add(poss.Not())
+			e.assert(poss.Not())
 		}
 	}
 }
@@ -267,7 +307,7 @@ func (e *encoder) addEntry1(a int, entry Entry) {
 		if entry.Possible.Get(b) {
 			// Containment: P[i][b] -> P[i][a] for every row.
 			for i := 0; i < e.r; i++ {
-				e.s.Add(e.p(i, b).Not(), e.p(i, a))
+				e.assert(e.p(i, b).Not(), e.p(i, a))
 			}
 		} else {
 			// Violation in some row: P[i][b] AND NOT P[i][a].
@@ -275,7 +315,7 @@ func (e *encoder) addEntry1(a int, entry Entry) {
 			for i := 0; i < e.r; i++ {
 				viol[i] = sat.ReifyAnd(e.s, e.p(i, b), e.p(i, a).Not())
 			}
-			e.s.Add(viol...)
+			e.assert(viol...)
 		}
 	}
 }
@@ -355,9 +395,9 @@ func (e *encoder) addEntryAnti(entry Entry) {
 		}
 		poss := sat.ReifyOr(e.s, conds...)
 		if entry.Possible.Get(b) {
-			e.s.Add(poss)
+			e.assert(poss)
 		} else {
-			e.s.Add(poss.Not())
+			e.assert(poss.Not())
 		}
 	}
 }

@@ -76,11 +76,20 @@ const (
 	// storing 1), each with probability RBER — the unidirectional
 	// data-retention model of §3.2.
 	ModelRetention
+	// ModelPerBitBernoulli flips codeword bit i independently with its own
+	// probability Config.BitFailProb[i], regardless of value — HARP's
+	// per-bit Bernoulli error model. Heterogeneous per-bit rates produce the
+	// uneven miscorrection-observation counts that the noisy recovery path
+	// (internal/noise, core.SolveNoisy) is built for.
+	ModelPerBitBernoulli
 )
 
 func (m ErrorModel) String() string {
-	if m == ModelUniform {
+	switch m {
+	case ModelUniform:
 		return "UNIFORM"
+	case ModelPerBitBernoulli:
+		return "PER_BIT_BERNOULLI"
 	}
 	return "RETENTION"
 }
@@ -93,13 +102,19 @@ type Config struct {
 	Model      ErrorModel
 	RBER       float64
 	Words      int
+	// BitFailProb gives codeword bit i's independent flip probability for
+	// ModelPerBitBernoulli; its length must equal the code's n. Ignored by
+	// the other models.
+	BitFailProb []float64
 	// ConditionMinErrors, when positive, samples only words with at least
 	// this many injected errors (importance sampling). At Figure 1's RBER of
 	// 1e-4 fewer than one word in 10^5 has the >= 2 errors needed to produce
 	// any post-correction error, which is why the paper burns 10^9 words;
 	// conditioning reproduces the same relative post-correction
-	// distributions at a tiny fraction of the cost. Only supported for
-	// ModelUniform.
+	// distributions at a tiny fraction of the cost. Supported for
+	// ModelUniform (binomial) and ModelPerBitBernoulli (Poisson-binomial);
+	// ModelRetention's rates depend on the encoded word, so its error-count
+	// distribution is not fixed and conditioning is rejected.
 	ConditionMinErrors int
 }
 
@@ -122,9 +137,53 @@ type Result struct {
 	WordsWithPostError int64
 }
 
-// validate checks cfg and, for conditioned sampling, builds the truncated
-// binomial CDF the sampler draws error counts from.
-func validate(cfg Config) ([]float64, error) {
+// condSampler draws per-word injected-error vectors conditioned on a
+// minimum error count. cdf is the truncated error-count CDF (binomial for
+// ModelUniform, Poisson-binomial for ModelPerBitBernoulli). For the uniform
+// model positions given the count are uniform (probs/suffix stay nil, the
+// partial-shuffle samplers apply); for the Bernoulli model positions are
+// drawn bit-by-bit from the suffix DP table.
+type condSampler struct {
+	cdf    []float64
+	probs  []float64   // per-bit rates; nil for ModelUniform
+	suffix [][]float64 // suffix[i][j] = P(exactly j errors among bits i..n-1)
+}
+
+// count draws one conditioned error count.
+func (cs *condSampler) count(rng *rand.Rand) int {
+	u := rng.Float64()
+	m := 0
+	for m < len(cs.cdf)-1 && cs.cdf[m] < u {
+		m++
+	}
+	return m
+}
+
+// bernoulliPositions appends the error positions of one word conditioned on
+// exactly m errors: a left-to-right walk where bit i flips with probability
+// P(X_i=1 | sum_{i..n-1} = m) = p_i * suffix[i+1][m-1] / suffix[i][m].
+func (cs *condSampler) bernoulliPositions(m int, dst []int, rng *rand.Rand) []int {
+	n := len(cs.probs)
+	for i := 0; i < n && m > 0; i++ {
+		if m >= n-i {
+			// Every remaining bit must flip; taking this branch explicitly
+			// also keeps float roundoff from stranding the walk.
+			dst = append(dst, i)
+			m--
+			continue
+		}
+		pi := cs.probs[i] * cs.suffix[i+1][m-1] / cs.suffix[i][m]
+		if rng.Float64() < pi {
+			dst = append(dst, i)
+			m--
+		}
+	}
+	return dst
+}
+
+// validate checks cfg and, for conditioned sampling, builds the sampler the
+// injectors draw error counts (and, for per-bit rates, positions) from.
+func validate(cfg Config) (*condSampler, error) {
 	if cfg.Code == nil {
 		return nil, fmt.Errorf("einsim: no code configured")
 	}
@@ -135,17 +194,37 @@ func validate(cfg Config) ([]float64, error) {
 		return nil, fmt.Errorf("einsim: custom data has %d bits, code wants %d",
 			cfg.CustomData.Len(), cfg.Code.K())
 	}
-	if cfg.ConditionMinErrors > 0 && cfg.Model != ModelUniform {
-		return nil, fmt.Errorf("einsim: conditioned sampling requires ModelUniform")
+	if cfg.Model == ModelPerBitBernoulli {
+		if len(cfg.BitFailProb) != cfg.Code.N() {
+			return nil, fmt.Errorf("einsim: %s needs one BitFailProb per codeword bit (got %d, code has n=%d)",
+				cfg.Model, len(cfg.BitFailProb), cfg.Code.N())
+		}
+		for i, p := range cfg.BitFailProb {
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("einsim: BitFailProb[%d] = %v out of [0,1]", i, p)
+			}
+		}
 	}
-	if cfg.ConditionMinErrors > 0 {
+	if cfg.ConditionMinErrors <= 0 {
+		return nil, nil
+	}
+	switch cfg.Model {
+	case ModelUniform:
 		cdf := truncatedBinomialCDF(cfg.Code.N(), cfg.RBER, cfg.ConditionMinErrors)
 		if cdf == nil {
 			return nil, fmt.Errorf("einsim: conditioning on >=%d errors is impossible", cfg.ConditionMinErrors)
 		}
-		return cdf, nil
+		return &condSampler{cdf: cdf}, nil
+	case ModelPerBitBernoulli:
+		suffix := poissonBinomialSuffix(cfg.BitFailProb)
+		cdf := truncateCDF(suffix[0], cfg.ConditionMinErrors)
+		if cdf == nil {
+			return nil, fmt.Errorf("einsim: conditioning on >=%d errors is impossible", cfg.ConditionMinErrors)
+		}
+		return &condSampler{cdf: cdf, probs: cfg.BitFailProb, suffix: suffix}, nil
+	default:
+		return nil, fmt.Errorf("einsim: conditioned sampling is not supported for the %s model (word-dependent error counts)", cfg.Model)
 	}
-	return nil, nil
 }
 
 // scratch is the per-Run batch working set: one slab backs every batch
@@ -165,7 +244,7 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 // RunScalar, but the RNG consumption differs, so seed-for-seed streams are
 // not comparable between the two.
 func Run(cfg Config, rng *rand.Rand) (*Result, error) {
-	errCountDist, err := validate(cfg)
+	cond, err := validate(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -213,9 +292,12 @@ func Run(cfg Config, rng *rand.Rand) (*Result, error) {
 			}
 		}
 		bc.Encode(data, cw)
-		if errCountDist != nil {
-			sc.injectConditionedBatch(mask, errCountDist, rng)
-		} else {
+		switch {
+		case cond != nil && cond.probs != nil:
+			sc.injectConditionedBernoulliBatch(mask, cond, rng)
+		case cond != nil:
+			sc.injectConditionedBatch(mask, cond.cdf, rng)
+		default:
 			injectBatch(cfg, cw, mask, rng)
 		}
 
@@ -259,10 +341,27 @@ func Run(cfg Config, rng *rand.Rand) (*Result, error) {
 // writing flips into mask. Retention-model draws that land on a discharged
 // cell are consumed without flipping, mirroring the scalar path.
 func injectBatch(cfg Config, cw, mask gf2.Batch, rng *rand.Rand) {
+	n, lanes := cw.Bits(), cw.Lanes()
+	if cfg.Model == ModelPerBitBernoulli {
+		mw := mask.Words()
+		for i := 0; i < n; i++ {
+			p := cfg.BitFailProb[i]
+			if p == 0 {
+				continue
+			}
+			var m uint64
+			for lane := 0; lane < lanes; lane++ {
+				if rng.Float64() < p {
+					m |= uint64(1) << uint(lane)
+				}
+			}
+			mw[i] |= m
+		}
+		return
+	}
 	if cfg.RBER == 0 {
 		return
 	}
-	n, lanes := cw.Bits(), cw.Lanes()
 	cww, mw := cw.Words(), mask.Words()
 	total := n * lanes
 	for pos := nextHit(rng, cfg.RBER, -1); pos < total; pos = nextHit(rng, cfg.RBER, pos) {
@@ -303,13 +402,29 @@ func (sc *scratch) injectConditionedBatch(mask gf2.Batch, cdf []float64, rng *ra
 	}
 }
 
+// injectConditionedBernoulliBatch draws a per-lane error count from the
+// truncated Poisson-binomial CDF and places that lane's errors by the
+// conditional per-bit walk, reusing the scratch perm buffer for positions.
+func (sc *scratch) injectConditionedBernoulliBatch(mask gf2.Batch, cs *condSampler, rng *rand.Rand) {
+	lanes := mask.Lanes()
+	mw := mask.Words()
+	for lane := 0; lane < lanes; lane++ {
+		positions := cs.bernoulliPositions(cs.count(rng), sc.perm[:0], rng)
+		sc.perm = positions[:0]
+		lb := uint64(1) << uint(lane)
+		for _, p := range positions {
+			mw[p] |= lb
+		}
+	}
+}
+
 // RunScalar simulates cfg.Words ECC words one at a time through the scalar
 // gf2.Vec / Code.Decode path. It is the reference implementation the
 // bitsliced Run is differentially tested against (FuzzBitsliced holds the
 // codec layers identical; TestRunMatchesScalar holds the aggregate
 // statistics together). Production callers should use Run.
 func RunScalar(cfg Config, rng *rand.Rand) (*Result, error) {
-	errCountDist, err := validate(cfg)
+	cond, err := validate(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -337,9 +452,12 @@ func RunScalar(cfg Config, rng *rand.Rand) (*Result, error) {
 		cw := cfg.Code.Encode(data)
 		var bad gf2.Vec
 		var errPositions []int
-		if errCountDist != nil {
-			bad, errPositions = injectConditioned(cw, errCountDist, rng)
-		} else {
+		switch {
+		case cond != nil && cond.probs != nil:
+			bad, errPositions = injectConditionedBernoulli(cw, cond, rng)
+		case cond != nil:
+			bad, errPositions = injectConditioned(cw, cond.cdf, rng)
+		default:
 			bad, errPositions = inject(cfg, cw, rng)
 		}
 		res.Words++
@@ -382,6 +500,15 @@ func inject(cfg Config, cw gf2.Vec, rng *rand.Rand) (gf2.Vec, []int) {
 	bad := cw.Clone()
 	var errs []int
 	n := cw.Len()
+	if cfg.Model == ModelPerBitBernoulli {
+		for i := 0; i < n; i++ {
+			if p := cfg.BitFailProb[i]; p > 0 && rng.Float64() < p {
+				bad.Flip(i)
+				errs = append(errs, i)
+			}
+		}
+		return bad, errs
+	}
 	if cfg.RBER == 0 {
 		return bad, nil
 	}
@@ -460,6 +587,64 @@ func injectConditioned(cw gf2.Vec, cdf []float64, rng *rand.Rand) (gf2.Vec, []in
 		bad.Flip(p)
 	}
 	return bad, errs
+}
+
+// injectConditionedBernoulli is the scalar conditioned path for the per-bit
+// Bernoulli model: one count draw, then the conditional per-bit walk.
+func injectConditionedBernoulli(cw gf2.Vec, cs *condSampler, rng *rand.Rand) (gf2.Vec, []int) {
+	bad := cw.Clone()
+	errs := cs.bernoulliPositions(cs.count(rng), nil, rng)
+	for _, p := range errs {
+		bad.Flip(p)
+	}
+	return bad, errs
+}
+
+// poissonBinomialSuffix builds the suffix error-count table for independent
+// per-bit rates: suffix[i][j] = P(exactly j errors among bits i..n-1), so
+// suffix[0] is the Poisson-binomial PMF of the total count.
+func poissonBinomialSuffix(probs []float64) [][]float64 {
+	n := len(probs)
+	suffix := make([][]float64, n+1)
+	suffix[n] = make([]float64, n+1)
+	suffix[n][0] = 1
+	for i := n - 1; i >= 0; i-- {
+		row := make([]float64, n+1)
+		p, next := probs[i], suffix[i+1]
+		for j := 0; j <= n-i; j++ {
+			row[j] = (1 - p) * next[j]
+			if j > 0 {
+				row[j] += p * next[j-1]
+			}
+		}
+		suffix[i] = row
+	}
+	return suffix
+}
+
+// truncateCDF turns a PMF into the CDF conditioned on the value being
+// >= min (entries below min are 0). Returns nil when the conditional event
+// has no probability mass.
+func truncateCDF(pmf []float64, min int) []float64 {
+	if min >= len(pmf) {
+		return nil
+	}
+	total := 0.0
+	for m := min; m < len(pmf); m++ {
+		total += pmf[m]
+	}
+	if total <= 0 {
+		return nil
+	}
+	cdf := make([]float64, len(pmf))
+	acc := 0.0
+	for m := range pmf {
+		if m >= min {
+			acc += pmf[m] / total
+		}
+		cdf[m] = acc
+	}
+	return cdf
 }
 
 func contains(xs []int, x int) bool {

@@ -3,6 +3,7 @@ package einsim
 import (
 	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"repro/internal/ecc"
@@ -232,5 +233,122 @@ func TestConditionedSamplingValidation(t *testing.T) {
 	if _, err := Run(Config{Code: ecc.Hamming74(), Model: ModelUniform,
 		RBER: 0.1, Words: 1, ConditionMinErrors: 8}, rng); err == nil {
 		t.Fatal("conditioning beyond n errors must fail")
+	}
+}
+
+func TestPerBitBernoulliValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	code := ecc.Hamming74()
+	if _, err := Run(Config{Code: code, Model: ModelPerBitBernoulli, Words: 1}, rng); err == nil {
+		t.Fatal("missing BitFailProb accepted")
+	} else if !strings.Contains(err.Error(), "PER_BIT_BERNOULLI") {
+		t.Fatalf("rejection does not name the model: %v", err)
+	}
+	bad := make([]float64, code.N())
+	bad[2] = 1.5
+	if _, err := Run(Config{Code: code, Model: ModelPerBitBernoulli, Words: 1,
+		BitFailProb: bad}, rng); err == nil {
+		t.Fatal("out-of-range BitFailProb accepted")
+	}
+}
+
+func TestConditionedSamplingRejectionNamesModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	_, err := Run(Config{Code: ecc.Hamming74(), Model: ModelRetention,
+		RBER: 0.1, Words: 1, ConditionMinErrors: 2}, rng)
+	if err == nil {
+		t.Fatal("retention-model conditioning accepted")
+	}
+	if !strings.Contains(err.Error(), "RETENTION") {
+		t.Fatalf("rejection does not name the offending model: %v", err)
+	}
+}
+
+// TestPerBitBernoulliRates: each bit's pre-correction error count tracks its
+// own configured rate, in both the bitsliced and scalar paths.
+func TestPerBitBernoulliRates(t *testing.T) {
+	code := ecc.SequentialHamming(16)
+	probs := make([]float64, code.N())
+	for i := range probs {
+		probs[i] = 0.01
+	}
+	probs[0], probs[5] = 0.3, 0.1
+	cfg := Config{Code: code, Pattern: PatternAllOnes, Model: ModelPerBitBernoulli,
+		BitFailProb: probs, Words: 50000}
+	for name, runner := range map[string]func(Config, *rand.Rand) (*Result, error){
+		"bitsliced": Run, "scalar": RunScalar,
+	} {
+		res, err := runner(cfg, rand.New(rand.NewPCG(7, 8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range probs {
+			want := p * float64(cfg.Words)
+			got := float64(res.PreErrors[i])
+			if math.Abs(got-want) > 6*math.Sqrt(want*(1-p))+1 {
+				t.Fatalf("%s: bit %d saw %v errors, want about %v (p=%v)", name, i, got, want, p)
+			}
+		}
+	}
+}
+
+// TestPerBitBernoulliConditioned: conditioning on >= 2 errors via the
+// Poisson-binomial sampler keeps every word uncorrectable and preserves the
+// per-bit rate profile relative to the unconditioned model.
+func TestPerBitBernoulliConditioned(t *testing.T) {
+	code := ecc.SequentialHamming(16)
+	probs := make([]float64, code.N())
+	for i := range probs {
+		probs[i] = 0.005
+	}
+	probs[3] = 0.05
+	cond := run(t, Config{Code: code, Pattern: PatternAllOnes, Model: ModelPerBitBernoulli,
+		BitFailProb: probs, Words: 20000, ConditionMinErrors: 2}, 50)
+	if cond.Correctable != 0 {
+		t.Fatalf("conditioned run saw %d single-error words", cond.Correctable)
+	}
+	if cond.Silent+cond.Partial+cond.Miscorrected != cond.Words {
+		t.Fatalf("outcome buckets (%d) != words (%d)",
+			cond.Silent+cond.Partial+cond.Miscorrected, cond.Words)
+	}
+	// The high-rate bit must dominate the conditioned pre-error distribution
+	// just as it does unconditioned.
+	uncond := run(t, Config{Code: code, Pattern: PatternAllOnes, Model: ModelPerBitBernoulli,
+		BitFailProb: probs, Words: 200000}, 51)
+	for _, res := range []*Result{cond, uncond} {
+		for i, c := range res.PreErrors {
+			if i != 3 && c >= res.PreErrors[3] {
+				t.Fatalf("bit %d (p=%v) out-errored bit 3 (p=%v): %d vs %d",
+					i, probs[i], probs[3], c, res.PreErrors[3])
+			}
+		}
+	}
+}
+
+// TestPerBitBernoulliScalarBitslicedAgree: the two paths agree in
+// distribution on the relative pre-correction profile.
+func TestPerBitBernoulliScalarBitslicedAgree(t *testing.T) {
+	code := ecc.SequentialHamming(32)
+	probs := make([]float64, code.N())
+	for i := range probs {
+		probs[i] = 0.002 * float64(1+i%5)
+	}
+	cfg := Config{Code: code, Pattern: PatternRandom, Model: ModelPerBitBernoulli,
+		BitFailProb: probs, Words: 100000}
+	a, err := Run(cfg, rand.New(rand.NewPCG(60, 61)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScalar(cfg, rand.New(rand.NewPCG(62, 63)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.RelativePreProbabilities(), b.RelativePreProbabilities()
+	l1 := 0.0
+	for i := range pa {
+		l1 += math.Abs(pa[i] - pb[i])
+	}
+	if l1 > 0.05 {
+		t.Fatalf("bitsliced and scalar pre-error distributions diverge (L1=%v)", l1)
 	}
 }

@@ -125,6 +125,9 @@ func (e *Engine) Recover(ctx context.Context, chips []core.Chip, opts core.Recov
 	if anti != nil {
 		rep.Profile = rep.Profile.Append(anti.Threshold(opts.ThresholdFraction, opts.ThresholdMinCount))
 	}
+	if opts.PerturbProfile != nil {
+		rep.Profile = opts.PerturbProfile(rep.Profile)
+	}
 	rep.CollectTime = time.Since(start)
 
 	start = time.Now()

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Backend is the pluggable solving surface behind BEER's constraint layer.
@@ -36,6 +37,12 @@ type Backend interface {
 	// (false, nil) answer means unsatisfiable under the assumptions, with
 	// the clause database untouched and later calls unaffected.
 	SolveUnderAssumptions(assumptions ...Lit) (bool, error)
+	// FailedAssumptions returns the failed-assumption core of the most
+	// recent (false, nil) answer under assumptions: a subset of that
+	// call's assumptions already sufficient for unsatisfiability (failing
+	// assumption first; sound, not necessarily minimal). Empty after any
+	// other outcome.
+	FailedAssumptions() []Lit
 	// Value returns variable v's value in the most recent model.
 	Value(v int) bool
 	// Model returns a copy of the most recent satisfying assignment.
@@ -50,6 +57,11 @@ type Backend interface {
 	// SetMaxConflicts bounds effort per solve call in conflicts (0 =
 	// unlimited; the solve returns ErrBudget when exceeded).
 	SetMaxConflicts(n int64)
+	// SetTimeout bounds each solve call in wall-clock time (0 =
+	// unlimited; the solve returns ErrTimeout when exceeded and the
+	// backend stays reusable — HARP-style discard semantics are the
+	// caller's to apply).
+	SetTimeout(d time.Duration)
 	// Statistics returns cumulative solver counters.
 	Statistics() Stats
 }
@@ -117,6 +129,9 @@ func (d *Dimacs) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 	return d.inner.SolveUnderAssumptions(assumptions...)
 }
 
+// FailedAssumptions implements Backend.
+func (d *Dimacs) FailedAssumptions() []Lit { return d.inner.FailedAssumptions() }
+
 // Value implements Backend.
 func (d *Dimacs) Value(v int) bool { return d.inner.Value(v) }
 
@@ -131,6 +146,9 @@ func (d *Dimacs) Interrupt(fn func() bool) { d.inner.Interrupt(fn) }
 
 // SetMaxConflicts implements Backend.
 func (d *Dimacs) SetMaxConflicts(n int64) { d.inner.SetMaxConflicts(n) }
+
+// SetTimeout implements Backend.
+func (d *Dimacs) SetTimeout(t time.Duration) { d.inner.SetTimeout(t) }
 
 // Statistics implements Backend.
 func (d *Dimacs) Statistics() Stats { return d.inner.Statistics() }

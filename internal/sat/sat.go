@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 )
 
 // Lit is a literal: variable index shifted left once, with the low bit set
@@ -164,6 +165,16 @@ type Solver struct {
 	// without ever conflicting.
 	interrupt func() bool
 
+	// timeout, when positive, bounds each Solve call in wall-clock time
+	// (SetTimeout); deadline is derived from it at the start of every call
+	// and checked wherever the interrupt hook is polled.
+	timeout  time.Duration
+	deadline time.Time
+
+	// failed holds the failed-assumption core of the most recent
+	// UNSAT-under-assumptions answer (FailedAssumptions).
+	failed []Lit
+
 	Stats Stats
 }
 
@@ -180,6 +191,39 @@ func (s *Solver) Interrupt(fn func() bool) { s.interrupt = fn }
 // SetMaxConflicts bounds SAT effort per solve call in conflicts (0 =
 // unlimited); exceeding the budget makes the solve return ErrBudget.
 func (s *Solver) SetMaxConflicts(n int64) { s.MaxConflicts = n }
+
+// SetTimeout bounds each Solve call in wall-clock time (0 = unlimited).
+// A solve that outlives the budget unwinds to decision level 0 and returns
+// ErrTimeout; the solver stays reusable, so callers are free to apply
+// HARP-style discard semantics — drop the stuck sample and move to the
+// next one on the same solver. The deadline is polled alongside the
+// Interrupt hook (every conflict, every restart, every 64th decision), so
+// the overshoot is bounded the same way cancellation latency is.
+func (s *Solver) SetTimeout(d time.Duration) { s.timeout = d }
+
+// FailedAssumptions returns the failed-assumption core of the most recent
+// solve call that answered (false, nil) under assumptions: a subset of
+// that call's assumption literals that is already sufficient for
+// unsatisfiability, with the directly failing assumption first. It is the
+// MiniSat analyzeFinal conflict set, so it is sound (the formula really is
+// UNSAT under just these assumptions) but not guaranteed minimal. The
+// slice is valid until the next solve call; it is empty after a SAT
+// answer, after an UNSAT answer that involved no assumptions, and after
+// budget/interrupt/timeout errors.
+func (s *Solver) FailedAssumptions() []Lit { return s.failed }
+
+// stopRequested polls the caller-facing abort mechanisms — the Interrupt
+// hook and the SetTimeout deadline — and returns the error the in-progress
+// solve should unwind with, or nil.
+func (s *Solver) stopRequested() error {
+	if s.interrupt != nil && s.interrupt() {
+		return ErrInterrupted
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
 
 // Statistics returns the solver's cumulative counters.
 func (s *Solver) Statistics() Stats { return s.Stats }
@@ -199,6 +243,10 @@ var ErrBudget = fmt.Errorf("sat: conflict budget exhausted")
 // ErrInterrupted is returned by Solve when the Interrupt hook fired before a
 // definitive answer was found.
 var ErrInterrupted = fmt.Errorf("sat: solve interrupted")
+
+// ErrTimeout is returned by Solve when the SetTimeout wall-clock budget
+// expired before a definitive answer was found.
+var ErrTimeout = fmt.Errorf("sat: solve timed out")
 
 // New returns an empty solver with no variables.
 func New() *Solver {
@@ -743,6 +791,44 @@ func (s *Solver) litRedundant(l Lit) bool {
 	return true
 }
 
+// analyzeFinal computes the subset of the current call's assumptions
+// responsible for forcing assumption p false — MiniSat's analyzeFinal,
+// expressed over assumption literals instead of a conflict clause. It
+// walks the trail top-down from the failure point, expanding reason
+// clauses transitively; a marked trail literal with no reason is an
+// assumption pseudo-decision (free-search decisions cannot exist yet: the
+// re-establish loop runs before any free branching) and joins the core.
+// Reason clauses carry the implied literal at an arbitrary position (the
+// binary fast path enqueues the blocker), so antecedents are skipped by
+// variable, as in litRedundant. The result lands in s.failed with p first.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.failed = append(s.failed[:0], p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = true
+	bound := s.trailLim[0]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if c := s.reason[v]; c == nil {
+			if s.level[v] > 0 {
+				s.failed = append(s.failed, s.trail[i])
+			}
+		} else {
+			for _, q := range c.lits {
+				if q.Var() != v && s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+}
+
 func (s *Solver) cancelUntil(level int) {
 	if s.decisionLevel() <= level {
 		return
@@ -875,6 +961,12 @@ func (s *Solver) Solve() (bool, error) { return s.SolveUnderAssumptions() }
 // guard literals via assumptions, and retain all learned state across
 // re-solves.
 func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
+	s.failed = s.failed[:0]
+	if s.timeout > 0 {
+		s.deadline = time.Now().Add(s.timeout)
+	} else {
+		s.deadline = time.Time{}
+	}
 	if !s.ok {
 		return false, nil
 	}
@@ -942,9 +1034,9 @@ func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 				s.cancelUntil(0)
 				return false, ErrBudget
 			}
-			if s.interrupt != nil && s.interrupt() {
+			if err := s.stopRequested(); err != nil {
 				s.cancelUntil(0)
-				return false, ErrInterrupted
+				return false, err
 			}
 			continue
 		}
@@ -954,8 +1046,8 @@ func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 			sinceRestart = 0
 			budget = 100 * luby(restart)
 			s.cancelUntil(0)
-			if s.interrupt != nil && s.interrupt() {
-				return false, ErrInterrupted
+			if err := s.stopRequested(); err != nil {
+				return false, err
 			}
 			continue
 		}
@@ -978,7 +1070,10 @@ func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 				// The clause database forces the negation under the earlier
 				// assumptions: UNSAT under assumptions, formula untouched.
 				// The established prefix stays on the trail so the next
-				// call can still reuse it.
+				// call can still reuse it. Derive the failed-assumption
+				// core before returning — this is the only exit that
+				// answers UNSAT-under-assumptions.
+				s.analyzeFinal(a)
 				return false, nil
 			default:
 				next = a
@@ -1009,12 +1104,15 @@ func (s *Solver) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
 				return true, nil
 			}
 			s.Stats.Decisions++
-			// Poll the interrupt hook on the decision path too: a formula
+			// Poll the abort hooks on the decision path too: a formula
 			// the solver satisfies without conflicting or restarting must
-			// still observe cancellation within a bounded number of steps.
-			if s.Stats.Decisions&63 == 0 && s.interrupt != nil && s.interrupt() {
-				s.cancelUntil(0)
-				return false, ErrInterrupted
+			// still observe cancellation (or a deadline) within a bounded
+			// number of steps.
+			if s.Stats.Decisions&63 == 0 {
+				if err := s.stopRequested(); err != nil {
+					s.cancelUntil(0)
+					return false, err
+				}
 			}
 			next = MkLit(v, s.polarity[v])
 		}

@@ -102,6 +102,12 @@ func (t *progressTracker) update(p ProgressStatus) {
 	if p.Updates >= c.Updates && p.Stage != "" {
 		c.Stage = p.Stage
 	}
+	// Confidence follows the freshest report that carries one (it is a
+	// grading, not a counter — more candidates mean less confidence, so a
+	// max-merge would pin it to a stale early value).
+	if p.Updates >= c.Updates && p.Solver.Confidence != 0 {
+		c.Solver.Confidence = p.Solver.Confidence
+	}
 	c.Updates = max(c.Updates, p.Updates)
 	c.Chips = max(c.Chips, p.Chips)
 	c.Worker = cmp.Or(p.Worker, c.Worker)
@@ -117,6 +123,7 @@ func (t *progressTracker) update(p ProgressStatus) {
 	c.Solver.Learned = max(c.Solver.Learned, p.Solver.Learned)
 	c.Solver.PatternsUsed = max(c.Solver.PatternsUsed, p.Solver.PatternsUsed)
 	c.Solver.PatternsPlanned = max(c.Solver.PatternsPlanned, p.Solver.PatternsPlanned)
+	c.Solver.EntriesDropped = max(c.Solver.EntriesDropped, p.Solver.EntriesDropped)
 }
 
 // set replaces the tracked status wholesale (replay of a terminal job).

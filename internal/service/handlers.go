@@ -44,6 +44,18 @@ type JobSpec struct {
 	// Verify compares the recovered function against the simulated chip's
 	// ground truth and reports the outcome in the result.
 	Verify bool `json:"verify,omitempty"`
+	// NoiseFP and NoiseFN perturb the collected miscorrection profile with a
+	// per-bit Bernoulli observation model before solving (HARP-style false
+	// positives / true-positive dropout) and engage the confidence-weighted
+	// drop-k solver; the result then carries a "noise" block. MaxDrop caps
+	// how many profile entries the solver may retract (absent = unlimited,
+	// explicit 0 = none); setting max_drop alone engages the robust solver
+	// without perturbation — what a profile collected from genuinely noisy
+	// hardware needs. Incompatible with plan.
+	NoiseFP   float64 `json:"noise_fp,omitempty"`
+	NoiseFN   float64 `json:"noise_fn,omitempty"`
+	NoiseSeed uint64  `json:"noise_seed,omitempty"`
+	MaxDrop   *int    `json:"max_drop,omitempty"`
 
 	// Simulate fields.
 	Words      int     `json:"words,omitempty"`       // Monte-Carlo words (default 100000)
@@ -51,6 +63,11 @@ type JobSpec struct {
 	CodeFamily string  `json:"code_family,omitempty"` // sequential, bitreversed or random (default sequential)
 	Pattern    string  `json:"pattern,omitempty"`     // 0xFF, 0x00 or RANDOM (default 0xFF)
 	Model      string  `json:"model,omitempty"`       // uniform or retention (default uniform)
+}
+
+// noisy reports whether the spec engages the drop-k robust solver.
+func (spec JobSpec) noisy() bool {
+	return spec.NoiseFP > 0 || spec.NoiseFN > 0 || spec.MaxDrop != nil
 }
 
 // chipCount returns how many chips a job's progress tracks.
@@ -94,6 +111,15 @@ func (spec JobSpec) Normalized() JobSpec {
 		}
 		if out.MaxWindowMinutes == 0 {
 			out.MaxWindowMinutes = 48
+		}
+		if out.NoiseFP > 0 || out.NoiseFN > 0 {
+			if out.NoiseSeed == 0 {
+				out.NoiseSeed = 1
+			}
+			if out.MaxDrop == nil {
+				unlimited := -1
+				out.MaxDrop = &unlimited
+			}
 		}
 	case "simulate":
 		if out.Words == 0 {
@@ -192,6 +218,13 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 	if spec.Plan && spec.UseAntiRows {
 		return nil, fmt.Errorf("plan is incompatible with use_anti_rows (the planner schedules true-cell patterns only)")
 	}
+	if spec.NoiseFP < 0 || spec.NoiseFP > 1 || spec.NoiseFN < 0 || spec.NoiseFN > 1 {
+		return nil, fmt.Errorf("noise_fp=%g / noise_fn=%g out of [0, 1]", spec.NoiseFP, spec.NoiseFN)
+	}
+	noisy := spec.noisy()
+	if noisy && spec.Plan {
+		return nil, fmt.Errorf("plan is incompatible with noise_fp/noise_fn/max_drop (the planner's incremental session does not perturb or retract profile entries)")
+	}
 
 	return func(ctx context.Context, engine *repro.Engine, cache repro.SolveCache, fn repro.ProgressFunc) (*JobResult, error) {
 		opts := []repro.Option{
@@ -212,6 +245,16 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 		}
 		if spec.Plan {
 			opts = append(opts, repro.WithPlanner())
+		}
+		if noisy {
+			if spec.NoiseFP > 0 || spec.NoiseFN > 0 {
+				opts = append(opts, repro.WithNoiseModel(repro.NoiseModel{
+					FP:   spec.NoiseFP,
+					FN:   spec.NoiseFN,
+					Seed: spec.NoiseSeed,
+				}))
+			}
+			opts = append(opts, repro.WithMaxDrop(*spec.MaxDrop))
 		}
 		pipe := repro.NewPipeline(opts...)
 
@@ -238,6 +281,16 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 		if report.Plan != nil {
 			res.Recover.PatternsUsed = report.Plan.PatternsUsed
 			res.Recover.PatternsFull = report.Plan.PatternsFull
+		}
+		if ni := report.Result.Noise; ni != nil {
+			res.Recover.Noise = &NoiseReport{
+				Total:          ni.Total,
+				Retained:       ni.Retained,
+				Dropped:        ni.Dropped,
+				DroppedEntries: ni.DroppedEntries,
+				Confidence:     ni.Confidence,
+				Margin:         ni.Margin,
+			}
 		}
 		if len(report.Result.Codes) > 0 {
 			code := report.Result.Codes[0]
@@ -357,11 +410,35 @@ type RecoverResult struct {
 	// before the code was determined, against the full-sweep family size.
 	PatternsUsed int `json:"patterns_used,omitempty"`
 	PatternsFull int `json:"patterns_full,omitempty"`
+	// Noise reports the drop-k outcome of a confidence-weighted recovery
+	// (jobs submitted with noise_fp/noise_fn/max_drop only).
+	Noise *NoiseReport `json:"noise,omitempty"`
 	// Solver carries the run's SAT-engine counters.
 	Solver *SolverStats `json:"solver,omitempty"`
 	// CollectMS and SolveMS time the experiment and solver phases.
 	CollectMS float64 `json:"collect_ms"`
 	SolveMS   float64 `json:"solve_ms"`
+}
+
+// NoiseReport is the "noise" block of a confidence-weighted recovery
+// result (core.NoiseInfo on the wire).
+type NoiseReport struct {
+	// Total, Retained and Dropped count the solved profile's entries
+	// (total = retained + dropped).
+	Total    int `json:"total"`
+	Retained int `json:"retained"`
+	Dropped  int `json:"dropped"`
+	// DroppedEntries lists the indexes of the profile entries the drop-k
+	// loop retracted as inconsistent.
+	DroppedEntries []int `json:"dropped_entries,omitempty"`
+	// Confidence grades the recovery in [0, 1]: 1.0 means every entry was
+	// retained and exactly one function matches (indistinguishable from an
+	// exact solve); it shrinks with each dropped entry and each extra
+	// candidate.
+	Confidence float64 `json:"confidence"`
+	// Margin is the support gap between the weakest retained and strongest
+	// dropped entry (0 when nothing was dropped or support is uniform).
+	Margin float64 `json:"margin"`
 }
 
 // SolverStats reports the SAT engine's work for one recovery: cumulative
@@ -417,13 +494,18 @@ type ProgressStatus struct {
 	Solver SolverProgress `json:"solver,omitzero"`
 }
 
-// SolverProgress is the live solver block of a status response.
+// SolverProgress is the live solver block of a status response. All
+// counters are monotonic except Confidence, which tracks the noisy solver's
+// current grading of the surviving candidate set (it follows the freshest
+// report: more candidates mean less confidence).
 type SolverProgress struct {
-	Conflicts       int64 `json:"conflicts,omitempty"`
-	Propagations    int64 `json:"propagations,omitempty"`
-	Learned         int64 `json:"learned,omitempty"`
-	PatternsUsed    int   `json:"patterns_used,omitempty"`
-	PatternsPlanned int   `json:"patterns_planned,omitempty"`
+	Conflicts       int64   `json:"conflicts,omitempty"`
+	Propagations    int64   `json:"propagations,omitempty"`
+	Learned         int64   `json:"learned,omitempty"`
+	PatternsUsed    int     `json:"patterns_used,omitempty"`
+	PatternsPlanned int     `json:"patterns_planned,omitempty"`
+	EntriesDropped  int64   `json:"entries_dropped,omitempty"`
+	Confidence      float64 `json:"confidence,omitempty"`
 }
 
 // JobStatus is the body of GET /api/v1/jobs/{id} and the element type of
@@ -562,6 +644,7 @@ type healthStatser interface {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	invocations, hits := s.SolveCounters()
 	totals := s.solve.totals()
+	noisyJobs, entriesDropped := s.solve.noisyTotals()
 	codes := 0
 	if keys, err := s.store.Backend().Keys(store.BucketCodes); err == nil {
 		codes = len(keys)
@@ -583,6 +666,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"learned":          totals.Learned,
 			"restarts":         totals.Restarts,
 			"patterns_skipped": totals.PatternsSkipped,
+			"noisy_recoveries": noisyJobs,
+			"entries_dropped":  entriesDropped,
 		},
 	}
 	if s.maxJobs > 0 {

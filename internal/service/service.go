@@ -156,6 +156,12 @@ type solveCounter struct {
 	mu            sync.Mutex
 	lookups, hits int64
 	stats         SolverStats
+	// noisyJobs and entriesDropped tally confidence-weighted recoveries:
+	// how many jobs ran the drop-k solver and how many profile entries it
+	// retracted in total (the /healthz "noisy_recoveries" and
+	// "entries_dropped" counters).
+	noisyJobs      int64
+	entriesDropped int64
 }
 
 func (c *solveCounter) counters() (invocations, cacheHits int64) {
@@ -176,6 +182,25 @@ func (c *solveCounter) addStats(s *SolverStats) {
 	c.stats.Learned += s.Learned
 	c.stats.Restarts += s.Restarts
 	c.stats.PatternsSkipped += s.PatternsSkipped
+}
+
+// addNoise folds one finished noisy recovery's drop-k outcome into the
+// totals.
+func (c *solveCounter) addNoise(n *NoiseReport) {
+	if n == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noisyJobs++
+	c.entriesDropped += int64(n.Dropped)
+}
+
+// noisyTotals returns the accumulated drop-k outcomes.
+func (c *solveCounter) noisyTotals() (noisyJobs, entriesDropped int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.noisyJobs, c.entriesDropped
 }
 
 // totals returns the accumulated solver work.
@@ -422,6 +447,7 @@ func (s *Server) start(j *job, exec Execution) {
 				// work, so the fleet's front end aggregates the whole
 				// cluster's solver effort.
 				s.solve.addStats(result.Recover.Solver)
+				s.solve.addNoise(result.Recover.Noise)
 			}
 			j.finish(StateSucceeded, nil, result)
 		case j.runCtx.Err() != nil:
@@ -553,6 +579,13 @@ func (p *progressState) observe(ev repro.ProgressEvent) {
 		p.solver.Learned = max(p.solver.Learned, ev.LearnedClauses)
 		p.solver.PatternsUsed = max(p.solver.PatternsUsed, ev.PatternsUsed)
 		p.solver.PatternsPlanned = max(p.solver.PatternsPlanned, ev.PatternsPlanned)
+		p.solver.EntriesDropped = max(p.solver.EntriesDropped, int64(ev.DroppedEntries))
+		// Confidence is the one non-monotonic solver field: each candidate
+		// event re-grades the surviving set, so the freshest nonzero report
+		// wins (retraction events grade zero — no candidate exists yet).
+		if ev.Confidence != 0 {
+			p.solver.Confidence = ev.Confidence
+		}
 		if ev.Done {
 			p.solveDone = true
 		}

@@ -175,6 +175,110 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 		return fmt.Errorf("recovered codes do not match the client-side ground truth")
 	}
 	logf("all %d jobs recovered the secret ECC function (H verified against ground truth)", cfg.Jobs)
+
+	if err := noiseSmoke(ctx, client, cfg, logf, truth); err != nil {
+		return err
+	}
+	return nil
+}
+
+// noiseSmoke exercises the confidence-weighted recovery path end to end: it
+// submits one job whose profile is perturbed with a mild PBEM-style
+// false-positive rate, waits for the drop-k solver to retract the corrupted
+// entries, and asserts that the result JSON carries the "noise" block —
+// confidence, margin and dropped-entry accounting — that the CLI and
+// dashboards read, and that the recovered function still matches ground
+// truth.
+func noiseSmoke(ctx context.Context, client *http.Client, cfg SmokeConfig, logf func(string, ...any), truth *ecc.Code) error {
+	spec := JobSpec{
+		Type:         "recover",
+		Manufacturer: "B",
+		K:            16,
+		Seed:         1,
+		Verify:       true,
+		NoiseFP:      0.002,
+	}
+	var status JobStatus
+	if err := postJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs", spec, &status); err != nil {
+		return fmt.Errorf("submit noisy job: %w", err)
+	}
+	id := status.ID
+	logf("submitted %s (noise_fp=%g)", id, spec.NoiseFP)
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(cfg.PollInterval):
+		}
+		var st JobStatus
+		if err := getJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs/"+id, &st); err != nil {
+			return fmt.Errorf("status %s: %w", id, err)
+		}
+		if !st.State.Terminal() {
+			continue
+		}
+		if st.State != StateSucceeded {
+			return fmt.Errorf("noisy job %s finished %s: %s", id, st.State, st.Error)
+		}
+		// The live progress stream must have carried the drop-k telemetry.
+		if st.Progress.Solver.EntriesDropped == 0 {
+			return fmt.Errorf("noisy job %s: progress reported no dropped entries", id)
+		}
+		if c := st.Progress.Solver.Confidence; c <= 0 || c > 1 {
+			return fmt.Errorf("noisy job %s: progress confidence %v out of (0, 1]", id, c)
+		}
+		break
+	}
+
+	var res JobResult
+	if err := getJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs/"+id+"/result", &res); err != nil {
+		return fmt.Errorf("result %s: %w", id, err)
+	}
+	rec := res.Recover
+	if rec == nil || rec.Noise == nil {
+		return fmt.Errorf("%s: noisy result carries no noise block", id)
+	}
+	n := rec.Noise
+	if n.Total != n.Retained+n.Dropped {
+		return fmt.Errorf("%s: noise accounting does not add up: %+v", id, n)
+	}
+	if n.Dropped == 0 || len(n.DroppedEntries) != n.Dropped {
+		return fmt.Errorf("%s: expected dropped false-positive entries, got %+v", id, n)
+	}
+	if n.Confidence <= 0 || n.Confidence >= 1 {
+		return fmt.Errorf("%s: confidence %v out of (0, 1) for a lossy recovery", id, n.Confidence)
+	}
+	if !rec.Unique {
+		return fmt.Errorf("%s: expected a unique function after drop-k, got %d candidates", id, rec.Candidates)
+	}
+	if rec.GroundTruthMatch == nil || !*rec.GroundTruthMatch {
+		return fmt.Errorf("%s: noisy recovery does not match ground truth", id)
+	}
+	code := new(ecc.Code)
+	if err := code.UnmarshalText([]byte(rec.Code)); err != nil {
+		return fmt.Errorf("%s: unparseable recovered code: %w", id, err)
+	}
+	if !code.EquivalentTo(truth) {
+		return fmt.Errorf("%s: noisy recovery does not match the client-side ground truth", id)
+	}
+
+	// Assert on the raw wire format too: the "confidence" field must be
+	// present in the result JSON regardless of how the typed structs evolve.
+	var raw map[string]any
+	if err := getJSON(ctx, client, cfg.BaseURL+"/api/v1/jobs/"+id+"/result", &raw); err != nil {
+		return fmt.Errorf("raw result %s: %w", id, err)
+	}
+	recRaw, _ := raw["recover"].(map[string]any)
+	noiseRaw, _ := recRaw["noise"].(map[string]any)
+	if noiseRaw == nil {
+		return fmt.Errorf("%s: result JSON carries no recover.noise object", id)
+	}
+	if _, ok := noiseRaw["confidence"]; !ok {
+		return fmt.Errorf("%s: result JSON carries no confidence field", id)
+	}
+	logf("%s: drop-k retracted %d/%d entries, confidence %.3f, margin %.3f (H verified against ground truth)",
+		id, n.Dropped, n.Total, n.Confidence, n.Margin)
 	return nil
 }
 

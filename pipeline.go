@@ -231,6 +231,36 @@ func WithRecoverOptions(opts RecoverOptions) Option {
 	}
 }
 
+// WithNoiseModel perturbs the collected miscorrection profile with a
+// per-bit Bernoulli observation-error model (HARP-style false-positive
+// injection and true-positive dropout) before solving, and routes the solve
+// through the noise-tolerant drop-k engine (core.SolveNoisy) with an
+// unlimited drop budget unless WithMaxDrop narrows it. A zero model leaves
+// the profile untouched but still exercises the noisy path — useful to
+// confirm the confidence-1.0 differential property on clean hardware. The
+// adaptive planner (WithPlanner) does not support profile perturbation.
+func WithNoiseModel(m NoiseModel) Option {
+	return func(p *Pipeline) {
+		p.recover.PerturbProfile = m.Perturber()
+		if p.recover.Solve.Noisy == nil {
+			p.recover.Solve.Noisy = &core.NoisyOptions{MaxDrop: -1}
+		}
+	}
+}
+
+// WithMaxDrop bounds how many profile entries the noise-tolerant solve may
+// retract (core.NoisyOptions.MaxDrop): 0 permits none, negative means
+// unlimited. Implies the noisy solve path even without WithNoiseModel —
+// the configuration for real chips whose profiles may already be noisy.
+func WithMaxDrop(k int) Option {
+	return func(p *Pipeline) {
+		if p.recover.Solve.Noisy == nil {
+			p.recover.Solve.Noisy = &core.NoisyOptions{}
+		}
+		p.recover.Solve.Noisy.MaxDrop = k
+	}
+}
+
 // WithBEEPOptions configures BEEP profiling (ProfileWord).
 func WithBEEPOptions(opts BEEPOptions) Option { return func(p *Pipeline) { p.beep = opts } }
 
@@ -272,6 +302,9 @@ func (p *Pipeline) Solve(ctx context.Context, profile *Profile) (*SolveResult, e
 	solveOpts := p.recover.Solve
 	if solveOpts.Progress == nil {
 		solveOpts.Progress = p.recover.Progress
+	}
+	if solveOpts.Noisy != nil {
+		return core.SolveNoisy(ctx, profile, solveOpts)
 	}
 	if p.recover.UseLazySolver {
 		return core.SolveLazy(ctx, profile, solveOpts)

@@ -49,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ecc"
 	"repro/internal/einsim"
+	"repro/internal/noise"
 	"repro/internal/ondie"
 	"repro/internal/parallel"
 	"repro/internal/sat"
@@ -93,6 +94,16 @@ type (
 	// vs. the full sweep, batch count, and whether the planner decided
 	// early.
 	PlanInfo = core.PlanInfo
+	// NoiseModel is a per-bit Bernoulli observation-error model over
+	// miscorrection profiles (HARP-style PBEM); install one with
+	// WithNoiseModel to evaluate recovery under imperfect profiling.
+	NoiseModel = noise.Model
+	// NoisyOptions tunes the noise-tolerant drop-k solve path
+	// (WithNoiseModel / WithMaxDrop).
+	NoisyOptions = core.NoisyOptions
+	// NoiseInfo reports a noisy recovery's drop-k outcome — retained vs
+	// dropped entries, confidence, and support margin (SolveResult.Noise).
+	NoiseInfo = core.NoiseInfo
 	// BEEPOptions configures BEEP profiling.
 	BEEPOptions = beep.Options
 	// BEEPOutcome reports BEEP's findings for one word.

@@ -7,16 +7,19 @@ import (
 )
 
 // defaultKeys are the benchmarks the CI gate enforces: the figure sweeps the
-// bitsliced core is meant to keep fast, the end-to-end recovery pipeline, and
-// the serial/parallel collection pair. All run long enough at -benchtime 1x
-// that a 30% ns/op move is a real regression, not scheduler noise, and
-// bytes/op is deterministic for all of them.
+// bitsliced core is meant to keep fast, the end-to-end recovery pipeline,
+// the serial/parallel collection pair, and the exact-vs-PBEM_75 noisy
+// drop-k solve pair. All run long enough at -benchtime 1x that a 30% ns/op
+// move is a real regression, not scheduler noise, and bytes/op is
+// deterministic for all of them.
 var defaultKeys = []string{
 	"BenchmarkFig8",
 	"BenchmarkFig9",
 	"BenchmarkRecoverEndToEnd",
 	"BenchmarkSerialCollect",
 	"BenchmarkParallelCollect",
+	"BenchmarkNoisyRecoverExact",
+	"BenchmarkNoisyRecoverPBEM75",
 }
 
 type compareOptions struct {
