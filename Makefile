@@ -8,7 +8,7 @@ GO ?= go
 # the file this expands to, so bench jobs no longer need per-PR edits.
 BENCH_TAG ?= pr6
 
-.PHONY: all build test lint bench bench-baseline bench-gate fuzz-smoke fmt serve-smoke cluster-smoke
+.PHONY: all build test lint bench bench-baseline bench-gate fuzz-smoke fmt serve-smoke cluster-smoke solver-regression
 
 all: build lint test
 
@@ -58,6 +58,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCNFBuilder -fuzztime 15s ./internal/sat
 	$(GO) test -run '^$$' -fuzz FuzzBitsliced -fuzztime 15s ./internal/ecc
 	$(GO) test -run '^$$' -fuzz FuzzNoisyRecover -fuzztime 15s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzDimacsRoundTrip -fuzztime 15s ./internal/sat
+
+# Graded SATLIB regression suite (internal/sat/satlib): the committed
+# uf20/uf50/uuf50 + BEER-formula corpus solved under per-grade conflict
+# budgets with checked-in pass thresholds (grading.json — the ratchet), plus
+# the differential CDCL/portfolio/external backend agreement tests. External
+# solvers (kissat, cadical) are exercised when installed and skipped
+# cleanly otherwise; the test binary's own re-exec solver always runs.
+solver-regression:
+	$(GO) test -race -v -run 'TestSolverGraded|TestDifferentialBackends|TestPortfolioOnBeerFormulas|TestGradingRatchetSane|TestCorpusWellFormed' ./internal/sat/satlib
 
 # Boot an ephemeral beerd, submit 8 concurrent FastRecovery jobs against
 # simulated MfrB chips, assert monotonic per-stage progress and that every

@@ -21,6 +21,7 @@ import (
 	"repro/internal/gf2"
 	"repro/internal/noise"
 	"repro/internal/ondie"
+	"repro/internal/sat"
 )
 
 // benchFigure times one full regeneration of a registered table or figure.
@@ -427,4 +428,42 @@ func BenchmarkNoisyRecoverPBEM75(b *testing.B) {
 	m := noise.PBEM75
 	m.Seed = 7
 	benchNoisyRecover(b, &m)
+}
+
+// --- Single-engine vs. portfolio backend pair (PR 8) ---
+// BenchmarkSolveBackendCDCL / BenchmarkSolveBackendPortfolio bound the
+// portfolio's overhead on the seed-configuration profile (k=16,
+// {1,2}-CHARGED): racing three differently-seeded in-process CDCL engines
+// costs goroutine setup plus redundant work by the losers, and the gate
+// keeps that within the ordinary regression threshold of the
+// single-engine entry. External competitors are deliberately absent —
+// process spawn costs would swamp the comparison and CI machines may not
+// carry solver binaries.
+func benchSolveBackend(b *testing.B, factory func() sat.Backend) {
+	b.Helper()
+	code, prof := benchProfile()
+	opts := core.SolveOptions{ParityBits: code.ParityBits(), Backend: factory}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveIncremental(context.Background(), prof, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Unique {
+			b.Fatalf("solve not unique (%d candidates)", len(res.Codes))
+		}
+	}
+}
+
+func BenchmarkSolveBackendCDCL(b *testing.B) { benchSolveBackend(b, nil) }
+
+func BenchmarkSolveBackendPortfolio(b *testing.B) {
+	benchSolveBackend(b, func() sat.Backend {
+		p, err := sat.DefaultPortfolio(3)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
 }

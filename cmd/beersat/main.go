@@ -1,0 +1,23 @@
+// Command beersat is this repo's in-process CDCL engine packaged as a
+// conventional command-line DIMACS solver: it reads a CNF file (or stdin),
+// prints "s SATISFIABLE"/"s UNSATISFIABLE" plus "v" model lines, and exits
+// 10/20 in the standard convention. It exists so the external-process
+// backend (sat.External) and the portfolio always have a real solver
+// binary available on any machine that can build the repo — and as the
+// dogfooding target for the DIMACS round-trip: beersat consumes exactly
+// what sat.WriteDIMACS produces.
+//
+// Usage:
+//
+//	beersat [-t seconds] [file.cnf]
+package main
+
+import (
+	"os"
+
+	"repro/internal/sat"
+)
+
+func main() {
+	os.Exit(sat.SolverMain(os.Args[1:], os.Stdout, os.Stderr))
+}

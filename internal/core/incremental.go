@@ -150,6 +150,8 @@ func (ss *SolveSession) statsEvent(candidates int) Event {
 		Conflicts:      stats.Conflicts,
 		Propagations:   stats.Propagations,
 		LearnedClauses: stats.Learnt,
+		Races:          stats.Races,
+		Competitors:    stats.Competitors,
 	}
 }
 

@@ -259,6 +259,8 @@ func (ns *NoisySolveSession) event(candidates int, confidence float64) Event {
 		Conflicts:      stats.Conflicts,
 		Propagations:   stats.Propagations,
 		LearnedClauses: stats.Learnt,
+		Races:          stats.Races,
+		Competitors:    stats.Competitors,
 		DroppedEntries: len(ns.dropped),
 		Confidence:     confidence,
 	}

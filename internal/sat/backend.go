@@ -1,8 +1,6 @@
 package sat
 
 import (
-	"bufio"
-	"fmt"
 	"io"
 	"time"
 )
@@ -163,37 +161,27 @@ func dimacsLit(l Lit) int {
 	return v
 }
 
+// Snapshot returns the recorded formula as a CNF value: the live variable
+// count, a shallow view of the recorded clauses (valid until the next Add),
+// and the most recent solve's assumptions. This is the export surface the
+// external backend, the corpus generator and WriteDIMACS share.
+func (d *Dimacs) Snapshot() *CNF {
+	return &CNF{
+		Vars:        d.NumVars(),
+		Clauses:     d.clauses,
+		Assumptions: d.lastAssumptions,
+	}
+}
+
 // WriteDIMACS writes the recorded formula in DIMACS CNF format. When the
 // last solve ran under assumptions, they are emitted as a "c assumptions:"
 // comment so the exact incremental query can be reproduced externally (by
-// appending them as unit clauses).
+// appending them as unit clauses). The "p cnf" header is recounted from
+// the live formula on every call — vars and clauses added after an earlier
+// WriteDIMACS are reflected, never a cached count (the header additionally
+// covers any clause literal beyond the inner backend's variable count, so
+// the export always parses back to a formula at least as wide as its
+// widest clause).
 func (d *Dimacs) WriteDIMACS(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", d.NumVars(), len(d.clauses)); err != nil {
-		return err
-	}
-	if len(d.lastAssumptions) > 0 {
-		if _, err := fmt.Fprint(bw, "c assumptions:"); err != nil {
-			return err
-		}
-		for _, a := range d.lastAssumptions {
-			if _, err := fmt.Fprintf(bw, " %d", dimacsLit(a)); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintln(bw); err != nil {
-			return err
-		}
-	}
-	for _, c := range d.clauses {
-		for _, l := range c {
-			if _, err := fmt.Fprintf(bw, "%d ", dimacsLit(l)); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintln(bw, "0"); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return d.Snapshot().Write(w)
 }

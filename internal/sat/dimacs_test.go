@@ -1,0 +1,241 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWriteDIMACSHeaderRecount is the stale-header regression: exporting,
+// growing the formula, and exporting again must yield a second file whose
+// "p cnf" header matches its own clause set — the header is recounted at
+// write time, never cached from the first export.
+func TestWriteDIMACSHeaderRecount(t *testing.T) {
+	d := NewDimacs(nil)
+	x, y := d.NewVar(), d.NewVar()
+	d.Add(PosLit(x), PosLit(y))
+
+	var first bytes.Buffer
+	if err := d.WriteDIMACS(&first); err != nil {
+		t.Fatal(err)
+	}
+	got1, err := ParseDIMACS(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Vars != 2 || len(got1.Clauses) != 1 {
+		t.Fatalf("first export: %d vars / %d clauses, want 2/1", got1.Vars, len(got1.Clauses))
+	}
+
+	// Grow after the first export: new variable, two new clauses.
+	z := d.NewVar()
+	d.Add(NegLit(x), PosLit(z))
+	d.Add(NegLit(z))
+
+	var second bytes.Buffer
+	if err := d.WriteDIMACS(&second); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ParseDIMACS(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Vars != 3 || len(got2.Clauses) != 3 {
+		t.Fatalf("second export: %d vars / %d clauses, want 3/3", got2.Vars, len(got2.Clauses))
+	}
+	if !strings.HasPrefix(second.String(), "p cnf 3 3\n") {
+		t.Fatalf("second header stale:\n%s", second.String())
+	}
+	// The first export must be untouched by the later growth.
+	if !strings.HasPrefix(first.String(), "p cnf 2 1\n") {
+		t.Fatalf("first header rewritten:\n%s", first.String())
+	}
+}
+
+// TestCNFHeaderCoversUndeclaredVars: a clause referencing a variable beyond
+// the declared count grows the written header (solvers reject literals
+// above the declared maximum).
+func TestCNFHeaderCoversUndeclaredVars(t *testing.T) {
+	cnf := &CNF{Vars: 1, Clauses: [][]Lit{{PosLit(0), PosLit(4)}}}
+	var buf bytes.Buffer
+	if err := cnf.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "p cnf 5 1\n") {
+		t.Fatalf("header must cover var 4:\n%s", buf.String())
+	}
+}
+
+func TestParseDIMACSRoundTrip(t *testing.T) {
+	orig := &CNF{
+		Vars: 4,
+		Clauses: [][]Lit{
+			{PosLit(0), NegLit(1)},
+			{PosLit(2), PosLit(3), NegLit(0)},
+			{NegLit(3)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vars != orig.Vars || len(got.Clauses) != len(orig.Clauses) {
+		t.Fatalf("round trip: %d vars / %d clauses, want %d/%d",
+			got.Vars, len(got.Clauses), orig.Vars, len(orig.Clauses))
+	}
+	for i, cl := range orig.Clauses {
+		if len(got.Clauses[i]) != len(cl) {
+			t.Fatalf("clause %d length drifted", i)
+		}
+		for j, l := range cl {
+			if got.Clauses[i][j] != l {
+				t.Fatalf("clause %d literal %d: %v != %v", i, j, got.Clauses[i][j], l)
+			}
+		}
+	}
+}
+
+// TestDimacsAssumptionsRoundTrip: the recorder's "c assumptions:" comment
+// survives a write/parse cycle, keeping an exported incremental query
+// reproducible.
+func TestDimacsAssumptionsRoundTrip(t *testing.T) {
+	d := NewDimacs(nil)
+	x, y := d.NewVar(), d.NewVar()
+	d.Add(PosLit(x), PosLit(y))
+	if _, err := d.SolveUnderAssumptions(NegLit(x)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Assumptions) != 1 || got.Assumptions[0] != NegLit(x) {
+		t.Fatalf("assumptions = %v, want [~x]", got.Assumptions)
+	}
+}
+
+// TestParseDIMACSSatlibQuirks covers published-corpus formatting: comments
+// before and after the header, clauses split across lines, and the SATLIB
+// "%" end-of-file marker with trailing padding.
+func TestParseDIMACSSatlibQuirks(t *testing.T) {
+	const input = `c a SATLIB-style file
+p cnf 3 2
+c mid-file comment
+1 -2
+3 0
+-1 2 -3 0
+%
+0
+
+`
+	got, err := ParseDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vars != 3 || len(got.Clauses) != 2 {
+		t.Fatalf("%d vars / %d clauses, want 3/2", got.Vars, len(got.Clauses))
+	}
+	if len(got.Clauses[0]) != 3 {
+		t.Fatalf("multi-line clause not joined: %v", got.Clauses[0])
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for name, input := range map[string]string{
+		"no header":          "1 2 0\n",
+		"duplicate header":   "p cnf 1 1\np cnf 1 1\n1 0\n",
+		"malformed header":   "p dnf 1 1\n1 0\n",
+		"bad literal":        "p cnf 1 1\nx 0\n",
+		"unterminated":       "p cnf 2 1\n1 2\n",
+		"bad assumption lit": "p cnf 1 1\nc assumptions: zero\n1 0\n",
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: parse accepted %q", name, input)
+		}
+	}
+}
+
+func TestCNFSatisfied(t *testing.T) {
+	cnf := &CNF{Vars: 2, Clauses: [][]Lit{{PosLit(0), PosLit(1)}, {NegLit(0)}}}
+	if ok, _ := cnf.Satisfied([]bool{false, true}); !ok {
+		t.Fatal("satisfying assignment rejected")
+	}
+	ok, violated := cnf.Satisfied([]bool{true, true})
+	if ok || len(violated) != 1 || violated[0] != NegLit(0) {
+		t.Fatalf("want violation of [~x0], got ok=%v violated=%v", ok, violated)
+	}
+	// Variables beyond the assignment default to false.
+	if ok, _ := cnf.Satisfied(nil); ok {
+		t.Fatal("clause (x0|x1) cannot hold all-false")
+	}
+}
+
+// FuzzDimacsRoundTrip drives random formulas through the full text cycle:
+// build → WriteDIMACS → ParseDIMACS → solve both representations with the
+// in-process engine — the answers must agree, and a SAT model of the
+// parsed copy must satisfy the original clauses.
+func FuzzDimacsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 1, 2, 3, 0xFF, 4, 5})
+	f.Add([]byte{0x00, 0, 1})
+	f.Add([]byte{0x09, 0, 0xFF, 1, 0xFF, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{0x02, 0xFF, 0xFF, 1, 0, 3, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nvars, clauses := fuzzFormula(data)
+
+		rec := NewDimacs(New())
+		for i := 0; i < nvars; i++ {
+			rec.NewVar()
+		}
+		ok := true
+		for _, cl := range clauses {
+			if !rec.Add(cl...) {
+				ok = false
+				break
+			}
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseDIMACS(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("parse of own export failed: %v\n%s", err, buf.String())
+		}
+		if parsed.Vars != nvars || len(parsed.Clauses) != rec.NumClauses() {
+			t.Fatalf("round trip drifted: %d vars / %d clauses, want %d/%d",
+				parsed.Vars, len(parsed.Clauses), nvars, rec.NumClauses())
+		}
+
+		direct, err := rec.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok && direct {
+			t.Fatal("Add saw root conflict but Solve says SAT")
+		}
+
+		replay := New()
+		parsed.Feed(replay)
+		viaText, err := replay.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != viaText {
+			t.Fatalf("direct sat=%v, parsed-copy sat=%v\n%s", direct, viaText, buf.String())
+		}
+		if viaText {
+			if satOK, cl := parsed.Satisfied(replay.Model()); !satOK {
+				t.Fatalf("parsed-copy model violates clause %v", cl)
+			}
+		}
+	})
+}

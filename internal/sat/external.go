@@ -1,0 +1,364 @@
+package sat
+
+// External-process SAT backend: shells any DIMACS-speaking solver
+// (kissat, cadical, minisat, or this repo's own cmd/beersat) into the
+// Backend seam. The paper's own pipeline leans on an external solver (Z3,
+// §5.3), and HARP's harness establishes the operational discipline this
+// implementation follows: every invocation is bounded by a wall-clock
+// deadline, a timed-out solver is killed — process group and all — and its
+// partial output is discarded, never trusted.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrSolverNotFound reports that an external solver binary could not be
+// resolved. Callers (tests, CLI flags, the portfolio assembler) treat it as
+// "skip this competitor", so environments without solvers installed keep
+// working on the in-process engine alone.
+var ErrSolverNotFound = errors.New("sat: external solver binary not found")
+
+// ExternalConfig configures an external-process backend.
+type ExternalConfig struct {
+	// Argv is the solver command line; Argv[0] is the binary (resolved via
+	// PATH) and the DIMACS file path is appended as the final argument.
+	Argv []string
+	// Name labels the solver in statistics and portfolio reports
+	// (default: the base name of Argv[0]).
+	Name string
+	// Timeout bounds each invocation in wall clock (0 = unlimited). A run
+	// that reaches the deadline is killed and its answer discarded
+	// (ErrTimeout). SetTimeout overrides this per the Backend contract.
+	Timeout time.Duration
+	// Dir is the scratch directory for DIMACS files ("" = os.TempDir).
+	Dir string
+	// Env appends environment variables (KEY=VALUE) to the solver process
+	// beyond the parent's environment.
+	Env []string
+}
+
+// name returns the display name for stats.
+func (c ExternalConfig) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	if len(c.Argv) == 0 {
+		return "external"
+	}
+	argv0 := c.Argv[0]
+	if i := strings.LastIndexByte(argv0, '/'); i >= 0 {
+		argv0 = argv0[i+1:]
+	}
+	return argv0
+}
+
+// External is a Backend over an external DIMACS solver process. Clauses
+// accumulate in memory; every Solve / SolveUnderAssumptions writes the
+// current formula (plus the assumptions as unit clauses) to a scratch
+// DIMACS file and runs one solver invocation to completion, kill, or
+// deadline. There is no incremental state across calls — callers that need
+// hot learned-clause reuse race it against the in-process engine through
+// the Portfolio backend instead of replacing it.
+//
+// External is single-goroutine, like every Backend.
+type External struct {
+	cfg ExternalConfig
+	bin string // resolved Argv[0]
+
+	cnf       CNF
+	rootUnsat bool // an empty clause was added, or the solver proved UNSAT with no assumptions
+
+	model     []bool
+	hasModel  bool
+	failed    []Lit
+	interrupt func() bool
+	timeout   time.Duration
+
+	stats Stats
+}
+
+// Compile-time check.
+var _ Backend = (*External)(nil)
+
+// NewExternal resolves the configured solver binary and returns a fresh
+// external backend. A missing binary returns an error wrapping
+// ErrSolverNotFound; CI environments without solvers installed detect that
+// and skip, per the issue's graceful-degradation requirement.
+func NewExternal(cfg ExternalConfig) (*External, error) {
+	if len(cfg.Argv) == 0 {
+		return nil, fmt.Errorf("sat: external solver needs a command line")
+	}
+	bin, err := exec.LookPath(cfg.Argv[0])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrSolverNotFound, cfg.Argv[0])
+	}
+	return &External{cfg: cfg, bin: bin, timeout: cfg.Timeout}, nil
+}
+
+// Name returns the solver's display name (ExternalConfig.Name or the
+// binary's base name).
+func (e *External) Name() string { return e.cfg.name() }
+
+// NewVar implements Backend.
+func (e *External) NewVar() int {
+	e.cnf.Vars++
+	return e.cnf.Vars - 1
+}
+
+// NumVars implements Backend.
+func (e *External) NumVars() int { return e.cnf.Vars }
+
+// NumClauses implements Backend. Like the Dimacs recorder it counts every
+// clause handed to Add — the external file is a faithful export.
+func (e *External) NumClauses() int { return len(e.cnf.Clauses) }
+
+// Add implements Backend: record the clause for the next export. Only a
+// directly-added empty clause (and a previous no-assumption UNSAT answer)
+// makes Add report false; the backend has no propagation of its own.
+func (e *External) Add(lits ...Lit) bool {
+	if len(lits) == 0 {
+		e.rootUnsat = true
+	}
+	e.cnf.Clauses = append(e.cnf.Clauses, append([]Lit(nil), lits...))
+	return !e.rootUnsat
+}
+
+// Solve implements Backend: one full solver invocation over the current
+// formula.
+func (e *External) Solve() (bool, error) { return e.SolveUnderAssumptions() }
+
+// SolveUnderAssumptions implements Backend: the assumptions are appended
+// to the exported file as unit clauses (DIMACS has no assumption syntax),
+// so an UNSAT answer under assumptions does not mark the formula itself
+// unsatisfiable. External solvers return no failed-assumption cores;
+// FailedAssumptions after an UNSAT-under-assumptions answer is the full
+// assumption set — sound (that set certainly suffices) but never minimal.
+func (e *External) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
+	e.failed = e.failed[:0]
+	e.hasModel = false
+	if e.rootUnsat {
+		return false, nil
+	}
+	if e.interrupt != nil && e.interrupt() {
+		return false, ErrInterrupted
+	}
+	res, err := e.runOnce(assumptions)
+	if err != nil {
+		return false, err
+	}
+	if !res.sat {
+		if len(assumptions) == 0 {
+			e.rootUnsat = true
+		} else {
+			e.failed = append(e.failed, assumptions...)
+		}
+		return false, nil
+	}
+	// Never trust a SAT claim: the model must satisfy the recorded formula
+	// and the assumptions. A solver that lies (or a parse that drifted) is
+	// an error, not an answer.
+	if ok, cl := e.cnf.Satisfied(res.model); !ok {
+		return false, fmt.Errorf("sat: external solver %s returned a model violating clause %v", e.Name(), cl)
+	}
+	for _, a := range assumptions {
+		if av := a.Var(); av < len(res.model) && res.model[av] == a.Sign() {
+			return false, fmt.Errorf("sat: external solver %s returned a model violating assumption %v", e.Name(), a)
+		}
+	}
+	e.model = res.model
+	e.hasModel = true
+	return true, nil
+}
+
+// solverResult is one parsed invocation outcome.
+type solverResult struct {
+	sat   bool
+	model []bool
+}
+
+// runOnce exports the formula, runs the solver once under the effective
+// deadline, and parses its verdict. Timed-out and interrupted runs are
+// killed (whole process group) and discarded.
+func (e *External) runOnce(assumptions []Lit) (solverResult, error) {
+	e.stats.ExternalRuns++
+	f, err := os.CreateTemp(e.cfg.Dir, "beer-sat-*.cnf")
+	if err != nil {
+		return solverResult{}, fmt.Errorf("sat: external scratch file: %w", err)
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	// Assumptions become unit clauses of the exported formula (fresh slice
+	// header AND backing array — the shared clause records must not move),
+	// so the recounted header covers them too.
+	clauses := make([][]Lit, 0, len(e.cnf.Clauses)+len(assumptions))
+	clauses = append(clauses, e.cnf.Clauses...)
+	for _, a := range assumptions {
+		clauses = append(clauses, []Lit{a})
+	}
+	export := CNF{Vars: e.cnf.Vars, Clauses: clauses}
+	writeErr := export.Write(f)
+	if err := f.Close(); err != nil && writeErr == nil {
+		writeErr = err
+	}
+	if writeErr != nil {
+		return solverResult{}, fmt.Errorf("sat: external export: %w", writeErr)
+	}
+
+	args := append(append([]string(nil), e.cfg.Argv[1:]...), path)
+	cmd := exec.Command(e.bin, args...)
+	cmd.Env = append(os.Environ(), e.cfg.Env...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	setProcessGroup(cmd)
+	if err := cmd.Start(); err != nil {
+		return solverResult{}, fmt.Errorf("sat: external solver %s: %w", e.Name(), err)
+	}
+
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	var deadline time.Time
+	if e.timeout > 0 {
+		deadline = time.Now().Add(e.timeout)
+	}
+	poll := time.NewTicker(5 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		select {
+		case werr := <-waitCh:
+			return e.parseOutcome(out.Bytes(), werr)
+		case <-poll.C:
+			if e.interrupt != nil && e.interrupt() {
+				killProcessGroup(cmd)
+				<-waitCh
+				return solverResult{}, ErrInterrupted
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				// HARP's Z3_TIMEOUT_MS rule: kill and discard. The answer a
+				// dying solver prints on the way out is never read.
+				killProcessGroup(cmd)
+				<-waitCh
+				e.stats.ExternalTimeouts++
+				return solverResult{}, ErrTimeout
+			}
+		}
+	}
+}
+
+// parseOutcome interprets one completed invocation. DIMACS solvers exit 10
+// for SAT and 20 for UNSAT (both "failures" to os/exec), so the verdict
+// comes from the "s " status line, with the exit code only breaking ties.
+func (e *External) parseOutcome(output []byte, waitErr error) (solverResult, error) {
+	status, model, perr := parseSolverOutput(output, e.cnf.Vars)
+	if perr != nil {
+		return solverResult{}, fmt.Errorf("sat: external solver %s: %w", e.Name(), perr)
+	}
+	switch status {
+	case "SATISFIABLE":
+		return solverResult{sat: true, model: model}, nil
+	case "UNSATISFIABLE":
+		return solverResult{}, nil
+	case "UNKNOWN":
+		// The solver gave up (its own internal limits); same discard
+		// semantics as a deadline.
+		e.stats.ExternalTimeouts++
+		return solverResult{}, ErrTimeout
+	}
+	if waitErr != nil {
+		return solverResult{}, fmt.Errorf("sat: external solver %s: %w (no status line in %d bytes of output)", e.Name(), waitErr, len(output))
+	}
+	return solverResult{}, fmt.Errorf("sat: external solver %s printed no status line", e.Name())
+}
+
+// parseSolverOutput scans solver stdout for the DIMACS "s" status line and
+// the "v" model lines (literals across any number of lines, terminated by
+// 0). The model defaults unmentioned variables to false.
+func parseSolverOutput(output []byte, nVars int) (status string, model []bool, err error) {
+	model = make([]bool, nVars)
+	for _, line := range strings.Split(string(output), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "s "):
+			if status != "" {
+				return "", nil, fmt.Errorf("multiple status lines")
+			}
+			status = strings.TrimSpace(strings.TrimPrefix(line, "s "))
+		case strings.HasPrefix(line, "v "), line == "v":
+			for _, tok := range strings.Fields(line[1:]) {
+				n, aerr := strconv.Atoi(tok)
+				if aerr != nil {
+					return "", nil, fmt.Errorf("bad model literal %q", tok)
+				}
+				if n == 0 {
+					continue
+				}
+				v := n
+				if v < 0 {
+					v = -v
+				}
+				if v-1 < nVars {
+					model[v-1] = n > 0
+				}
+			}
+		}
+	}
+	return status, model, nil
+}
+
+// FailedAssumptions implements Backend; see SolveUnderAssumptions for the
+// full-set (sound, non-minimal) semantics.
+func (e *External) FailedAssumptions() []Lit { return e.failed }
+
+// Value implements Backend.
+func (e *External) Value(v int) bool {
+	if !e.hasModel {
+		panic("sat: Value called without a model")
+	}
+	return e.model[v]
+}
+
+// Model implements Backend.
+func (e *External) Model() []bool {
+	m := make([]bool, len(e.model))
+	copy(m, e.model)
+	return m
+}
+
+// Learned implements Backend: an external process keeps its learned state
+// to itself, so there is nothing to report (and nothing carries across
+// invocations — the incremental-reuse half of the Backend contract is
+// honored trivially, each call simply re-reads the whole formula).
+func (e *External) Learned() int64 { return 0 }
+
+// Interrupt implements Backend: the hook is polled every few milliseconds
+// while a solver process runs; firing kills the process group and returns
+// ErrInterrupted.
+func (e *External) Interrupt(fn func() bool) { e.interrupt = fn }
+
+// SetMaxConflicts implements Backend. External solvers expose no uniform
+// conflict budget over the DIMACS interface; the wall-clock deadline
+// (SetTimeout / ExternalConfig.Timeout) is the effort bound, so this is a
+// no-op.
+func (e *External) SetMaxConflicts(int64) {}
+
+// SetTimeout implements Backend: bounds each invocation in wall clock,
+// overriding ExternalConfig.Timeout (0 restores it).
+func (e *External) SetTimeout(d time.Duration) {
+	if d <= 0 {
+		e.timeout = e.cfg.Timeout
+		return
+	}
+	e.timeout = d
+}
+
+// Statistics implements Backend: invocation and timeout counters (the
+// in-process CDCL fields stay zero — an external solver's internal work is
+// invisible).
+func (e *External) Statistics() Stats { return e.stats }

@@ -1,0 +1,233 @@
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain lets this test binary impersonate external solvers, selected by
+// the BEER_SAT_MODE environment variable (passed per-backend through
+// ExternalConfig.Env, so different External instances in one test process
+// get different behaviors):
+//
+//	solve    run sat.SolverMain — a real, honest DIMACS solver
+//	sleep    spawn a child process, record both PIDs, hang — for
+//	         kill-on-timeout / no-orphans tests
+//	lie      claim SATISFIABLE with an all-false model regardless of input
+//	garbage  print nonsense with no status line, exit 0
+func TestMain(m *testing.M) {
+	switch os.Getenv("BEER_SAT_MODE") {
+	case "solve":
+		os.Exit(SolverMain(os.Args[1:], os.Stdout, os.Stderr))
+	case "sleep":
+		fakeSleepSolver()
+	case "lie":
+		fmt.Println("s SATISFIABLE")
+		fmt.Println("v 0")
+		os.Exit(10)
+	case "garbage":
+		fmt.Println("thinking about clauses, results pending")
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// fakeSleepSolver spawns a grandchild and blocks forever; the test on the
+// other side kills our whole process group and then asserts the grandchild
+// died with us — the no-orphans discipline.
+func fakeSleepSolver() {
+	child := exec.Command(os.Args[0])
+	child.Env = append(os.Environ(), "BEER_SAT_MODE=grandchild-sleep")
+	if err := child.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if pidFile := os.Getenv("BEER_SAT_PIDFILE"); pidFile != "" {
+		if err := os.WriteFile(pidFile, []byte(fmt.Sprintf("%d %d", os.Getpid(), child.Process.Pid)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	time.Sleep(time.Hour)
+}
+
+func init() {
+	if os.Getenv("BEER_SAT_MODE") == "grandchild-sleep" {
+		time.Sleep(time.Hour)
+		os.Exit(0)
+	}
+}
+
+// selfConfig returns an ExternalConfig that re-execs this test binary in
+// the given fake-solver mode.
+func selfConfig(t *testing.T, mode string, extraEnv ...string) ExternalConfig {
+	t.Helper()
+	return ExternalConfig{
+		Argv:    []string{os.Args[0]},
+		Name:    "self-" + mode,
+		Env:     append([]string{"BEER_SAT_MODE=" + mode}, extraEnv...),
+		Timeout: time.Minute,
+		Dir:     t.TempDir(),
+	}
+}
+
+func TestExternalNotFound(t *testing.T) {
+	_, err := NewExternal(ExternalConfig{Argv: []string{"no-such-solver-binary-xyzzy"}})
+	if !errors.Is(err, ErrSolverNotFound) {
+		t.Fatalf("err = %v, want ErrSolverNotFound", err)
+	}
+	if _, err := NewExternal(ExternalConfig{}); err == nil {
+		t.Fatal("empty argv must error")
+	}
+}
+
+func TestExternalSolveSAT(t *testing.T) {
+	e, err := NewExternal(selfConfig(t, "solve"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := e.NewVar(), e.NewVar()
+	e.Add(PosLit(x), PosLit(y))
+	e.Add(NegLit(x))
+	sat, err := e.Solve()
+	if err != nil || !sat {
+		t.Fatalf("Solve = %v, %v; want true, nil", sat, err)
+	}
+	if e.Value(x) || !e.Value(y) {
+		t.Fatalf("model = x:%v y:%v, want x:false y:true", e.Value(x), e.Value(y))
+	}
+	if st := e.Statistics(); st.ExternalRuns != 1 || st.ExternalTimeouts != 0 {
+		t.Fatalf("stats = %+v, want 1 run, 0 timeouts", st)
+	}
+}
+
+func TestExternalSolveUNSATAndReuse(t *testing.T) {
+	e, err := NewExternal(selfConfig(t, "solve"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.NewVar()
+	e.Add(PosLit(x))
+
+	// UNSAT under an assumption: the formula itself stays satisfiable and
+	// the backend stays usable, with the full assumption set as the core.
+	sat, err := e.SolveUnderAssumptions(NegLit(x))
+	if err != nil || sat {
+		t.Fatalf("under ~x: got %v, %v; want false, nil", sat, err)
+	}
+	if got := e.FailedAssumptions(); len(got) != 1 || got[0] != NegLit(x) {
+		t.Fatalf("FailedAssumptions = %v, want [~x]", got)
+	}
+	if sat, err := e.Solve(); err != nil || !sat {
+		t.Fatalf("after assumption-UNSAT: Solve = %v, %v; want true, nil", sat, err)
+	}
+
+	// Root-level UNSAT latches: a later Solve answers false with no
+	// further solver invocations.
+	e.Add(NegLit(x))
+	if sat, err := e.Solve(); err != nil || sat {
+		t.Fatalf("contradictory: got %v, %v; want false, nil", sat, err)
+	}
+	runs := e.Statistics().ExternalRuns
+	if sat, err := e.Solve(); err != nil || sat {
+		t.Fatalf("latched: got %v, %v; want false, nil", sat, err)
+	}
+	if e.Statistics().ExternalRuns != runs {
+		t.Fatal("latched UNSAT must not spawn another solver run")
+	}
+}
+
+func TestExternalLyingSolverCaught(t *testing.T) {
+	e, err := NewExternal(selfConfig(t, "lie"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.NewVar()
+	e.Add(PosLit(x)) // the liar's all-false model violates this
+	_, err = e.Solve()
+	if err == nil || !strings.Contains(err.Error(), "violating clause") {
+		t.Fatalf("err = %v, want model-verification failure", err)
+	}
+}
+
+func TestExternalGarbageOutput(t *testing.T) {
+	e, err := NewExternal(selfConfig(t, "garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.NewVar()
+	e.Add(PosLit(x))
+	_, err = e.Solve()
+	if err == nil || !strings.Contains(err.Error(), "no status line") {
+		t.Fatalf("err = %v, want no-status-line failure", err)
+	}
+}
+
+func TestExternalInterrupt(t *testing.T) {
+	e, err := NewExternal(selfConfig(t, "sleep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.NewVar()
+	e.Add(PosLit(x))
+	e.Interrupt(func() bool { return true })
+	start := time.Now()
+	_, err = e.Solve()
+	if err != ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("interrupt took %v", elapsed)
+	}
+}
+
+// TestExternalTimeoutDiscardsAndStaysUsable is the HARP-discipline test: a
+// run that hits the wall-clock deadline is killed, its answer is discarded
+// (ErrTimeout), the timeout is counted, no scratch files leak, and the
+// backend remains usable for further calls.
+func TestExternalTimeoutDiscardsAndStaysUsable(t *testing.T) {
+	scratch := t.TempDir()
+	cfg := selfConfig(t, "sleep")
+	cfg.Dir = scratch
+	cfg.Timeout = 150 * time.Millisecond
+	e, err := NewExternal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.NewVar()
+	e.Add(PosLit(x))
+
+	for call := 1; call <= 2; call++ {
+		start := time.Now()
+		_, err = e.Solve()
+		if err != ErrTimeout {
+			t.Fatalf("call %d: err = %v, want ErrTimeout", call, err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("call %d: kill took %v", call, elapsed)
+		}
+	}
+	st := e.Statistics()
+	if st.ExternalRuns != 2 || st.ExternalTimeouts != 2 {
+		t.Fatalf("stats = %+v, want 2 runs / 2 timeouts", st)
+	}
+	left, err := filepath.Glob(filepath.Join(scratch, "beer-sat-*.cnf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("scratch files leaked: %v", left)
+	}
+
+	// SetTimeout(0) restores the config timeout; a per-call override works.
+	e.SetTimeout(100 * time.Millisecond)
+	if _, err := e.Solve(); err != ErrTimeout {
+		t.Fatalf("override: err = %v, want ErrTimeout", err)
+	}
+}

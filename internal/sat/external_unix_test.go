@@ -1,0 +1,61 @@
+//go:build unix
+
+package sat
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestExternalTimeoutKillsWholeProcessGroup proves the no-orphans
+// guarantee: the fake sleeping solver forks a grandchild; after the
+// deadline fires, both the solver process AND its grandchild must be dead
+// — the kill reaches the whole process group, not just the direct child.
+func TestExternalTimeoutKillsWholeProcessGroup(t *testing.T) {
+	pidFile := filepath.Join(t.TempDir(), "pids")
+	cfg := selfConfig(t, "sleep", "BEER_SAT_PIDFILE="+pidFile)
+	cfg.Timeout = 300 * time.Millisecond
+	e, err := NewExternal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.NewVar()
+	e.Add(PosLit(x))
+	if _, err := e.Solve(); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+
+	data, err := os.ReadFile(pidFile)
+	if err != nil {
+		t.Fatalf("fake solver never wrote its pid file: %v", err)
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 2 {
+		t.Fatalf("pid file contents %q, want two pids", data)
+	}
+	for _, name := range []string{"solver", "grandchild"} {
+		pid, err := strconv.Atoi(fields[map[string]int{"solver": 0, "grandchild": 1}[name]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			// Signal 0 probes existence; ESRCH means the process is gone.
+			// (A zombie still "exists" but the solver was Wait()ed and the
+			// grandchild is reparented to init, which reaps it.)
+			err := syscall.Kill(pid, 0)
+			if err == syscall.ESRCH {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s process %d still alive after kill (err=%v) — orphaned", name, pid, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package sat
+
+// Portfolio backend: N competitors race every solve call, the first
+// definitive answer wins, and the losers are cancelled — in-process CDCL
+// engines through their Interrupt hook, external solvers through a process
+// kill. Clause additions mirror into every competitor, so each stays a
+// complete, incrementally-warm copy of the formula; in particular the
+// in-process competitors keep their learned clauses across the uniqueness
+// blocking-clause loop exactly as a lone CDCL backend would, while a slow
+// phase of any single engine can no longer stall the whole recovery.
+//
+// Diversification follows the classic portfolio recipe (ManySAT,
+// Plingeling): competitor 0 is the vanilla deterministic engine, and every
+// further CDCL competitor re-seeds its branching each race — saved-phase
+// polarities and a SetDecisionOrder prefix drawn from a per-competitor,
+// per-race PCG stream — so the racers explore genuinely different search
+// trees rather than finishing in lockstep.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Competitor is one member of a Portfolio: a live backend plus its display
+// name and an optional per-race diversification hook.
+type Competitor struct {
+	// Name labels the competitor in CompetitorStat reports.
+	Name string
+	// Backend is the competitor's live engine. It must be freshly
+	// constructed (no variables or clauses): the portfolio mirrors every
+	// NewVar and Add into it from then on.
+	Backend Backend
+	// diversify, when set, re-seeds the competitor before each race.
+	diversify func(race int64)
+}
+
+// CDCLCompetitor returns an in-process CDCL competitor. Seed 0 is the
+// vanilla engine (bit-identical to a lone *Solver — the deterministic
+// anchor every portfolio should include); any other seed perturbs the
+// engine's branching per race: saved-phase polarities are randomized and a
+// random subset of variables is promoted to an explicit decision-order
+// prefix, both from a PCG stream keyed on (seed, race).
+func CDCLCompetitor(seed uint64) Competitor {
+	s := New()
+	c := Competitor{Name: fmt.Sprintf("cdcl-s%d", seed), Backend: s}
+	if seed == 0 {
+		c.Name = "cdcl"
+		return c
+	}
+	c.diversify = func(race int64) {
+		rng := rand.New(rand.NewPCG(seed, uint64(race)))
+		n := s.NumVars()
+		if n == 0 {
+			return
+		}
+		for v := 0; v < n; v++ {
+			s.SetPolarity(v, rng.Uint64()&1 == 1)
+		}
+		// Promote a small random prefix; VSIDS keeps driving the rest, so
+		// this diversifies the opening of the search without degenerating
+		// into a fixed-order solver.
+		prefix := min(n, 24)
+		vars := make([]int, prefix)
+		for i := range vars {
+			vars[i] = rng.IntN(n)
+		}
+		s.SetDecisionOrder(vars)
+	}
+	return c
+}
+
+// ExternalCompetitor resolves an external solver into a competitor. A
+// missing binary returns an error wrapping ErrSolverNotFound, which
+// portfolio assemblers treat as "leave this competitor out".
+func ExternalCompetitor(cfg ExternalConfig) (Competitor, error) {
+	ext, err := NewExternal(cfg)
+	if err != nil {
+		return Competitor{}, err
+	}
+	return Competitor{Name: ext.Name(), Backend: ext}, nil
+}
+
+// Portfolio is a racing Backend over a set of competitors. Construction
+// with NewPortfolio; the zero value is not usable.
+//
+// Like every Backend it is single-goroutine from the caller's point of
+// view; internally each solve call fans one goroutine per competitor and
+// joins all of them before returning, so between calls every competitor is
+// quiescent and exclusively owned again. The Interrupt hook installed via
+// Interrupt must be safe for concurrent use — it is polled from every
+// competitor goroutine at once (internal/core's context hook is).
+type Portfolio struct {
+	comps []Competitor
+
+	numVars    int
+	numClauses int
+	rootUnsat  bool
+
+	model    []bool
+	hasModel bool
+	failed   []Lit
+
+	interrupt func() bool
+
+	stats Stats // Races + per-competitor records; engine counters aggregated on read
+}
+
+// Compile-time check.
+var _ Backend = (*Portfolio)(nil)
+
+// NewPortfolio builds a racing backend over the given competitors. With no
+// arguments it defaults to three in-process CDCL engines: the vanilla
+// deterministic one plus two re-seeded racers. Every competitor backend
+// must be freshly constructed.
+func NewPortfolio(comps ...Competitor) (*Portfolio, error) {
+	if len(comps) == 0 {
+		comps = []Competitor{CDCLCompetitor(0), CDCLCompetitor(1), CDCLCompetitor(2)}
+	}
+	p := &Portfolio{comps: comps}
+	for i, c := range comps {
+		if c.Backend == nil {
+			return nil, fmt.Errorf("sat: portfolio competitor %d (%s) has no backend", i, c.Name)
+		}
+		if c.Backend.NumVars() != 0 || c.Backend.NumClauses() != 0 {
+			return nil, fmt.Errorf("sat: portfolio competitor %d (%s) is not freshly constructed", i, c.Name)
+		}
+		p.stats.Competitors = append(p.stats.Competitors, CompetitorStat{Name: c.Name})
+	}
+	return p, nil
+}
+
+// DefaultPortfolio assembles the standard race: nCDCL in-process engines
+// (vanilla + reseeded; minimum 1) plus one external competitor per config
+// whose binary resolves. Missing binaries are skipped silently — that is
+// the degradation contract that keeps solver-less CI green — but an
+// explicitly empty portfolio cannot happen: the in-process engines are
+// always there.
+func DefaultPortfolio(nCDCL int, externals ...ExternalConfig) (*Portfolio, error) {
+	if nCDCL < 1 {
+		nCDCL = 1
+	}
+	var comps []Competitor
+	for i := 0; i < nCDCL; i++ {
+		comps = append(comps, CDCLCompetitor(uint64(i)))
+	}
+	for _, cfg := range externals {
+		c, err := ExternalCompetitor(cfg)
+		if err != nil {
+			continue // ErrSolverNotFound and friends: run without it
+		}
+		comps = append(comps, c)
+	}
+	return NewPortfolio(comps...)
+}
+
+// CompetitorNames lists the racers in construction order.
+func (p *Portfolio) CompetitorNames() []string {
+	names := make([]string, len(p.comps))
+	for i, c := range p.comps {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// NewVar implements Backend: mirrored into every competitor.
+func (p *Portfolio) NewVar() int {
+	for _, c := range p.comps {
+		if v := c.Backend.NewVar(); v != p.numVars {
+			panic(fmt.Sprintf("sat: portfolio competitor %s desynced: var %d != %d", c.Name, v, p.numVars))
+		}
+	}
+	p.numVars++
+	return p.numVars - 1
+}
+
+// NumVars implements Backend.
+func (p *Portfolio) NumVars() int { return p.numVars }
+
+// NumClauses implements Backend: the number of clauses handed to Add (the
+// competitors may each keep fewer after their own root simplifications).
+func (p *Portfolio) NumClauses() int { return p.numClauses }
+
+// Add implements Backend: mirrored into every competitor. False once any
+// competitor establishes root-level unsatisfiability (they share one
+// formula, so one engine's proof settles it for all).
+func (p *Portfolio) Add(lits ...Lit) bool {
+	p.numClauses++
+	for _, c := range p.comps {
+		if !c.Backend.Add(lits...) {
+			p.rootUnsat = true
+		}
+	}
+	return !p.rootUnsat
+}
+
+// Solve implements Backend: one race over the current formula.
+func (p *Portfolio) Solve() (bool, error) { return p.SolveUnderAssumptions() }
+
+// raceOutcome is one competitor's finish.
+type raceOutcome struct {
+	idx    int
+	sat    bool
+	err    error
+	model  []bool
+	failed []Lit
+}
+
+// SolveUnderAssumptions implements Backend: every competitor races the
+// same query, the first definitive (error-free) answer wins, the rest are
+// cancelled and joined before the call returns. Late definitive finishes
+// are still checked against the winner — a SAT/UNSAT disagreement between
+// competitors is reported as an error, never silently resolved.
+func (p *Portfolio) SolveUnderAssumptions(assumptions ...Lit) (bool, error) {
+	p.failed = p.failed[:0]
+	p.hasModel = false
+	if p.rootUnsat {
+		return false, nil
+	}
+	p.stats.Races++
+	race := p.stats.Races
+
+	// stop flips when a winner is in (or the caller's hook fired); every
+	// in-process competitor polls it through its Interrupt hook and every
+	// external competitor through its process-watch loop.
+	var stop atomic.Bool
+	raceHook := func() bool {
+		return stop.Load() || (p.interrupt != nil && p.interrupt())
+	}
+
+	outcomes := make(chan raceOutcome, len(p.comps))
+	var wg sync.WaitGroup
+	for i, c := range p.comps {
+		if c.diversify != nil {
+			c.diversify(race)
+		}
+		c.Backend.Interrupt(raceHook)
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			sat, err := b.SolveUnderAssumptions(assumptions...)
+			o := raceOutcome{idx: i, sat: sat, err: err}
+			if err == nil {
+				if sat {
+					o.model = b.Model()
+				} else {
+					o.failed = append([]Lit(nil), b.FailedAssumptions()...)
+				}
+			}
+			outcomes <- o
+		}(i, c.Backend)
+	}
+
+	var winner *raceOutcome
+	var disagreement error
+	var worstErr error
+	errPriority := func(err error) int {
+		switch err {
+		case ErrTimeout:
+			return 1
+		case ErrBudget:
+			return 2
+		case ErrInterrupted:
+			return 3 // caller cancellation dominates the abort sentinels
+		}
+		return 4 // real faults surface over everything
+	}
+	for range p.comps {
+		o := <-outcomes
+		st := &p.stats.Competitors[o.idx]
+		switch {
+		case o.err == nil && winner == nil:
+			winner = &o
+			st.Wins++
+			stop.Store(true)
+		case o.err == nil:
+			st.Losses++
+			if o.sat != winner.sat {
+				// Two definitive, opposite answers on the same query is a
+				// correctness event — refuse to pick sides.
+				disagreement = fmt.Errorf("sat: portfolio disagreement: %s says sat=%v, %s says sat=%v",
+					p.comps[winner.idx].Name, winner.sat, p.comps[o.idx].Name, o.sat)
+			}
+		case o.err == ErrTimeout:
+			st.Timeouts++
+		case o.err == ErrInterrupted && stop.Load():
+			st.Losses++ // cancelled because the race was decided
+		default:
+			// A genuinely faulty competitor (crash, garbage output) is
+			// tallied here; with a healthy winner the race still succeeds —
+			// resilience to one bad solver is the point of a portfolio.
+			st.Errors++
+		}
+		if o.err != nil && (worstErr == nil || errPriority(o.err) > errPriority(worstErr)) {
+			worstErr = o.err
+		}
+	}
+	wg.Wait() // every competitor quiescent again — single-goroutine invariant restored
+
+	if disagreement != nil {
+		return false, disagreement
+	}
+	if winner == nil {
+		if worstErr == nil {
+			worstErr = ErrInterrupted // unreachable; defensive
+		}
+		return false, worstErr
+	}
+	if winner.sat {
+		p.model = winner.model
+		p.hasModel = true
+		return true, nil
+	}
+	if len(assumptions) == 0 {
+		p.rootUnsat = true
+	}
+	p.failed = append(p.failed, winner.failed...)
+	return false, nil
+}
+
+// FailedAssumptions implements Backend: the winner's core (the full
+// assumption set when an external solver won).
+func (p *Portfolio) FailedAssumptions() []Lit { return p.failed }
+
+// Value implements Backend.
+func (p *Portfolio) Value(v int) bool {
+	if !p.hasModel {
+		panic("sat: Value called without a model")
+	}
+	return p.model[v]
+}
+
+// Model implements Backend.
+func (p *Portfolio) Model() []bool {
+	m := make([]bool, len(p.model))
+	copy(m, p.model)
+	return m
+}
+
+// Learned implements Backend: total learnt clauses alive across the
+// in-process competitors (each keeps its own database warm between races).
+func (p *Portfolio) Learned() int64 {
+	var n int64
+	for _, c := range p.comps {
+		n += c.Backend.Learned()
+	}
+	return n
+}
+
+// Interrupt implements Backend. The hook MUST be safe for concurrent use:
+// during a race every competitor polls it from its own goroutine.
+func (p *Portfolio) Interrupt(fn func() bool) { p.interrupt = fn }
+
+// SetMaxConflicts implements Backend: forwarded to every competitor (the
+// in-process engines honor it; external ones bound effort by deadline).
+func (p *Portfolio) SetMaxConflicts(n int64) {
+	for _, c := range p.comps {
+		c.Backend.SetMaxConflicts(n)
+	}
+}
+
+// SetTimeout implements Backend: every competitor gets the same per-race
+// deadline; a race where all competitors time out returns ErrTimeout with
+// the formula reusable.
+func (p *Portfolio) SetTimeout(d time.Duration) {
+	for _, c := range p.comps {
+		c.Backend.SetTimeout(d)
+	}
+}
+
+// Statistics implements Backend: the in-process engine counters summed
+// over all competitors (total work spent, monotonic), the external
+// run/timeout tallies, the race count, and a deep copy of the
+// per-competitor records.
+func (p *Portfolio) Statistics() Stats {
+	out := Stats{Races: p.stats.Races}
+	for _, c := range p.comps {
+		cs := c.Backend.Statistics()
+		out.Conflicts += cs.Conflicts
+		out.Decisions += cs.Decisions
+		out.Propagations += cs.Propagations
+		out.Learnt += cs.Learnt
+		out.Restarts += cs.Restarts
+		out.ExternalRuns += cs.ExternalRuns
+		out.ExternalTimeouts += cs.ExternalTimeouts
+	}
+	out.Competitors = append([]CompetitorStat(nil), p.stats.Competitors...)
+	return out
+}

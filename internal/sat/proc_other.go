@@ -1,0 +1,17 @@
+//go:build !unix
+
+package sat
+
+import "os/exec"
+
+// setProcessGroup is a no-op off unix; the direct-process kill below is the
+// best available discipline there.
+func setProcessGroup(cmd *exec.Cmd) {}
+
+// killProcessGroup kills the solver process (children may survive on
+// platforms without process groups; the unix build kills the whole group).
+func killProcessGroup(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package sat
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcessGroup puts the external solver in its own process group, so a
+// kill reaches every process the solver spawned (portfolio wrappers and
+// preprocessor scripts fork freely) — a timed-out race must leave no
+// orphans behind.
+func setProcessGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killProcessGroup SIGKILLs the solver's whole process group, falling back
+// to the direct process if the group kill fails (the child may not have
+// reached setpgid yet).
+func killProcessGroup(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		_ = cmd.Process.Kill()
+	}
+}

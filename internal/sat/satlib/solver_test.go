@@ -1,0 +1,259 @@
+package satlib
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// TestMain doubles the test binary as a real command-line DIMACS solver:
+// with BEER_SAT_SOLVER=1 in the environment it runs sat.SolverMain on its
+// arguments instead of the test suite. The external-backend differential
+// tests below point sat.ExternalConfig at os.Args[0] with that variable
+// set, which exercises the full process-spawning path — temp-file export,
+// argv assembly, output parsing, exit-code handling — without requiring
+// kissat or cadical to be installed.
+func TestMain(m *testing.M) {
+	if os.Getenv("BEER_SAT_SOLVER") == "1" {
+		os.Exit(sat.SolverMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestCorpusWellFormed pins the corpus composition: every grade present,
+// with at least one SAT and one UNSAT instance somewhere, and every BEER
+// snapshot nontrivially sized.
+func TestCorpusWellFormed(t *testing.T) {
+	insts, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGrade := ByGrade(insts)
+	for _, grade := range []string{"uf20", "uf50", "uuf50", "beer"} {
+		if len(byGrade[grade]) == 0 {
+			t.Errorf("grade %q has no instances", grade)
+		}
+	}
+	sawSAT, sawUNSAT := false, false
+	for _, in := range insts {
+		if in.Expect {
+			sawSAT = true
+		} else {
+			sawUNSAT = true
+		}
+		if len(in.CNF.Clauses) == 0 {
+			t.Errorf("%s: empty formula", in.Name)
+		}
+	}
+	if !sawSAT || !sawUNSAT {
+		t.Errorf("corpus needs both answers: sawSAT=%v sawUNSAT=%v", sawSAT, sawUNSAT)
+	}
+}
+
+// TestSolverGraded is the solver-regression gate: every grade's instances
+// must be settled within the committed conflict budget at the committed
+// pass rate (grading.json). A wrong answer fails the run outright — the
+// grading only tolerates running out of budget, never unsoundness.
+func TestSolverGraded(t *testing.T) {
+	insts, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grading, err := Grading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for grade, group := range ByGrade(insts) {
+		g := grading[grade]
+		t.Run(grade, func(t *testing.T) {
+			passed := 0
+			var conflicts int64
+			for _, in := range group {
+				s := sat.New()
+				in.CNF.Feed(s)
+				s.SetMaxConflicts(g.MaxConflicts)
+				isSat, err := s.Solve()
+				conflicts += s.Statistics().Conflicts
+				switch {
+				case errors.Is(err, sat.ErrBudget):
+					t.Logf("%s: budget of %d conflicts exhausted", in.Name, g.MaxConflicts)
+				case err != nil:
+					t.Fatalf("%s: %v", in.Name, err)
+				case isSat != in.Expect:
+					t.Fatalf("%s: solver says sat=%v, corpus says sat=%v — WRONG ANSWER", in.Name, isSat, in.Expect)
+				default:
+					if isSat {
+						if ok, cl := in.CNF.Satisfied(s.Model()); !ok {
+							t.Fatalf("%s: model violates clause %v", in.Name, cl)
+						}
+					}
+					passed++
+				}
+			}
+			ratio := float64(passed) / float64(len(group))
+			t.Logf("%s: %d/%d within %d conflicts (total spent %d), need %.0f%%",
+				grade, passed, len(group), g.MaxConflicts, conflicts, g.MinPass*100)
+			if ratio < g.MinPass {
+				t.Errorf("%s: pass rate %.2f below committed threshold %.2f", grade, ratio, g.MinPass)
+			}
+		})
+	}
+}
+
+// selfSolverConfig points the external backend at this test binary in
+// solver mode (see TestMain).
+func selfSolverConfig(t *testing.T) sat.ExternalConfig {
+	t.Helper()
+	return sat.ExternalConfig{
+		Argv:    []string{os.Args[0]},
+		Name:    "self",
+		Env:     []string{"BEER_SAT_SOLVER=1"},
+		Timeout: 2 * time.Minute,
+		Dir:     t.TempDir(),
+	}
+}
+
+// realSolverConfigs lists conventionally-behaved external solvers to
+// include in the differential when installed (missing ones are skipped —
+// sat.ErrSolverNotFound — so solver-less CI stays green).
+func realSolverConfigs() []sat.ExternalConfig {
+	return []sat.ExternalConfig{
+		{Argv: []string{"kissat", "-q"}, Timeout: 2 * time.Minute},
+		{Argv: []string{"cadical", "-q"}, Timeout: 2 * time.Minute},
+	}
+}
+
+// TestDifferentialBackends runs every corpus instance through the
+// in-process CDCL engine, the portfolio, the external backend re-execing
+// this binary, and any installed real solvers — all must agree with the
+// corpus ground truth, and every SAT model must check out against the
+// original clauses.
+func TestDifferentialBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite spawns processes per instance")
+	}
+	insts, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type backendCase struct {
+		name string
+		make func() (sat.Backend, error)
+	}
+	cases := []backendCase{
+		{"cdcl", func() (sat.Backend, error) { return sat.New(), nil }},
+		{"portfolio", func() (sat.Backend, error) { return sat.NewPortfolio() }},
+		{"external-self", func() (sat.Backend, error) { return sat.NewExternal(selfSolverConfig(t)) }},
+	}
+	for _, cfg := range realSolverConfigs() {
+		cfg := cfg
+		cases = append(cases, backendCase{
+			"external-" + cfg.Argv[0],
+			func() (sat.Backend, error) { return sat.NewExternal(cfg) },
+		})
+	}
+
+	for _, bc := range cases {
+		t.Run(bc.name, func(t *testing.T) {
+			probe, err := bc.make()
+			if errors.Is(err, sat.ErrSolverNotFound) {
+				t.Skipf("solver not installed: %v", err)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = probe
+			for _, in := range insts {
+				b, err := bc.make()
+				if err != nil {
+					t.Fatal(err)
+				}
+				in.CNF.Feed(b)
+				isSat, err := b.Solve()
+				if err != nil {
+					t.Fatalf("%s: %v", in.Name, err)
+				}
+				if isSat != in.Expect {
+					t.Fatalf("%s: %s says sat=%v, corpus says sat=%v", in.Name, bc.name, isSat, in.Expect)
+				}
+				if isSat {
+					if ok, cl := in.CNF.Satisfied(b.Model()); !ok {
+						t.Fatalf("%s: %s model violates clause %v", in.Name, bc.name, cl)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPortfolioOnBeerFormulas drives the portfolio (CDCL seeds + the
+// self-solver external competitor) through the recorded BEER formulas and
+// checks the race bookkeeping: every race has exactly one winner and the
+// cumulative per-competitor tallies account for every start.
+func TestPortfolioOnBeerFormulas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns external solver processes")
+	}
+	insts, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range ByGrade(insts)["beer"] {
+		p, err := sat.DefaultPortfolio(2, selfSolverConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(p.CompetitorNames()); got != 3 {
+			t.Fatalf("%s: want 3 competitors, got %v", in.Name, p.CompetitorNames())
+		}
+		in.CNF.Feed(p)
+		isSat, err := p.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if isSat != in.Expect {
+			t.Fatalf("%s: portfolio says sat=%v, corpus says sat=%v", in.Name, isSat, in.Expect)
+		}
+		if isSat {
+			if ok, cl := in.CNF.Satisfied(p.Model()); !ok {
+				t.Fatalf("%s: portfolio model violates clause %v", in.Name, cl)
+			}
+		}
+		stats := p.Statistics()
+		if stats.Races != 1 {
+			t.Fatalf("%s: races = %d, want 1", in.Name, stats.Races)
+		}
+		var wins, accounted int64
+		for _, cs := range stats.Competitors {
+			wins += cs.Wins
+			accounted += cs.Wins + cs.Losses + cs.Timeouts + cs.Errors
+		}
+		if wins != 1 {
+			t.Fatalf("%s: %d winners in 1 race: %+v", in.Name, wins, stats.Competitors)
+		}
+		if accounted > 3 {
+			t.Fatalf("%s: %d outcomes from 3 competitors: %+v", in.Name, accounted, stats.Competitors)
+		}
+	}
+}
+
+// TestGradingRatchetSane guards the grading file itself: thresholds must
+// stay in range and must not silently drop a grade.
+func TestGradingRatchetSane(t *testing.T) {
+	grading, err := Grading()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for grade, g := range grading {
+		if g.MaxConflicts <= 0 {
+			t.Errorf("%s: max_conflicts must be positive (the budget IS the regression gate)", grade)
+		}
+		if g.MinPass <= 0 || g.MinPass > 1 {
+			t.Errorf("%s: min_pass %v outside (0,1]", grade, g.MinPass)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sat
+
+// SolverMain: the in-process CDCL engine packaged as a conventional
+// command-line DIMACS solver. cmd/beersat wraps it into a real binary —
+// which means the External backend always has at least one solver it can
+// shell out to, on any machine that can build this repo — and the test
+// binaries re-exec themselves through it to exercise the external-process
+// path without installing kissat/cadical.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// SolverMain runs one DIMACS solve in the standard solver convention:
+// reads the CNF file named by the last argument ("-" or no argument =
+// stdin), solves it with the in-process engine, prints an "s" status line
+// plus "v" model lines, and returns the conventional exit code — 10 for
+// SATISFIABLE, 20 for UNSATISFIABLE, 0 for UNKNOWN, 1 for usage or input
+// errors. A "c assumptions:" comment in the input (the Dimacs recorder's
+// annotation) is honored via SolveUnderAssumptions.
+//
+// Flags (subset of the common solver surface):
+//
+//	-t <seconds>   wall-clock limit; hitting it prints "s UNKNOWN"
+func SolverMain(args []string, stdout, stderr io.Writer) int {
+	var timeout time.Duration
+	path := ""
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; {
+		case arg == "-t" && i+1 < len(args):
+			i++
+			secs := 0.0
+			if _, err := fmt.Sscanf(args[i], "%g", &secs); err != nil || secs < 0 {
+				fmt.Fprintf(stderr, "c bad -t value %q\n", args[i])
+				return 1
+			}
+			timeout = time.Duration(secs * float64(time.Second))
+		case arg == "" || arg[0] == '-' && arg != "-":
+			fmt.Fprintf(stderr, "c unknown option %q\n", arg)
+			return 1
+		default:
+			path = arg
+		}
+	}
+
+	in := io.Reader(os.Stdin)
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "c %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	cnf, err := ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "c %v\n", err)
+		return 1
+	}
+
+	s := New()
+	cnf.Feed(s)
+	if timeout > 0 {
+		s.SetTimeout(timeout)
+	}
+	sat, err := s.SolveUnderAssumptions(cnf.Assumptions...)
+	switch {
+	case err == ErrTimeout || err == ErrBudget || err == ErrInterrupted:
+		fmt.Fprintln(stdout, "s UNKNOWN")
+		return 0
+	case err != nil:
+		fmt.Fprintf(stderr, "c %v\n", err)
+		return 1
+	case !sat:
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20
+	}
+	fmt.Fprintln(stdout, "s SATISFIABLE")
+	writeModelLines(stdout, s.Model())
+	return 10
+}
+
+// writeModelLines prints the model in "v" lines, 0-terminated, with the
+// conventional handful of literals per line.
+func writeModelLines(w io.Writer, model []bool) {
+	const perLine = 16
+	for i := 0; i < len(model); i += perLine {
+		fmt.Fprint(w, "v")
+		for j := i; j < len(model) && j < i+perLine; j++ {
+			n := j + 1
+			if !model[j] {
+				n = -n
+			}
+			fmt.Fprintf(w, " %d", n)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "v 0")
+}

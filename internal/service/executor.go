@@ -52,9 +52,12 @@ type ExecEnv struct {
 
 // localExecutor runs jobs on this process's parallel experiment engine —
 // the only executor before internal/cluster, and still what standalone
-// servers and cluster workers use.
+// servers and cluster workers use. extraOpts (WithSolverOptions) are
+// appended to every recovery pipeline it builds — backend selection is a
+// per-process deployment choice, not part of the job spec.
 type localExecutor struct {
-	engine *repro.Engine
+	engine    *repro.Engine
+	extraOpts []repro.Option
 }
 
 // Describe implements Executor.
@@ -65,7 +68,7 @@ func (e localExecutor) Describe() string {
 // Prepare implements Executor: validate via buildRunner and adapt the
 // pipeline's event stream into ProgressStatus snapshots.
 func (e localExecutor) Prepare(spec JobSpec) (Execution, error) {
-	run, err := buildRunner(spec)
+	run, err := buildRunner(spec, e.extraOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +124,7 @@ func (t *progressTracker) update(p ProgressStatus) {
 	c.Solver.Conflicts = max(c.Solver.Conflicts, p.Solver.Conflicts)
 	c.Solver.Propagations = max(c.Solver.Propagations, p.Solver.Propagations)
 	c.Solver.Learned = max(c.Solver.Learned, p.Solver.Learned)
+	c.Solver.Races = max(c.Solver.Races, p.Solver.Races)
 	c.Solver.PatternsUsed = max(c.Solver.PatternsUsed, p.Solver.PatternsUsed)
 	c.Solver.PatternsPlanned = max(c.Solver.PatternsPlanned, p.Solver.PatternsPlanned)
 	c.Solver.EntriesDropped = max(c.Solver.EntriesDropped, p.Solver.EntriesDropped)

@@ -170,11 +170,13 @@ type runner func(ctx context.Context, engine *repro.Engine, cache repro.SolveCac
 
 // buildRunner validates a spec and compiles it into a runner. All
 // validation happens here, at submission time, so a 202 means the job is
-// well-formed.
-func buildRunner(spec JobSpec) (runner, error) {
+// well-formed. extraOpts (the server's WithSolverOptions) are appended to
+// recovery pipelines after the spec-derived options, so deployment-level
+// backend selection wins.
+func buildRunner(spec JobSpec, extraOpts ...repro.Option) (runner, error) {
 	switch spec.Type {
 	case "recover":
-		return buildRecoverRunner(spec)
+		return buildRecoverRunner(spec, extraOpts)
 	case "simulate":
 		return buildSimulateRunner(spec)
 	case "":
@@ -184,7 +186,7 @@ func buildRunner(spec JobSpec) (runner, error) {
 	}
 }
 
-func buildRecoverRunner(spec JobSpec) (runner, error) {
+func buildRecoverRunner(spec JobSpec, extraOpts []repro.Option) (runner, error) {
 	spec = spec.Normalized()
 	mfr := repro.Manufacturer(spec.Manufacturer)
 	if mfr != repro.MfrA && mfr != repro.MfrB && mfr != repro.MfrC {
@@ -256,6 +258,7 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 			}
 			opts = append(opts, repro.WithMaxDrop(*spec.MaxDrop))
 		}
+		opts = append(opts, extraOpts...)
 		pipe := repro.NewPipeline(opts...)
 
 		fleet := repro.SimulatedChips(mfr, k, chips, seed)
@@ -276,6 +279,8 @@ func buildRecoverRunner(spec JobSpec) (runner, error) {
 				Learned:         report.Result.Stats.Learnt,
 				Restarts:        report.Result.Stats.Restarts,
 				PatternsSkipped: report.Result.PatternsSkipped,
+				Races:           report.Result.Stats.Races,
+				Competitors:     competitorReports(report.Result.Stats.Competitors),
 			},
 		}}
 		if report.Plan != nil {
@@ -443,13 +448,44 @@ type NoiseReport struct {
 
 // SolverStats reports the SAT engine's work for one recovery: cumulative
 // conflicts, propagations, learnt clauses and restarts, plus how many
-// profile entries the incremental engine never had to encode.
+// profile entries the incremental engine never had to encode. Portfolio
+// runs additionally report how many solver races were held and each
+// competitor's record.
 type SolverStats struct {
-	Conflicts       int64 `json:"conflicts"`
-	Propagations    int64 `json:"propagations"`
-	Learned         int64 `json:"learned"`
-	Restarts        int64 `json:"restarts"`
-	PatternsSkipped int   `json:"patterns_skipped,omitempty"`
+	Conflicts       int64              `json:"conflicts"`
+	Propagations    int64              `json:"propagations"`
+	Learned         int64              `json:"learned"`
+	Restarts        int64              `json:"restarts"`
+	PatternsSkipped int                `json:"patterns_skipped,omitempty"`
+	Races           int64              `json:"races,omitempty"`
+	Competitors     []CompetitorReport `json:"competitors,omitempty"`
+}
+
+// CompetitorReport is one portfolio competitor's cumulative record: how
+// many races it won, lost (another competitor answered first, or it was
+// cancelled), timed out, or failed outright.
+type CompetitorReport struct {
+	Name     string `json:"name"`
+	Wins     int64  `json:"wins"`
+	Losses   int64  `json:"losses"`
+	Timeouts int64  `json:"timeouts,omitempty"`
+	Errors   int64  `json:"errors,omitempty"`
+}
+
+// competitorReports converts the engine's per-competitor records to the
+// wire type.
+func competitorReports(stats []repro.CompetitorStat) []CompetitorReport {
+	if len(stats) == 0 {
+		return nil
+	}
+	out := make([]CompetitorReport, len(stats))
+	for i, c := range stats {
+		out[i] = CompetitorReport{
+			Name: c.Name, Wins: c.Wins, Losses: c.Losses,
+			Timeouts: c.Timeouts, Errors: c.Errors,
+		}
+	}
+	return out
 }
 
 // SimulateResult reports a finished simulation job.
@@ -502,6 +538,7 @@ type SolverProgress struct {
 	Conflicts       int64   `json:"conflicts,omitempty"`
 	Propagations    int64   `json:"propagations,omitempty"`
 	Learned         int64   `json:"learned,omitempty"`
+	Races           int64   `json:"races,omitempty"`
 	PatternsUsed    int     `json:"patterns_used,omitempty"`
 	PatternsPlanned int     `json:"patterns_planned,omitempty"`
 	EntriesDropped  int64   `json:"entries_dropped,omitempty"`
@@ -668,7 +705,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"patterns_skipped": totals.PatternsSkipped,
 			"noisy_recoveries": noisyJobs,
 			"entries_dropped":  entriesDropped,
+			"races":            totals.Races,
 		},
+	}
+	// Portfolio runs additionally expose fleet-lifetime per-competitor
+	// records; solver-less deployments keep the payload unchanged.
+	if len(totals.Competitors) > 0 {
+		payload["portfolio"] = totals.Competitors
 	}
 	if s.maxJobs > 0 {
 		payload["max_concurrent"] = s.maxJobs

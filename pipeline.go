@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/einsim"
 	"repro/internal/parallel"
+	"repro/internal/sat"
 )
 
 // Progress types, re-exported from internal/core. A ProgressFunc passed via
@@ -172,6 +173,45 @@ func WithPlanOptions(opts PlanOptions) Option {
 // backends additionally records every CNF for export to external solvers.
 func WithSolverBackend(factory func() SolverBackend) Option {
 	return func(p *Pipeline) { p.recover.Solve.Backend = factory }
+}
+
+// WithExternalSolver routes every recovery solve through an external
+// DIMACS solver process (kissat, cadical, this repo's cmd/beersat, ...).
+// The binary is resolved per solve session; when it cannot be found the
+// pipeline silently falls back to the in-process CDCL engine — the
+// degradation contract that keeps solver-less environments working. Use
+// NewExternalBackend directly to surface ErrSolverNotFound instead (the
+// CLIs validate up front that way).
+func WithExternalSolver(cfg ExternalSolverConfig) Option {
+	return func(p *Pipeline) {
+		p.recover.Solve.Backend = func() SolverBackend {
+			ext, err := sat.NewExternal(cfg)
+			if err != nil {
+				return sat.New()
+			}
+			return ext
+		}
+	}
+}
+
+// WithPortfolioSolver races nCDCL differently-seeded in-process CDCL
+// engines (minimum 1; the first is the vanilla deterministic engine)
+// against one external competitor per config on every recovery solve; the
+// first definitive answer wins and the losers are cancelled. External
+// solvers whose binaries cannot be found are silently left out, so the
+// portfolio degrades to the in-process engines alone. Per-competitor
+// win/loss/timeout records surface in Result.Stats, progress events and
+// beerd's /healthz.
+func WithPortfolioSolver(nCDCL int, externals ...ExternalSolverConfig) Option {
+	return func(p *Pipeline) {
+		p.recover.Solve.Backend = func() SolverBackend {
+			pf, err := sat.DefaultPortfolio(nCDCL, externals...)
+			if err != nil {
+				return sat.New()
+			}
+			return pf
+		}
+	}
 }
 
 // WithThreshold configures the §5.2 miscorrection filter: minFraction is the

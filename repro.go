@@ -132,6 +132,61 @@ type DimacsBackend = sat.Dimacs
 // recovery solves use by default.
 func NewSolverBackend() SolverBackend { return sat.New() }
 
+// ExternalSolverConfig configures an external-process DIMACS solver
+// backend (WithExternalSolver, WithPortfolioSolver, NewExternalBackend):
+// the solver argv, a display name, the per-invocation wall-clock timeout
+// after which the process is killed and its answer discarded, and the
+// scratch directory for exported CNF files.
+type ExternalSolverConfig = sat.ExternalConfig
+
+// CompetitorStat is one portfolio competitor's cumulative win/loss/
+// timeout/error record (SolveResult stats, progress events, /healthz).
+type CompetitorStat = sat.CompetitorStat
+
+// ErrSolverNotFound reports that an external solver binary could not be
+// resolved on PATH. NewExternalBackend and NewPortfolioBackend surface it
+// for up-front validation; WithExternalSolver and WithPortfolioSolver
+// instead degrade silently to the in-process engine.
+var ErrSolverNotFound = sat.ErrSolverNotFound
+
+// NewExternalBackend validates an external solver configuration (the
+// binary must resolve now) and returns a backend factory for
+// WithSolverBackend. Unlike WithExternalSolver there is no silent
+// fallback: a missing binary is an ErrSolverNotFound here.
+func NewExternalBackend(cfg ExternalSolverConfig) (func() SolverBackend, error) {
+	if _, err := sat.NewExternal(cfg); err != nil {
+		return nil, err
+	}
+	return func() SolverBackend {
+		ext, err := sat.NewExternal(cfg)
+		if err != nil {
+			return sat.New() // binary vanished since validation; degrade
+		}
+		return ext
+	}, nil
+}
+
+// NewPortfolioBackend validates a portfolio configuration and returns a
+// backend factory for WithSolverBackend: nCDCL in-process CDCL engines
+// (minimum 1) racing the configured external solvers. External binaries
+// that do not resolve are reported once here (ErrSolverNotFound) so
+// callers can decide; use WithPortfolioSolver for the skip-silently
+// behavior.
+func NewPortfolioBackend(nCDCL int, externals ...ExternalSolverConfig) (func() SolverBackend, error) {
+	for _, cfg := range externals {
+		if _, err := sat.NewExternal(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return func() SolverBackend {
+		pf, err := sat.DefaultPortfolio(nCDCL, externals...)
+		if err != nil {
+			return sat.New()
+		}
+		return pf
+	}, nil
+}
+
 // NewDimacsBackend returns a recording backend over the default in-process
 // engine: solves behave identically, and the CNF every solve accumulated
 // can be exported with WriteDIMACS for external SAT solvers.

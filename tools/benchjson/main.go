@@ -54,6 +54,7 @@ func main() {
 	keys := flag.String("key", strings.Join(defaultKeys, ","), "comma-separated key benchmarks the gate enforces")
 	tolerance := flag.Float64("tolerance", 0.30, "fractional ns/op and bytes/op regression allowed on key benchmarks")
 	pairGrace := flag.Float64("collect-pair-grace", 1.25, "max allowed ParallelCollect/SerialCollect ns ratio (slack for single-CPU hosts)")
+	portGrace := flag.Float64("portfolio-pair-grace", 10.0, "max allowed SolveBackendPortfolio/SolveBackendCDCL ns ratio (0 disables)")
 	flag.Parse()
 
 	in, err := readBaseline(os.Stdin)
@@ -83,9 +84,10 @@ func main() {
 		os.Exit(1)
 	}
 	rep := compare(&old, in, compareOptions{
-		Keys:      strings.Split(*keys, ","),
-		Tolerance: *tolerance,
-		PairGrace: *pairGrace,
+		Keys:           strings.Split(*keys, ","),
+		Tolerance:      *tolerance,
+		PairGrace:      *pairGrace,
+		PortfolioGrace: *portGrace,
 	})
 	os.Stdout.WriteString(rep.Table)
 	if len(rep.Failures) > 0 {
