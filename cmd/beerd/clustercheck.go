@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -24,7 +25,7 @@ import (
 // worker SIGKILLed mid-run (failover must be observed), followed by a
 // duplicate-profile phase that must incur zero additional SAT solver
 // invocations. Three OS processes, real sockets, real deaths.
-func runClusterCheck(jobs int, beat, ttl time.Duration) int {
+func runClusterCheck(hub *obs.Hub, jobs int, beat, ttl time.Duration) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "beerd clustercheck:", err)
@@ -32,12 +33,15 @@ func runClusterCheck(jobs int, beat, ttl time.Duration) int {
 	}
 
 	st := store.New(store.NewMemBackend())
+	// Coordinator and service share the process hub, so the coordinator's
+	// dispatch counters land on the same /metrics the smoke scrapes.
 	coord := cluster.NewCoordinator(st, cluster.CoordinatorConfig{
 		HeartbeatEvery: beat,
 		TTL:            ttl,
-		Log:            log.Printf,
+		Obs:            hub,
 	})
-	srv := service.New(repro.NewEngine(0), service.WithStore(st), service.WithExecutor(coord))
+	srv := service.New(repro.NewEngine(0),
+		service.WithStore(st), service.WithExecutor(coord), service.WithObservability(hub))
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -45,7 +49,7 @@ func runClusterCheck(jobs int, beat, ttl time.Duration) int {
 		fmt.Fprintln(os.Stderr, "beerd clustercheck:", err)
 		return 1
 	}
-	httpSrv := &http.Server{Handler: coord.Handler(srv.Handler()), ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := &http.Server{Handler: hub.Middleware(coord.Handler(srv.Handler())), ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "beerd clustercheck:", err)

@@ -28,10 +28,18 @@
 //	                                (+ worker/dispatches in cluster)
 //	GET    /api/v1/jobs/{id}/result recovered H matrix / simulation counters
 //	DELETE /api/v1/jobs/{id}        cancel
+//	GET    /api/v1/jobs/{id}/events live status stream (Server-Sent Events)
 //	GET    /codes                   registry of recovered ECC functions
 //	GET    /codes/{hash}            one registry record, all candidates
 //	GET    /healthz                 liveness + job/solver/cluster counters
+//	GET    /metrics                 Prometheus text exposition (every role)
+//	GET    /debug/traces            recent trace spans (ring buffer, JSON)
 //	/cluster/v1/*                   coordinator control plane (register, heartbeat, workers, codes)
+//
+// Observability: every role serves GET /metrics and GET /debug/traces;
+// -log-format selects text or JSON structured logs (trace and job IDs on
+// every request line); -debug-addr starts a second, private listener with
+// net/http/pprof next to the same metrics and traces.
 //
 // A coordinator shards jobs across its registered workers by consistent
 // hashing on the job's miscorrection-profile hash, fails jobs over when a
@@ -51,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -61,6 +70,7 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -81,6 +91,8 @@ func main() {
 		drain    = flag.Duration("drain-timeout", 45*time.Second, "how long shutdown waits for in-flight jobs before cancelling them")
 		beat     = flag.Duration("heartbeat", cluster.DefaultHeartbeatEvery, "cluster heartbeat interval (coordinator hands it to workers)")
 		ttl      = flag.Duration("ttl", cluster.DefaultTTL, "cluster liveness TTL (coordinator role)")
+		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
+		dbgAddr  = flag.String("debug-addr", "", "private listen address for pprof + metrics + traces (empty = off)")
 
 		selfcheck  = flag.Bool("selfcheck", false, "start an ephemeral server, run the smoke suite against it, and exit")
 		smokeJobs  = flag.Int("selfcheck-jobs", 8, "concurrent recovery jobs the selfcheck submits")
@@ -88,6 +100,12 @@ func main() {
 		clustJobs  = flag.Int("clustercheck-jobs", 8, "distinct-profile jobs per clustercheck phase")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFmt)
+	if err != nil {
+		log.Fatalf("beerd: %v", err)
+	}
+	hub := obs.NewHub(logger)
 
 	if *clustCheck {
 		// The check wants a fast liveness clock, but an explicit flag — an
@@ -107,23 +125,23 @@ func main() {
 		if !ttlSet {
 			*ttl = time.Second
 		}
-		os.Exit(runClusterCheck(*clustJobs, *beat, *ttl))
+		os.Exit(runClusterCheck(hub, *clustJobs, *beat, *ttl))
 	}
 
 	st := store.New(store.NewMemBackend())
 	if *storeDir != "" {
 		backend, err := store.NewFileBackend(*storeDir)
 		if err != nil {
-			log.Fatalf("beerd: %v", err)
+			fatal(logger, err)
 		}
 		st = store.New(backend)
 	}
-	opts := []service.Option{service.WithStore(st)}
+	opts := []service.Option{service.WithStore(st), service.WithObservability(hub)}
 	if *maxJobs > 0 {
 		opts = append(opts, service.WithMaxConcurrent(*maxJobs))
 	}
 	if solverOpt, err := solverBackendOption(*solver, *solverTO, *portN); err != nil {
-		log.Fatalf("beerd: %v", err)
+		fatal(logger, err)
 	} else if solverOpt != nil {
 		// Backend selection is a per-process deployment choice: it applies
 		// to jobs this process executes locally (standalone and worker
@@ -144,7 +162,7 @@ func main() {
 	// advertise URL from the bound port before anything registers.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("beerd: %v", err)
+		fatal(logger, err)
 	}
 
 	var (
@@ -160,12 +178,12 @@ func main() {
 		coord = cluster.NewCoordinator(st, cluster.CoordinatorConfig{
 			HeartbeatEvery: *beat,
 			TTL:            *ttl,
-			Log:            log.Printf,
+			Obs:            hub,
 		})
 		opts = append(opts, service.WithExecutor(coord))
 	case "worker":
 		if *join == "" {
-			log.Fatalf("beerd: -role worker requires -join <coordinator-url>")
+			fatal(logger, errors.New("-role worker requires -join <coordinator-url>"))
 		}
 		id := *workerID
 		if id == "" {
@@ -181,13 +199,13 @@ func main() {
 			AdvertiseURL:   advertise,
 			Capacity:       *maxJobs,
 			HeartbeatEvery: *beat,
-			Log:            log.Printf,
+			Obs:            hub,
 		}
 		// The remote solve-cache tier is wired at construction so even the
 		// first job consults the fleet registry before solving.
 		opts = append(opts, service.WithSolveCacheTier(cluster.NewRemoteCache(*join, id)))
 	default:
-		log.Fatalf("beerd: unknown role %q (want standalone, coordinator or worker)", *role)
+		fatal(logger, fmt.Errorf("unknown role %q (want standalone, coordinator or worker)", *role))
 	}
 
 	srv := service.New(repro.NewEngine(*workers), opts...)
@@ -202,9 +220,27 @@ func main() {
 		// coordinator's pull sweep can reconcile every record.
 		handler = cluster.RegistryHandler(st, handler)
 	}
+	// Every request — service API and cluster control plane alike — passes
+	// the hub middleware: request metrics, traceparent extraction, one
+	// structured log line per request.
 	httpSrv := &http.Server{
-		Handler:           handler,
+		Handler:           hub.Middleware(handler),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *dbgAddr != "" {
+		dln, err := net.Listen("tcp", *dbgAddr)
+		if err != nil {
+			fatal(logger, fmt.Errorf("-debug-addr: %w", err))
+		}
+		dbgSrv := &http.Server{Handler: hub.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbgSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		defer dbgSrv.Close()
+		logger.Info("debug listener up", "addr", dln.Addr().String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -214,53 +250,72 @@ func main() {
 		var err error
 		agent, err = cluster.NewWorker(*workerCfg, srv)
 		if err != nil {
-			log.Fatalf("beerd: %v", err)
+			fatal(logger, err)
 		}
 		go func() {
 			if err := agent.Run(ctx); err != nil && ctx.Err() == nil {
-				log.Printf("beerd: cluster agent: %v", err)
+				logger.Error("cluster agent stopped", "err", err)
 			}
 		}()
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("beerd: %s listening on %s (%d engine workers, store %s, executor %s)",
-		*role, ln.Addr(), srv.Engine().Workers(), srv.Store().Describe(), srv.Executor().Describe())
+	logger.Info("beerd listening", "role", *role, "addr", ln.Addr().String(),
+		"engine_workers", srv.Engine().Workers(), "store", srv.Store().Describe(),
+		"executor", srv.Executor().Describe())
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("beerd: %v", err)
+		fatal(logger, err)
 	case <-ctx.Done():
 	}
-	shutdown(srv, httpSrv, agent, *drain)
+	shutdown(logger, srv, httpSrv, agent, *drain)
+}
+
+// newLogger builds the process logger for -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// fatal logs err at error level and exits, the slog analogue of log.Fatalf.
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("beerd exiting", "err", err)
+	os.Exit(1)
 }
 
 // shutdown runs the graceful sequence: deregister (worker), drain while
 // status polls keep answering, stop the listener, cancel what remains.
-func shutdown(srv *service.Server, httpSrv *http.Server, agent *cluster.Worker, drainTimeout time.Duration) {
+func shutdown(logger *slog.Logger, srv *service.Server, httpSrv *http.Server, agent *cluster.Worker, drainTimeout time.Duration) {
 	if agent != nil {
 		dctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		if err := agent.Deregister(dctx); err != nil {
-			log.Printf("beerd: deregister: %v", err)
+			logger.Warn("deregister failed", "err", err)
 		}
 		cancel()
 	}
-	log.Printf("beerd: draining (up to %v) — new submissions get 503, in-flight jobs finish", drainTimeout)
+	logger.Info("draining — new submissions get 503, in-flight jobs finish", "timeout", drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("beerd: %v; cancelling the rest (they persist as resumable)", err)
+		logger.Warn("drain incomplete; cancelling the rest (they persist as resumable)", "err", err)
 	} else {
-		log.Printf("beerd: drained cleanly")
+		logger.Info("drained cleanly")
 	}
 	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("beerd: http shutdown: %v", err)
+		logger.Warn("http shutdown failed", "err", err)
 	}
 	srv.Close()
-	log.Printf("beerd: bye")
+	logger.Info("bye")
 }
 
 // solverBackendOption turns the -solver/-solver-timeout/-portfolio flags

@@ -52,6 +52,12 @@ func isStatus(err error, status int) bool {
 // doJSON performs a request with a JSON body (nil for none) and decodes a
 // JSON response into out (nil to discard).
 func doJSON(ctx context.Context, client *http.Client, method, url string, body, out any) error {
+	return doJSONHeader(ctx, client, method, url, nil, body, out)
+}
+
+// doJSONHeader is doJSON with extra request headers (the dispatcher uses it
+// to propagate the traceparent to the executing worker).
+func doJSONHeader(ctx context.Context, client *http.Client, method, url string, header http.Header, body, out any) error {
 	var reader io.Reader
 	if body != nil {
 		payload, err := json.Marshal(body)
@@ -63,6 +69,9 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, body, 
 	req, err := http.NewRequestWithContext(ctx, method, url, reader)
 	if err != nil {
 		return err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")

@@ -56,7 +56,11 @@
 // the union of the fleet's discoveries.
 package cluster
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/service"
+)
 
 // Control-plane paths mounted by Coordinator.Handler. The data plane —
 // dispatching jobs, polling their status and fetching results — is the
@@ -119,6 +123,19 @@ type Heartbeat struct {
 	// Draining reports that the worker is shutting down gracefully: still
 	// finishing in-flight jobs, but refusing new ones.
 	Draining bool `json:"draining,omitempty"`
+	// Solver is the worker's cumulative solver work (invocations, cache
+	// hits, conflicts, ...). The coordinator keeps the latest report per
+	// member so /healthz and /metrics can show fleet-wide totals.
+	Solver service.SolverTotals `json:"solver,omitzero"`
+}
+
+// DepartureReport is the optional body of DELETE /cluster/v1/workers/{id}:
+// the departing worker's final solver counters. The coordinator folds them
+// into the fleet aggregate before removing the member, so a graceful drain
+// does not erase the work the worker did (an empty body keeps the last
+// heartbeat's counters instead).
+type DepartureReport struct {
+	Solver service.SolverTotals `json:"solver,omitzero"`
 }
 
 // WorkerStatus is one entry of GET /cluster/v1/workers: the registration
@@ -130,10 +147,11 @@ type WorkerStatus struct {
 	Alive bool `json:"alive"`
 	// Draining mirrors the worker's last heartbeat.
 	Draining bool `json:"draining,omitempty"`
-	// Running, InFlight and Codes mirror the last heartbeat.
-	Running  int `json:"running"`
-	InFlight int `json:"in_flight"`
-	Codes    int `json:"codes"`
+	// Running, InFlight, Codes and Solver mirror the last heartbeat.
+	Running  int                  `json:"running"`
+	InFlight int                  `json:"in_flight"`
+	Codes    int                  `json:"codes"`
+	Solver   service.SolverTotals `json:"solver,omitzero"`
 	// Active is the coordinator's own count of jobs currently dispatched
 	// to this worker (it can differ transiently from Running, which is the
 	// worker's self-report).

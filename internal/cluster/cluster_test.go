@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -22,6 +23,7 @@ type testCluster struct {
 	t       *testing.T
 	coord   *Coordinator
 	server  *service.Server
+	hub     *obs.Hub
 	ts      *httptest.Server
 	workers map[string]*testWorker
 }
@@ -29,6 +31,8 @@ type testCluster struct {
 type testWorker struct {
 	id     string
 	srv    *service.Server
+	hub    *obs.Hub
+	agent  *Worker
 	ts     *httptest.Server
 	cancel context.CancelFunc
 	dead   bool
@@ -37,16 +41,18 @@ type testWorker struct {
 func startTestCluster(t *testing.T) *testCluster {
 	t.Helper()
 	st := store.New(store.NewMemBackend())
+	hub := obs.NewTestHub(t.Logf)
 	coord := NewCoordinator(st, CoordinatorConfig{
 		HeartbeatEvery: 50 * time.Millisecond,
 		TTL:            250 * time.Millisecond,
 		PollInterval:   10 * time.Millisecond,
 		DispatchWait:   10 * time.Second,
-		Log:            t.Logf,
+		Obs:            hub,
 	})
-	srv := service.New(repro.NewEngine(2), service.WithStore(st), service.WithExecutor(coord))
+	srv := service.New(repro.NewEngine(2),
+		service.WithStore(st), service.WithExecutor(coord), service.WithObservability(hub))
 	ts := httptest.NewServer(coord.Handler(srv.Handler()))
-	tc := &testCluster{t: t, coord: coord, server: srv, ts: ts, workers: make(map[string]*testWorker)}
+	tc := &testCluster{t: t, coord: coord, server: srv, hub: hub, ts: ts, workers: make(map[string]*testWorker)}
 	t.Cleanup(func() {
 		for _, w := range tc.workers {
 			tc.kill(w.id)
@@ -68,9 +74,11 @@ func (tc *testCluster) addWorker(id string, maxJobs int) *testWorker {
 // store.
 func (tc *testCluster) addWorkerStore(id string, maxJobs int, st *store.Store) *testWorker {
 	tc.t.Helper()
+	hub := obs.NewTestHub(tc.t.Logf)
 	opts := []service.Option{
 		service.WithStore(st),
 		service.WithSolveCacheTier(NewRemoteCache(tc.ts.URL, id)),
+		service.WithObservability(hub),
 	}
 	if maxJobs > 0 {
 		opts = append(opts, service.WithMaxConcurrent(maxJobs))
@@ -83,14 +91,14 @@ func (tc *testCluster) addWorkerStore(id string, maxJobs int, st *store.Store) *
 		AdvertiseURL:   wts.URL,
 		Capacity:       maxJobs,
 		HeartbeatEvery: 50 * time.Millisecond,
-		Log:            tc.t.Logf,
+		Obs:            hub,
 	}, srv)
 	if err != nil {
 		tc.t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { _ = agent.Run(ctx) }()
-	w := &testWorker{id: id, srv: srv, ts: wts, cancel: cancel}
+	w := &testWorker{id: id, srv: srv, hub: hub, agent: agent, ts: wts, cancel: cancel}
 	tc.workers[id] = w
 	tc.waitFor("worker "+id+" live", 5*time.Second, func() bool { return tc.coord.Registry().Alive(id) })
 	return w
@@ -341,7 +349,7 @@ func TestClusterBackpressureSpill(t *testing.T) {
 func TestWorkerReregisters(t *testing.T) {
 	tc := startTestCluster(t)
 	tc.addWorker("w1", 0)
-	tc.coord.Registry().Deregister("w1") // simulate a coordinator wipe
+	tc.coord.Registry().Deregister("w1", nil) // simulate a coordinator wipe
 	tc.waitFor("w1 re-registered", 5*time.Second, func() bool {
 		return tc.coord.Registry().Alive("w1")
 	})

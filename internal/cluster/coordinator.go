@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -28,9 +30,13 @@ type CoordinatorConfig struct {
 	// DispatchWait is how long a job waits for a live, unsaturated worker
 	// (none registered yet, or the whole fleet saturated) before failing.
 	DispatchWait time.Duration
-	// Log, when set, receives coordinator events (registrations, deaths,
-	// failovers, registry syncs).
-	Log func(format string, args ...any)
+	// Obs carries the process's observability hub: coordinator events go
+	// to its structured logger, the dispatch/failover/sync counters and
+	// fleet gauges register on its metrics registry, and every dispatch
+	// records a span on its tracer. Nil selects a quiet default hub (own
+	// registry, discarded logs) — share the server's hub to get cluster
+	// metrics on the public /metrics.
+	Obs *obs.Hub
 }
 
 func (cfg CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -49,8 +55,8 @@ func (cfg CoordinatorConfig) withDefaults() CoordinatorConfig {
 	if cfg.DispatchWait <= 0 {
 		cfg.DispatchWait = 30 * time.Second
 	}
-	if cfg.Log == nil {
-		cfg.Log = func(string, ...any) {}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewHub(nil)
 	}
 	return cfg
 }
@@ -65,6 +71,8 @@ type Coordinator struct {
 	store  *store.Store
 	reg    *Registry
 	client *http.Client
+	log    *slog.Logger
+	tracer *obs.Tracer
 
 	// counters feed HealthStats (and the cluster smoke's assertions).
 	dispatches atomic.Int64 // jobs successfully submitted to a worker
@@ -82,13 +90,34 @@ type Coordinator struct {
 // public GET /codes.
 func NewCoordinator(st *store.Store, cfg CoordinatorConfig) *Coordinator {
 	cfg = cfg.withDefaults()
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:        cfg,
 		store:      st,
 		reg:        NewRegistry(cfg.TTL),
 		client:     &http.Client{Timeout: 15 * time.Second},
+		log:        cfg.Obs.Log,
+		tracer:     cfg.Obs.Tracer,
 		syncActive: make(map[string]bool),
 	}
+	c.registerMetrics(cfg.Obs.Metrics)
+	return c
+}
+
+// registerMetrics exposes the coordinator's dispatch counters and fleet
+// gauges on the hub's Prometheus registry.
+func (c *Coordinator) registerMetrics(m *obs.Registry) {
+	counter := func(name, help string, v *atomic.Int64) {
+		m.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("beerd_cluster_dispatches_total", "Jobs successfully submitted to a worker.", &c.dispatches)
+	counter("beerd_cluster_failovers_total", "Redispatches after a worker died mid-job.", &c.failovers)
+	counter("beerd_cluster_spills_total", "Dispatches diverted off the key's ring owner by saturation (429).", &c.spills)
+	counter("beerd_cluster_sync_pulls_total", "Registry records pulled from workers by the sync sweep.", &c.syncPulls)
+	counter("beerd_cluster_sync_pushes_total", "Registry records pushed by workers.", &c.syncPushes)
+	m.GaugeFunc("beerd_cluster_workers_live", "Workers currently within their liveness TTL.",
+		func() float64 { return float64(c.reg.LiveCount()) })
+	m.GaugeFunc("beerd_cluster_workers_registered", "Workers in the membership table, live or not.",
+		func() float64 { return float64(len(c.reg.Snapshot())) })
 }
 
 // Registry exposes the membership table (tests, health).
@@ -121,6 +150,7 @@ func (c *Coordinator) HealthStats() map[string]any {
 		"spills":       c.spills.Load(),
 		"sync_pulls":   c.syncPulls.Load(),
 		"sync_pushes":  c.syncPushes.Load(),
+		"fleet_solver": c.reg.FleetSolver(),
 	}
 }
 
@@ -205,7 +235,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.reg.Register(info)
-	c.cfg.Log("cluster: worker %s registered at %s (capacity %d)", info.ID, info.URL, info.Capacity)
+	c.log.Info("worker registered", "worker", info.ID, "url", info.URL, "capacity", info.Capacity)
 	clusterJSON(w, http.StatusOK, RegisterResponse{
 		HeartbeatMS: c.cfg.HeartbeatEvery.Milliseconds(),
 		TTLMS:       c.cfg.TTL.Milliseconds(),
@@ -239,8 +269,16 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	c.reg.Deregister(id)
-	c.cfg.Log("cluster: worker %s deregistered", id)
+	// The body is optional (older workers DELETE with none): when present
+	// it carries the departing worker's final solver counters, which beat
+	// the last heartbeat's by up to one heartbeat interval of solves.
+	var final *service.SolverTotals
+	var rep DepartureReport
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&rep); err == nil {
+		final = &rep.Solver
+	}
+	c.reg.Deregister(id, final)
+	c.log.Info("worker deregistered", "worker", id)
 	clusterJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -294,7 +332,7 @@ func (c *Coordinator) startSync(id string, codes int) {
 			c.syncMu.Unlock()
 		}()
 		if err := c.pullRegistry(info); err != nil {
-			c.cfg.Log("cluster: registry sync from %s: %v", id, err)
+			c.log.Warn("registry sync failed", "worker", id, "err", err)
 			return
 		}
 		c.reg.MarkSynced(id, codes)

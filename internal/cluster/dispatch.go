@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -90,7 +92,8 @@ func (c *Coordinator) dispatchExecution(spec service.JobSpec, key string) servic
 					if wasDispatched(err) {
 						dispatched++
 						c.failovers.Add(1)
-						c.cfg.Log("cluster: job %s failing over off %s: %v", env.JobID, w.ID, err)
+						c.log.Warn("job failing over", "job_id", env.JobID, "worker", w.ID,
+							"trace_id", env.Trace.Trace.String(), "err", err)
 						// Only an accepted-then-lost dispatch resets the
 						// idle clock; mere refusals must not keep the job
 						// waiting forever.
@@ -140,9 +143,26 @@ func wasDispatched(err error) bool {
 // caller switches on: nil (done), *httpError 429 (saturated), errWorkerDown
 // possibly wrapped in dispatchedError (retry elsewhere), ctx.Err(), and
 // anything else (deterministic job failure).
-func (c *Coordinator) runOn(ctx context.Context, w WorkerInfo, spec service.JobSpec, env service.ExecEnv, attempt int) (*service.JobResult, error) {
+func (c *Coordinator) runOn(ctx context.Context, w WorkerInfo, spec service.JobSpec, env service.ExecEnv, attempt int) (_ *service.JobResult, err error) {
+	// One span per dispatch attempt, parented on the job's root span. Its
+	// context rides the submit request as a traceparent header, so the
+	// worker-side job span (and its stage spans) join the same trace —
+	// /debug/traces on coordinator and worker then stitch by TraceID.
+	span := c.tracer.StartSpan(env.Trace, "cluster.dispatch")
+	span.SetAttr("job_id", env.JobID)
+	span.SetAttr("worker", w.ID)
+	span.SetAttr("attempt", strconv.Itoa(attempt))
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
+
+	var submitHeader http.Header
+	if sc := span.Context(); sc.Valid() {
+		submitHeader = http.Header{obs.TraceparentHeader: []string{sc.Traceparent()}}
+	}
 	var accepted service.JobStatus
-	err := doJSON(ctx, c.client, http.MethodPost, w.URL+"/api/v1/jobs", spec, &accepted)
+	err = doJSONHeader(ctx, c.client, http.MethodPost, w.URL+"/api/v1/jobs", submitHeader, spec, &accepted)
 	if err != nil {
 		if he, ok := err.(*httpError); ok {
 			switch he.status {
@@ -167,7 +187,9 @@ func (c *Coordinator) runOn(ctx context.Context, w WorkerInfo, spec service.JobS
 	c.dispatches.Add(1)
 	c.reg.AddActive(w.ID, 1)
 	defer c.reg.AddActive(w.ID, -1)
-	c.cfg.Log("cluster: job %s dispatched to %s as %s (attempt %d)", env.JobID, w.ID, accepted.ID, attempt)
+	span.SetAttr("remote_job_id", accepted.ID)
+	c.log.Info("job dispatched", "job_id", env.JobID, "worker", w.ID,
+		"remote_job_id", accepted.ID, "attempt", attempt, "trace_id", env.Trace.Trace.String())
 
 	report := func(p service.ProgressStatus) {
 		p.Worker = w.ID
@@ -257,11 +279,11 @@ func (c *Coordinator) syncCompleted(w WorkerInfo, res *service.JobResult) {
 	defer cancel()
 	rec, err := c.fetchRecord(ctx, w.URL, hash)
 	if err != nil {
-		c.cfg.Log("cluster: pulling record %s from %s: %v", hash, w.ID, err)
+		c.log.Warn("pulling completed-job record failed", "hash", hash, "worker", w.ID, "err", err)
 		return
 	}
 	if err := c.store.PutCode(rec); err != nil {
-		c.cfg.Log("cluster: storing record %s: %v", hash, err)
+		c.log.Warn("storing pulled record failed", "hash", hash, "err", err)
 		return
 	}
 	c.syncPulls.Add(1)

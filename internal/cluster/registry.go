@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/service"
 )
 
 // Registry is the coordinator's membership table: every registered worker
@@ -15,6 +17,11 @@ type Registry struct {
 	mu      sync.Mutex
 	members map[string]*member
 	ring    *Ring // over live member IDs; rebuilt on membership change
+	// departed accumulates the final solver counters of gracefully
+	// deregistered workers, so the fleet aggregate (FleetSolver) keeps
+	// their work after the member row is gone. An ungraceful death loses
+	// its counters by design — the process died and took them along.
+	departed service.SolverTotals
 }
 
 type member struct {
@@ -25,7 +32,8 @@ type member struct {
 	running  int
 	inFlight int
 	codes    int
-	active   int // jobs currently dispatched by this coordinator
+	solver   service.SolverTotals // cumulative, from the last heartbeat
+	active   int                  // jobs currently dispatched by this coordinator
 	// syncedCodes is the registry size last reconciled by the sync sweep;
 	// a heartbeat reporting a different Codes count triggers a pull.
 	syncedCodes int
@@ -56,14 +64,25 @@ func (r *Registry) Register(info WorkerInfo) {
 	r.rebuildLocked()
 }
 
-// Deregister removes a worker (graceful shutdown).
-func (r *Registry) Deregister(id string) {
+// Deregister removes a worker (graceful shutdown). The worker's solver
+// counters are folded into the departed aggregate before removal — final,
+// when the departure request carried them (heartbeats lag, so the last
+// report can miss the worker's closing solves), or the last heartbeat's
+// otherwise — so /healthz fleet totals never drop on a graceful drain.
+func (r *Registry) Deregister(id string, final *service.SolverTotals) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.members[id]; ok {
-		delete(r.members, id)
-		r.rebuildLocked()
+	m, ok := r.members[id]
+	if !ok {
+		return
 	}
+	last := m.solver
+	if final != nil && !final.IsZero() {
+		last = *final
+	}
+	r.departed.Add(last)
+	delete(r.members, id)
+	r.rebuildLocked()
 }
 
 // Heartbeat records a worker's liveness report. It returns false for an
@@ -80,6 +99,7 @@ func (r *Registry) Heartbeat(hb Heartbeat) (known bool, syncNeeded bool) {
 	m.running = hb.Running
 	m.inFlight = hb.InFlight
 	m.codes = hb.Codes
+	m.solver = hb.Solver
 	m.draining = hb.Draining
 	if m.dead {
 		m.dead = false // it spoke; it lives
@@ -193,12 +213,27 @@ func (r *Registry) Snapshot() []WorkerStatus {
 			Running:       m.running,
 			InFlight:      m.inFlight,
 			Codes:         m.codes,
+			Solver:        m.solver,
 			Active:        m.active,
 			LastHeartbeat: m.lastBeat,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// FleetSolver aggregates solver counters across the fleet's whole history:
+// every registered member's latest heartbeat (dead-but-registered workers
+// included — their counters are still their last true report) plus the
+// departed accumulator of gracefully deregistered workers.
+func (r *Registry) FleetSolver() service.SolverTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.departed
+	for _, m := range r.members {
+		total.Add(m.solver)
+	}
+	return total
 }
 
 // LiveCount counts currently-live workers.

@@ -8,6 +8,7 @@ import (
 
 	"repro"
 	"repro/internal/ecc"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -147,7 +148,107 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 		return fmt.Errorf("duplicate solver invocations: fleet went from %d to %d SAT runs on identical profiles", before, after)
 	}
 	logf("phase B: zero duplicate solver invocations (fleet still at %d)", after)
+
+	if err := metricsSmoke(ctx, client, cfg.BaseURL, logf); err != nil {
+		return err
+	}
+	return tracesSmoke(ctx, client, cfg.BaseURL, logf)
+}
+
+// metricsSmoke scrapes /metrics on the coordinator and every live worker,
+// failing on malformed exposition or missing key families. The coordinator
+// must additionally expose its cluster counters with the run's dispatches
+// on them.
+func metricsSmoke(ctx context.Context, client *http.Client, base string, logf func(string, ...any)) error {
+	fams, err := service.MetricsSmoke(ctx, client, base,
+		"beerd_cluster_dispatches_total",
+		"beerd_cluster_failovers_total",
+		"beerd_cluster_spills_total",
+		"beerd_cluster_workers_live",
+		"beerd_cluster_workers_registered",
+	)
+	if err != nil {
+		return fmt.Errorf("coordinator: %w", err)
+	}
+	dispatches := 0.0
+	if f := fams["beerd_cluster_dispatches_total"]; f != nil {
+		for _, s := range f.Samples {
+			dispatches += s.Value
+		}
+	}
+	if dispatches < 1 {
+		return fmt.Errorf("coordinator /metrics reports zero dispatches after a full smoke")
+	}
+	logf("metrics: coordinator exposition valid (%.0f dispatches)", dispatches)
+
+	var fleet struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := doJSON(ctx, client, http.MethodGet, base+PathWorkers, nil, &fleet); err != nil {
+		return fmt.Errorf("listing workers: %w", err)
+	}
+	scraped := 0
+	for _, w := range fleet.Workers {
+		if !w.Alive {
+			continue
+		}
+		if _, err := service.MetricsSmoke(ctx, client, w.URL); err != nil {
+			return fmt.Errorf("worker %s: %w", w.ID, err)
+		}
+		scraped++
+	}
+	if scraped == 0 {
+		return fmt.Errorf("no live worker to scrape /metrics from")
+	}
+	logf("metrics: exposition valid on %d live worker(s)", scraped)
 	return nil
+}
+
+// tracesSmoke asserts the cross-process stitch: some dispatch span in the
+// coordinator's /debug/traces must share its TraceID with an execution
+// span in the executing worker's /debug/traces — one trace spanning the
+// submit → dispatch → worker-solve chain over real sockets.
+func tracesSmoke(ctx context.Context, client *http.Client, base string, logf func(string, ...any)) error {
+	var fleet struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := doJSON(ctx, client, http.MethodGet, base+PathWorkers, nil, &fleet); err != nil {
+		return fmt.Errorf("listing workers: %w", err)
+	}
+	alive := make(map[string]string) // id -> URL
+	for _, w := range fleet.Workers {
+		if w.Alive {
+			alive[w.ID] = w.URL
+		}
+	}
+
+	var dump obs.TraceDump
+	if err := doJSON(ctx, client, http.MethodGet, base+"/debug/traces", nil, &dump); err != nil {
+		return fmt.Errorf("coordinator /debug/traces: %w", err)
+	}
+	for _, sp := range dump.Spans {
+		if sp.Name != "cluster.dispatch" || sp.Error != "" {
+			continue
+		}
+		workerURL, ok := alive[sp.Attrs["worker"]]
+		if !ok {
+			continue // dispatched to a since-killed worker
+		}
+		var wdump obs.TraceDump
+		url := workerURL + "/debug/traces?trace_id=" + sp.TraceID
+		if err := doJSON(ctx, client, http.MethodGet, url, nil, &wdump); err != nil {
+			return fmt.Errorf("worker %s /debug/traces: %w", sp.Attrs["worker"], err)
+		}
+		for _, wsp := range wdump.Spans {
+			if wsp.TraceID == sp.TraceID {
+				logf("traces: trace %s stitched across coordinator (%s) and worker %s (%s)",
+					sp.TraceID, sp.Name, sp.Attrs["worker"], wsp.Name)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("no coordinator dispatch span found whose TraceID also appears on a live worker (%d coordinator spans, %d live workers)",
+		len(dump.Spans), len(alive))
 }
 
 // runSmokePhase submits the specs, polls them to completion with

@@ -5,9 +5,11 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -29,8 +31,9 @@ type WorkerConfig struct {
 	// HeartbeatEvery overrides the cadence until registration succeeds;
 	// after that the coordinator's clock (RegisterResponse) governs.
 	HeartbeatEvery time.Duration
-	// Log, when set, receives agent events.
-	Log func(format string, args ...any)
+	// Obs, when set, receives agent events on its structured logger
+	// (usually the worker process's shared hub). Nil discards them.
+	Obs *obs.Hub
 }
 
 // Worker is the agent that makes a standalone beerd part of a fleet: it
@@ -43,6 +46,7 @@ type Worker struct {
 	srv    *service.Server
 	client *http.Client
 	beat   time.Duration
+	log    *slog.Logger
 }
 
 // RandomWorkerID mints a fresh ring identity ("w-xxxxxxxx") — what a
@@ -72,14 +76,15 @@ func NewWorker(cfg WorkerConfig, srv *service.Server) (*Worker, error) {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = DefaultHeartbeatEvery
 	}
-	if cfg.Log == nil {
-		cfg.Log = func(string, ...any) {}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewHub(nil)
 	}
 	return &Worker{
 		cfg:    cfg,
 		srv:    srv,
 		client: &http.Client{Timeout: 10 * time.Second},
 		beat:   cfg.HeartbeatEvery,
+		log:    cfg.Obs.Log,
 	}, nil
 }
 
@@ -104,7 +109,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return ctx.Err()
 			}
 			if isStatus(err, http.StatusNotFound) {
-				w.cfg.Log("cluster: coordinator forgot %s, re-registering", w.cfg.ID)
+				w.log.Info("coordinator forgot worker, re-registering", "worker", w.cfg.ID)
 				if err := w.register(ctx); err != nil {
 					return err
 				}
@@ -112,7 +117,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			// Transient coordinator outage: keep beating; the TTL is the
 			// coordinator's problem, reconnection is ours.
-			w.cfg.Log("cluster: heartbeat: %v", err)
+			w.log.Warn("heartbeat failed", "worker", w.cfg.ID, "err", err)
 		}
 	}
 }
@@ -129,7 +134,8 @@ func (w *Worker) register(ctx context.Context) error {
 			if resp.HeartbeatMS > 0 {
 				w.beat = time.Duration(resp.HeartbeatMS) * time.Millisecond
 			}
-			w.cfg.Log("cluster: %s registered with %s (heartbeat %v)", w.cfg.ID, w.cfg.CoordinatorURL, w.beat)
+			w.log.Info("registered with coordinator", "worker", w.cfg.ID,
+				"coordinator", w.cfg.CoordinatorURL, "heartbeat", w.beat)
 			// A first heartbeat right away carries the initial load and
 			// registry size (and triggers a sync for a pre-warmed store).
 			_ = w.heartbeat(ctx)
@@ -138,7 +144,7 @@ func (w *Worker) register(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		w.cfg.Log("cluster: registering %s: %v (retrying in %v)", w.cfg.ID, err, backoff)
+		w.log.Warn("registration failed, retrying", "worker", w.cfg.ID, "err", err, "retry_in", backoff)
 		if err := sleepCtx(ctx, backoff); err != nil {
 			return err
 		}
@@ -153,15 +159,20 @@ func (w *Worker) heartbeat(ctx context.Context) error {
 		InFlight: w.srv.Engine().InFlight(),
 		Codes:    codesCount(w.srv.Store()),
 		Draining: w.srv.Draining(),
+		Solver:   w.srv.SolverTotals(),
 	}
 	return doJSON(ctx, w.client, http.MethodPost, w.cfg.CoordinatorURL+PathHeartbeat, hb, nil)
 }
 
 // Deregister removes the worker from the coordinator's ring — the first
 // step of a graceful shutdown, before the server drains, so no new job is
-// dispatched at a worker that is about to stop.
+// dispatched at a worker that is about to stop. The request carries the
+// worker's final solver counters; the coordinator folds them into its
+// fleet aggregate, so the drained worker's solves stay visible on
+// /healthz and /metrics after the member row disappears.
 func (w *Worker) Deregister(ctx context.Context) error {
-	return doJSON(ctx, w.client, http.MethodDelete, w.cfg.CoordinatorURL+PathWorkers+"/"+w.cfg.ID, nil, nil)
+	rep := DepartureReport{Solver: w.srv.SolverTotals()}
+	return doJSON(ctx, w.client, http.MethodDelete, w.cfg.CoordinatorURL+PathWorkers+"/"+w.cfg.ID, rep, nil)
 }
 
 // codesCount sizes a store's code registry (0 on backend errors).

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsReader caches runtime.ReadMemStats snapshots briefly so one
+// /metrics scrape reading several go_memstats_* gauges triggers a single
+// stop-the-world read.
+type memStatsReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (m *memStatsReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > 250*time.Millisecond {
+		runtime.ReadMemStats(&m.stat)
+		m.at = time.Now()
+	}
+	return m.stat
+}
+
+// registerRuntimeMetrics adds the Go runtime family every beerd role
+// exports: goroutine count, heap usage and GC activity.
+func registerRuntimeMetrics(r *Registry) {
+	ms := &memStatsReader{}
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Heap bytes allocated and still in use.",
+		func() float64 { return float64(ms.read().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 { return float64(ms.read().HeapObjects) })
+	r.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(ms.read().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 { return float64(ms.read().PauseTotalNs) / 1e9 })
+}
+
+// DebugHandler is the mux served on the opt-in `beerd -debug-addr`
+// listener: the full net/http/pprof suite plus this hub's /metrics and
+// /debug/traces, so profiling and scraping never have to share the
+// public API port.
+func (h *Hub) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", h.Metrics.Handler())
+	mux.Handle("/debug/traces", h.Tracer.Handler())
+	return mux
+}

@@ -43,6 +43,7 @@ import (
 type Engine struct {
 	workers  int
 	inflight atomic.Int64
+	runs     atomic.Int64
 	profiles *store.LRU[profileKey, *core.Profile]
 	patterns *store.LRU[patternKey, []core.Pattern]
 }
@@ -67,6 +68,11 @@ func (e *Engine) Workers() int { return e.workers }
 // executing right now — the engine-level load figure cluster workers report
 // in their heartbeats and beerd exposes on /healthz.
 func (e *Engine) InFlight() int { return int(e.inflight.Load()) }
+
+// Runs counts the sharded computations (ForEach calls) the engine has
+// started over its lifetime — the cumulative companion to the InFlight
+// gauge, exported as the beerd_engine_runs_total metric.
+func (e *Engine) Runs() int64 { return e.runs.Load() }
 
 var (
 	defaultOnce   sync.Once
@@ -98,6 +104,7 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int) error) error
 		ctx = context.Background()
 	}
 	e.inflight.Add(1)
+	e.runs.Add(1)
 	defer e.inflight.Add(-1)
 	workers := e.workers
 	if workers > n {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // TestDrainFinishesInFlightJobs: Drain rejects new submissions with 503
@@ -68,7 +69,7 @@ func TestDrainTimeout(t *testing.T) {
 	srv := New(repro.NewEngine(1))
 	defer srv.Close()
 	// A heavyweight job that cannot finish within the drain window.
-	j, err := srv.submit(JobSpec{Type: "recover", Manufacturer: "B", K: 32, Chips: 8, Rounds: 16})
+	j, err := srv.submit(JobSpec{Type: "recover", Manufacturer: "B", K: 32, Chips: 8, Rounds: 16}, obs.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // This file defines the seam between the beerd HTTP layer and job
@@ -48,6 +49,11 @@ type ExecEnv struct {
 	// monotonically (see progressTracker), so implementations may report
 	// from restarted attempts without counters appearing to move backwards.
 	Report func(ProgressStatus)
+	// Trace is the job's root span context. Local executions parent their
+	// stage spans on it; a dispatching executor propagates it to the
+	// executing worker as a traceparent header, so the worker-side spans
+	// join the same trace.
+	Trace obs.SpanContext
 }
 
 // localExecutor runs jobs on this process's parallel experiment engine —
@@ -58,6 +64,9 @@ type ExecEnv struct {
 type localExecutor struct {
 	engine    *repro.Engine
 	extraOpts []repro.Option
+	// tracer records the execution's stage spans (nil-safe: a zero
+	// localExecutor in tests simply traces nothing).
+	tracer *obs.Tracer
 }
 
 // Describe implements Executor.
@@ -74,17 +83,93 @@ func (e localExecutor) Prepare(spec JobSpec) (Execution, error) {
 	}
 	chips := spec.chipCount()
 	return func(ctx context.Context, env ExecEnv) (*JobResult, error) {
+		span := e.tracer.StartSpan(env.Trace, "local.execute")
+		span.SetAttr("job_id", env.JobID)
+		stages := newStageSpans(e.tracer, span.Context(), chips)
 		// Fold raw pipeline events locally, snapshot after every event.
 		// Events for one run are serialized (see Engine.Recover), so the
 		// fold needs no extra ordering; the tracker behind env.Report
 		// handles snapshot/read races.
 		p := &progressState{chips: chips}
 		fn := func(ev repro.ProgressEvent) {
+			stages.observe(ev)
 			p.observe(ev)
 			env.Report(p.snapshot())
 		}
-		return run(ctx, e.engine, env.Cache, fn)
+		result, err := run(ctx, e.engine, env.Cache, fn)
+		stages.finish()
+		span.SetError(err)
+		span.End()
+		return result, err
 	}, nil
+}
+
+// stageSpans opens one child span per pipeline stage on that stage's first
+// event and ends it when the stage completes (discover/collect complete
+// per chip; solve completes once). Events for one run are serialized, but
+// finish runs on the execution goroutine after the pipeline returns, so
+// the map is mutex-guarded.
+type stageSpans struct {
+	tracer *obs.Tracer
+	parent obs.SpanContext
+	chips  int
+
+	mu   sync.Mutex
+	open map[repro.PipelineStage]*obs.Span
+	done map[repro.PipelineStage]int
+}
+
+func newStageSpans(tracer *obs.Tracer, parent obs.SpanContext, chips int) *stageSpans {
+	return &stageSpans{
+		tracer: tracer,
+		parent: parent,
+		chips:  max(chips, 1),
+		open:   make(map[repro.PipelineStage]*obs.Span),
+		done:   make(map[repro.PipelineStage]int),
+	}
+}
+
+func (ss *stageSpans) observe(ev repro.ProgressEvent) {
+	if ss.tracer == nil {
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	sp, opened := ss.open[ev.Stage]
+	if !opened && ss.done[ev.Stage] < ss.stageTotal(ev.Stage) {
+		sp = ss.tracer.StartSpan(ss.parent, "stage."+ev.Stage.String())
+		ss.open[ev.Stage] = sp
+	}
+	if !ev.Done {
+		return
+	}
+	ss.done[ev.Stage]++
+	if ss.done[ev.Stage] >= ss.stageTotal(ev.Stage) && sp != nil {
+		sp.End()
+		delete(ss.open, ev.Stage)
+	}
+}
+
+// stageTotal is how many Done events complete a stage: one per chip for
+// the per-chip stages, one for the solve.
+func (ss *stageSpans) stageTotal(stage repro.PipelineStage) int {
+	if stage == repro.StageSolve {
+		return 1
+	}
+	return ss.chips
+}
+
+// finish ends any span left open by an error or cancellation mid-stage.
+func (ss *stageSpans) finish() {
+	if ss == nil || ss.tracer == nil {
+		return
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for stage, sp := range ss.open {
+		sp.End()
+		delete(ss.open, stage)
+	}
 }
 
 // progressTracker holds a job's latest ProgressStatus under a monotonic
@@ -96,11 +181,16 @@ func (e localExecutor) Prepare(spec JobSpec) (Execution, error) {
 type progressTracker struct {
 	mu  sync.Mutex
 	cur ProgressStatus
+	// metrics, when set, receives the positive delta of every merge — the
+	// single choke point both execution paths (local event folds and
+	// polled cluster snapshots) pass through, so the live Prometheus
+	// counters inherit the tracker's failover monotonicity for free.
+	metrics *serverMetrics
 }
 
 func (t *progressTracker) update(p ProgressStatus) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	before := t.cur
 	c := &t.cur
 	if p.Updates >= c.Updates && p.Stage != "" {
 		c.Stage = p.Stage
@@ -128,6 +218,12 @@ func (t *progressTracker) update(p ProgressStatus) {
 	c.Solver.PatternsUsed = max(c.Solver.PatternsUsed, p.Solver.PatternsUsed)
 	c.Solver.PatternsPlanned = max(c.Solver.PatternsPlanned, p.Solver.PatternsPlanned)
 	c.Solver.EntriesDropped = max(c.Solver.EntriesDropped, p.Solver.EntriesDropped)
+	after := t.cur
+	m := t.metrics
+	t.mu.Unlock()
+	if m != nil {
+		m.observeProgress(before, after)
+	}
 }
 
 // set replaces the tracked status wholesale (replay of a terminal job).

@@ -14,6 +14,7 @@ import (
 	"repro"
 	"repro/internal/ecc"
 	"repro/internal/einsim"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -594,7 +595,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed job spec: %v", err)
 		return
 	}
-	j, err := s.submit(spec)
+	// The caller's span context arrives either via the obs middleware
+	// (cmd/beerd wraps the handler) or, for embedded handlers without
+	// middleware (tests, workers driven by the coordinator), directly as a
+	// traceparent header.
+	parent := obs.SpanContextFrom(r.Context())
+	if !parent.Valid() {
+		parent, _ = obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	}
+	j, err := s.submit(spec, parent)
 	var saturated *SaturatedError
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrShuttingDown):

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -66,6 +67,12 @@ type Server struct {
 	// backend selection) appended to every locally-executed recovery job;
 	// see WithSolverOptions.
 	solverOpts []repro.Option
+	// hub and metrics are the observability plane: hub (never nil after
+	// New) carries the metrics registry behind GET /metrics, the span ring
+	// buffer behind GET /debug/traces and the structured logger; metrics
+	// holds the service-layer instruments (see obs.go).
+	hub     *obs.Hub
+	metrics *serverMetrics
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -139,11 +146,18 @@ func New(engine *repro.Engine, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.hub == nil {
+		s.hub = obs.NewHub(nil)
+	}
+	s.metrics = newServerMetrics(s)
 	if s.store == nil {
 		s.store = store.New(store.NewMemBackend())
 	}
+	s.store.Instrument(func(op string, seconds float64) {
+		s.metrics.storeSeconds.With(op).Observe(seconds)
+	})
 	if s.executor == nil {
-		s.executor = localExecutor{engine: engine, extraOpts: s.solverOpts}
+		s.executor = localExecutor{engine: engine, extraOpts: s.solverOpts, tracer: s.hub.Tracer}
 	}
 	s.recoverPersistedJobs()
 	return s
@@ -252,6 +266,7 @@ func (c *solveCounter) totals() SolverStats {
 // "zero new solver invocations" on /healthz and SolveCounters.
 type countingCache struct {
 	counter *solveCounter
+	metrics *serverMetrics
 	inner   repro.SolveCache
 }
 
@@ -263,6 +278,12 @@ func (c countingCache) Lookup(p *repro.Profile) (*repro.SolveResult, bool) {
 		c.counter.hits++
 	}
 	c.counter.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.cacheLookups.Inc()
+		if ok {
+			c.metrics.cacheHits.Inc()
+		}
+	}
 	return res, ok
 }
 
@@ -339,8 +360,17 @@ type job struct {
 	// replayed marks a terminal job restored from the store on startup (its
 	// pipeline did not run in this process).
 	replayed bool
+	// span is the job's root trace span, opened at submission (nil for
+	// resumed/replayed jobs — their submitting request is long gone).
+	span *obs.Span
 
 	progress progressTracker
+
+	// watchMu guards watchers: one signal channel per open SSE stream,
+	// poked (non-blocking) on every progress report and on the terminal
+	// transition. See Server.handleEvents.
+	watchMu  sync.Mutex
+	watchers map[chan struct{}]struct{}
 
 	mu       sync.Mutex
 	state    State
@@ -359,6 +389,36 @@ type job struct {
 	// stale "canceled" one. Always acquired before (never while holding)
 	// j.mu.
 	persistMu sync.Mutex
+}
+
+// watch registers an SSE stream's wakeup channel; the returned cancel
+// removes it. The channel has capacity 1: a poke while one is pending
+// coalesces, which is fine — watchers re-read the full status on wake.
+func (j *job) watch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.watchMu.Lock()
+	if j.watchers == nil {
+		j.watchers = make(map[chan struct{}]struct{})
+	}
+	j.watchers[ch] = struct{}{}
+	j.watchMu.Unlock()
+	return ch, func() {
+		j.watchMu.Lock()
+		delete(j.watchers, ch)
+		j.watchMu.Unlock()
+	}
+}
+
+// notify pokes every open watcher without blocking.
+func (j *job) notify() {
+	j.watchMu.Lock()
+	for ch := range j.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	j.watchMu.Unlock()
 }
 
 // markUserCanceled records that the job's cancellation was requested via
@@ -409,8 +469,11 @@ func (e *SaturatedError) Error() string {
 func (e *SaturatedError) RetryAfter() time.Duration { return time.Second }
 
 // submit validates a spec, registers a new job, persists it and starts its
-// goroutine.
-func (s *Server) submit(spec JobSpec) (*job, error) {
+// goroutine. parent, when valid, is the submitting client's span context
+// (parsed from its traceparent header): the job's root span becomes its
+// child, which is how a coordinator's dispatch span and the worker-side
+// job span stitch into one trace.
+func (s *Server) submit(spec JobSpec, parent obs.SpanContext) (*job, error) {
 	exec, err := s.executor.Prepare(spec)
 	if err != nil {
 		return nil, err
@@ -437,9 +500,18 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		created: time.Now(),
 		state:   StateRunning,
 	}
+	j.progress.metrics = s.metrics
 	j.progress.update(ProgressStatus{Chips: spec.chipCount()})
 	s.registerLocked(j)
 	s.mu.Unlock()
+
+	j.span = s.hub.Tracer.StartSpan(parent, "beerd.job")
+	j.span.SetAttr("job_id", j.id)
+	j.span.SetAttr("type", spec.Type)
+	s.metrics.jobsSubmitted.With(spec.Type).Inc()
+	s.hub.Log.Info("job submitted",
+		"job_id", j.id, "type", spec.Type,
+		"trace_id", j.span.Context().Trace.String())
 
 	s.start(j, exec)
 	return j, nil
@@ -449,6 +521,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 // callers hold s.mu (the shutdown check and the Add must be atomic against
 // Close).
 func (s *Server) registerLocked(j *job) {
+	j.progress.metrics = s.metrics
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.runCtx = ctx
 	j.cancel = cancel
@@ -465,15 +538,26 @@ func (s *Server) start(j *job, exec Execution) {
 	j.mu.Lock()
 	j.started = time.Now()
 	j.mu.Unlock()
+	if j.span == nil {
+		// Resumed after a restart: the submitting request (and its trace)
+		// is gone, so the re-run gets a fresh root span.
+		j.span = s.hub.Tracer.StartSpan(obs.SpanContext{}, "beerd.job.resume")
+		j.span.SetAttr("job_id", j.id)
+		j.span.SetAttr("type", j.spec.Type)
+	}
 	s.persistJob(j)
 
 	go func() {
 		defer s.wg.Done()
 		defer j.cancel()
 		env := ExecEnv{
-			JobID:  j.id,
-			Cache:  s.jobCache(j),
-			Report: j.progress.update,
+			JobID: j.id,
+			Cache: s.jobCache(j),
+			Report: func(p ProgressStatus) {
+				j.progress.update(p)
+				j.notify() // wake SSE streams
+			},
+			Trace: j.span.Context(),
 		}
 		result, err := exec(j.runCtx, env)
 		switch {
@@ -496,6 +580,19 @@ func (s *Server) start(j *job, exec Execution) {
 		s.running--
 		s.mu.Unlock()
 		s.persistJob(j)
+
+		state, errText, started, finished := j.snapshotState()
+		s.metrics.observeFinished(j.spec.Type, state, started, finished, result)
+		if err != nil {
+			j.span.SetError(err)
+		}
+		j.span.SetAttr("state", string(state))
+		j.span.End()
+		s.hub.Log.Info("job finished",
+			"job_id", j.id, "state", string(state), "error", errText,
+			"dur", finished.Sub(started),
+			"trace_id", j.span.Context().Trace.String())
+		j.notify() // wake SSE streams for the terminal event
 	}()
 }
 
@@ -508,7 +605,7 @@ func (s *Server) jobCache(j *job) repro.SolveCache {
 	if s.tier != nil {
 		inner = tieredCache{local: inner, tier: s.tier}
 	}
-	return countingCache{counter: &s.solve, inner: inner}
+	return countingCache{counter: &s.solve, metrics: s.metrics, inner: inner}
 }
 
 // tieredCache layers a remote solve-cache tier behind the local store
@@ -662,16 +759,20 @@ func (p *progressState) snapshot() ProgressStatus {
 //	POST   /api/v1/jobs             submit a job (JobSpec JSON)
 //	GET    /api/v1/jobs             list job statuses
 //	GET    /api/v1/jobs/{id}        one job's status + per-stage progress
+//	GET    /api/v1/jobs/{id}/events live status stream (Server-Sent Events)
 //	GET    /api/v1/jobs/{id}/result a finished job's result
 //	DELETE /api/v1/jobs/{id}        cancel a running job
 //	GET    /codes                   the recovered-code registry (export format)
 //	GET    /codes/{hash}            one registry record, all candidates
 //	GET    /healthz                 liveness + engine/job/solver counters
+//	GET    /metrics                 Prometheus text exposition (obs registry)
+//	GET    /debug/traces            JSON dump of the span ring buffer
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /codes", s.handleCodes)
@@ -681,5 +782,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/codes", s.handleCodes)
 	mux.HandleFunc("GET /api/v1/codes/{hash}", s.handleCode)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.hub.Metrics.Handler())
+	mux.Handle("GET /debug/traces", s.hub.Tracer.Handler())
 	return mux
 }

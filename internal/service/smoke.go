@@ -1,17 +1,75 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/ecc"
+	"repro/internal/obs"
 )
+
+// KeyMetricFamilies is the exposition contract every beerd role keeps on
+// GET /metrics: the families the golden test and the smoke suites
+// (serve-smoke, cluster-smoke) all require to be present and well-formed.
+var KeyMetricFamilies = []string{
+	"beerd_jobs_submitted_total",
+	"beerd_jobs_completed_total",
+	"beerd_job_duration_seconds",
+	"beerd_recover_stage_seconds",
+	"beerd_solver_conflicts_total",
+	"beerd_solver_propagations_total",
+	"beerd_solve_cache_lookups_total",
+	"beerd_solve_cache_hits_total",
+	"beerd_noise_entries_dropped_total",
+	"beerd_store_op_seconds",
+	"beerd_engine_workers",
+	"beerd_engine_inflight",
+	"beerd_engine_runs_total",
+	"beerd_jobs_executing",
+	"go_goroutines",
+	"go_memstats_heap_alloc_bytes",
+}
+
+// MetricsSmoke scrapes base's /metrics and validates the exposition: the
+// document must parse under the Prometheus text-format grammar (including
+// histogram bucket invariants) and carry KeyMetricFamilies plus any extra
+// families the caller requires. It returns the parsed families so callers
+// can assert on sample values.
+func MetricsSmoke(ctx context.Context, client *http.Client, base string, extra ...string) (map[string]*obs.Family, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return nil, fmt.Errorf("/metrics content type %q, want text/plain; version=0.0.4", ct)
+	}
+	want := append(append([]string(nil), KeyMetricFamilies...), extra...)
+	fams, err := obs.CheckFamilies(string(data), want...)
+	if err != nil {
+		return nil, fmt.Errorf("/metrics exposition: %w", err)
+	}
+	return fams, nil
+}
 
 // SmokeConfig parameterizes Smoke.
 type SmokeConfig struct {
@@ -76,7 +134,24 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 		logf("submitted %s (seed %d, plan %v)", status.ID, spec.Seed, spec.Plan)
 	}
 
-	// Poll all jobs to completion, asserting monotonic progress.
+	// Job 0 is consumed over its SSE stream instead of the poll loop, so
+	// the smoke exercises the push path end to end; the rest poll.
+	sseCh := make(chan error, 1)
+	go func() {
+		st, err := consumeSSE(ctx, cfg.BaseURL, ids[0])
+		if err == nil && st.State != StateSucceeded {
+			err = fmt.Errorf("finished %s: %s", st.State, st.Error)
+		}
+		if err == nil && (st.Progress.Updates == 0 || !st.Progress.Solve.Done) {
+			err = fmt.Errorf("done event with incomplete progress: %+v", st.Progress)
+		}
+		if err == nil {
+			logf("%s consumed via SSE to completion (%d progress updates)", ids[0], st.Progress.Updates)
+		}
+		sseCh <- err
+	}()
+
+	// Poll the remaining jobs to completion, asserting monotonic progress.
 	type watch struct {
 		lastUpdates  int64
 		lastDiscover int64
@@ -85,7 +160,8 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 		done         bool
 	}
 	watches := make([]watch, len(ids))
-	pending := len(ids)
+	watches[0].done = true
+	pending := len(ids) - 1
 	for pending > 0 {
 		select {
 		case <-ctx.Done():
@@ -128,6 +204,15 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 				logf("%s succeeded after %d progress updates (%d collection passes)",
 					id, p.Updates, p.Collect.Count)
 			}
+		}
+	}
+
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case err := <-sseCh:
+		if err != nil {
+			return fmt.Errorf("sse %s: %w", ids[0], err)
 		}
 	}
 
@@ -179,7 +264,98 @@ func Smoke(ctx context.Context, cfg SmokeConfig) error {
 	if err := noiseSmoke(ctx, client, cfg, logf, truth); err != nil {
 		return err
 	}
+
+	// Exposition check last, when every family has real samples: /metrics
+	// must parse and the run's work must be visible in the counters.
+	fams, err := MetricsSmoke(ctx, client, cfg.BaseURL)
+	if err != nil {
+		return err
+	}
+	if v := familyTotal(fams, "beerd_jobs_completed_total"); v < float64(cfg.Jobs+1) {
+		return fmt.Errorf("/metrics reports %.0f completed jobs, want >= %d", v, cfg.Jobs+1)
+	}
+	if v := familyTotal(fams, "beerd_sse_streams_total"); v < 1 {
+		return fmt.Errorf("/metrics reports no SSE streams despite the smoke consuming one")
+	}
+	logf("metrics: exposition valid, %.0f jobs on the counters", familyTotal(fams, "beerd_jobs_completed_total"))
 	return nil
+}
+
+// familyTotal sums a family's plain samples (for histograms, pass the base
+// family of interest and read buckets yourself; the smoke only totals
+// counters and gauges).
+func familyTotal(fams map[string]*obs.Family, name string) float64 {
+	f, ok := fams[name]
+	if !ok {
+		return 0
+	}
+	var total float64
+	for _, s := range f.Samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// consumeSSE reads one job's /events stream to its terminal frame — the
+// push-path counterpart of the poll loop, with the same monotonicity
+// assertion. It returns the terminal status from the done event.
+func consumeSSE(ctx context.Context, base, id string) (JobStatus, error) {
+	var st JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return st, err
+	}
+	// A dedicated client without a global timeout: the stream legitimately
+	// lives as long as the job; ctx bounds it instead.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /events: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return st, fmt.Errorf("/events content type %q, want text/event-stream", ct)
+	}
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event := ""
+	lastUpdates := int64(-1)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "":
+			if event == "" {
+				continue // keep-alive terminator
+			}
+			if st.Progress.Updates < lastUpdates {
+				return st, fmt.Errorf("progress went backwards on the stream (%d < %d)", st.Progress.Updates, lastUpdates)
+			}
+			lastUpdates = st.Progress.Updates
+			if event == "done" {
+				if !st.State.Terminal() {
+					return st, fmt.Errorf("done event with non-terminal state %s", st.State)
+				}
+				return st, nil
+			}
+			event = ""
+		case strings.HasPrefix(line, ":"): // keep-alive comment
+		case strings.HasPrefix(line, "id: "):
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+				return st, fmt.Errorf("bad event data: %w", err)
+			}
+		default:
+			return st, fmt.Errorf("unexpected stream line %q", line)
+		}
+	}
+	return st, fmt.Errorf("stream ended without a done event (read error: %v)", scanner.Err())
 }
 
 // noiseSmoke exercises the confidence-weighted recovery path end to end: it

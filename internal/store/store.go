@@ -45,6 +45,53 @@ func New(b Backend) *Store {
 // Backend returns the underlying persistence backend.
 func (s *Store) Backend() Backend { return s.backend }
 
+// Instrument wraps the store's backend so every operation reports its
+// latency to observe with an op label ("get", "put", "delete", "keys") —
+// how beerd feeds the beerd_store_op_seconds histogram without the store
+// depending on the metrics layer. Call before the store is shared across
+// goroutines (service.New does); instrumenting twice stacks the wrappers.
+func (s *Store) Instrument(observe func(op string, seconds float64)) {
+	if observe == nil {
+		return
+	}
+	s.backend = &timedBackend{inner: s.backend, observe: observe}
+}
+
+// timedBackend decorates a Backend with per-operation latency callbacks.
+type timedBackend struct {
+	inner   Backend
+	observe func(op string, seconds float64)
+}
+
+func (b *timedBackend) timed(op string, start time.Time) {
+	b.observe(op, time.Since(start).Seconds())
+}
+
+func (b *timedBackend) Put(bucket, key string, value []byte) error {
+	defer b.timed("put", time.Now())
+	return b.inner.Put(bucket, key, value)
+}
+
+func (b *timedBackend) Get(bucket, key string) ([]byte, bool, error) {
+	defer b.timed("get", time.Now())
+	return b.inner.Get(bucket, key)
+}
+
+func (b *timedBackend) Delete(bucket, key string) error {
+	defer b.timed("delete", time.Now())
+	return b.inner.Delete(bucket, key)
+}
+
+func (b *timedBackend) Keys(bucket string) ([]string, error) {
+	defer b.timed("keys", time.Now())
+	return b.inner.Keys(bucket)
+}
+
+func (b *timedBackend) Close() error { return b.inner.Close() }
+
+// String keeps Describe rendering the wrapped backend's identity.
+func (b *timedBackend) String() string { return describeBackend(b.inner) }
+
 // Describe renders the backend for logs and healthz ("mem", "file:<dir>").
 func (s *Store) Describe() string { return describeBackend(s.backend) }
 

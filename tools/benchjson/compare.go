@@ -9,11 +9,14 @@ import (
 // defaultKeys are the benchmarks the CI gate enforces: the figure sweeps the
 // bitsliced core is meant to keep fast, the end-to-end recovery pipeline,
 // the serial/parallel collection pair, the exact-vs-PBEM_75 noisy
-// drop-k solve pair, and the single-engine-vs-portfolio backend pair. All
-// run long enough at -benchtime 1x that a 30% ns/op move is a real
-// regression, not scheduler noise, and bytes/op is deterministic for all
-// of them (the portfolio entry included: loser cancellation lands at a
-// conflict-check boundary, so its allocation profile repeats).
+// drop-k solve pair, the single-engine-vs-portfolio backend pair, and the
+// metrics hot path (contended counter/histogram updates — the cost every
+// instrumented solve pays). All run long enough at -benchtime 1x that a 30%
+// ns/op move is a real regression, not scheduler noise, and bytes/op is
+// deterministic for all of them (the portfolio entry included: loser
+// cancellation lands at a conflict-check boundary, so its allocation
+// profile repeats; the metrics entry does fixed work per iteration for the
+// same reason).
 var defaultKeys = []string{
 	"BenchmarkFig8",
 	"BenchmarkFig9",
@@ -24,6 +27,7 @@ var defaultKeys = []string{
 	"BenchmarkNoisyRecoverPBEM75",
 	"BenchmarkSolveBackendCDCL",
 	"BenchmarkSolveBackendPortfolio",
+	"BenchmarkMetricsHotPath",
 }
 
 type compareOptions struct {
