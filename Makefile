@@ -8,7 +8,7 @@ GO ?= go
 # the file this expands to, so bench jobs no longer need per-PR edits.
 BENCH_TAG ?= pr6
 
-.PHONY: all build test lint bench bench-baseline bench-gate fuzz-smoke fmt serve-smoke cluster-smoke solver-regression
+.PHONY: all build test lint bench bench-baseline bench-gate serve-bench serve-bench-gate fuzz-smoke fmt serve-smoke cluster-smoke solver-regression
 
 all: build lint test
 
@@ -48,6 +48,24 @@ bench-gate:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > bench.out
 	$(GO) run ./tools/benchjson -compare BENCH_$(BENCH_TAG).json < bench.out
 	@rm -f bench.out
+
+# Serving-path benchmark: beerload boots an in-process beerd and drives the
+# mixed cache-heavy workload (85% duplicate profiles, 25% SSE watchers, the
+# configuration committed in BENCH_pr10.json), writing the HDR latency
+# summary as a benchjson document.
+serve-bench:
+	$(GO) run ./cmd/beerload -duration 25s -concurrency 16 -dup 0.85 -sse 0.25 -poll 10ms -k 8 -seed 1 -json serve-bench.json
+	@echo "wrote serve-bench.json"
+
+# Serving regression gate: rerun the mixed workload and diff it against the
+# committed BENCH_pr10.json, direction-aware — jobs/sec failing on a drop,
+# p99 latency failing on growth (ns/op of a fixed-duration loaded run is not
+# a symmetric metric). Tolerance is wide (50%) because loaded-run throughput
+# varies across CI hosts far more than microbenchmark ns/op.
+serve-bench-gate:
+	$(GO) run ./cmd/beerload -duration 25s -concurrency 16 -dup 0.85 -sse 0.25 -poll 10ms -k 8 -seed 1 -json serve-bench.json
+	$(GO) run ./tools/benchjson -compare BENCH_pr10.json -key '' -serve-key BenchmarkServeMixedCacheHeavy -serve-tolerance 0.5 < serve-bench.json
+	@rm -f serve-bench.json
 
 # Short coverage-guided fuzz smoke of the SAT solver core, the CNF builder,
 # the bitsliced-vs-scalar ECC differential, and the noisy drop-k solver's

@@ -81,6 +81,12 @@ func doJSONHeader(ctx context.Context, client *http.Client, method, url string, 
 		return err
 	}
 	defer resp.Body.Close()
+	// Read the body to completion before the deferred Close: a connection
+	// returns to the shared transport's keep-alive pool (transport.go) only
+	// when its response body has been fully drained — Close on a partially
+	// read body tears the connection down instead. Every cluster-internal
+	// request funnels through here, so reuse discipline is enforced in one
+	// place.
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes))
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -94,7 +95,7 @@ func NewCoordinator(st *store.Store, cfg CoordinatorConfig) *Coordinator {
 		cfg:        cfg,
 		store:      st,
 		reg:        NewRegistry(cfg.TTL),
-		client:     &http.Client{Timeout: 15 * time.Second},
+		client:     newHTTPClient(15 * time.Second),
 		log:        cfg.Obs.Log,
 		tracer:     cfg.Obs.Tracer,
 		syncActive: make(map[string]bool),
@@ -214,10 +215,21 @@ func mountRegistryRead(mux *http.ServeMux, st *store.Store) {
 	})
 }
 
+// clusterBufPool recycles encode buffers for the control-plane handlers:
+// heartbeats arrive from every worker every HeartbeatEvery, so their
+// responses should not allocate a fresh encoder per request.
+var clusterBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func clusterJSON(w http.ResponseWriter, status int, v any) {
+	buf := clusterBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= 1<<16 {
+		clusterBufPool.Put(buf)
+	}
 }
 
 func clusterError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestClusterConcurrentSubmitDedupe proves single-flight dedupe on the
+// coordinator path: N identical concurrent submissions at the front door
+// collapse into one job, dispatched once, solved once on the fleet — and
+// every submitter reads the same verified result.
+func TestClusterConcurrentSubmitDedupe(t *testing.T) {
+	tc := startTestCluster(t)
+	w := tc.addWorker("w1", 0)
+
+	const n = 6
+	payload, err := json.Marshal(recoverSpec("B", 16, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(tc.ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var st service.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	id := ids[0]
+	for i := range ids {
+		if errs[i] != nil {
+			t.Fatalf("submission %d: %v", i, errs[i])
+		}
+		if ids[i] != id {
+			t.Fatalf("submission %d joined job %s, submission 0 got %s — dedupe leaked a dispatch", i, ids[i], id)
+		}
+	}
+
+	final := tc.waitTerminal(id, 60*time.Second)
+	if final.State != service.StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	if final.Progress.Dispatches != 1 {
+		t.Fatalf("job dispatched %d times, want exactly 1", final.Progress.Dispatches)
+	}
+	assertVerified(t, tc.result(id))
+
+	// One execution on the fleet means the worker's solver ran exactly once.
+	if inv := w.srv.SolverTotals().Invocations; inv != 1 {
+		t.Fatalf("worker solver invoked %d times, want 1", inv)
+	}
+}

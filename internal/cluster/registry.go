@@ -14,7 +14,13 @@ import (
 type Registry struct {
 	ttl time.Duration
 
-	mu      sync.Mutex
+	// mu is an RWMutex rather than a sharded table: membership is a ring —
+	// every dispatch reads the whole live set (Sequence), so striping buys
+	// nothing, but read/write asymmetry does. The hot paths (Sequence on
+	// every dispatch, LiveCount/Snapshot on every /metrics scrape and
+	// /healthz probe) take the read lock and run concurrently; only
+	// membership changes and heartbeat folds take the write lock.
+	mu      sync.RWMutex
 	members map[string]*member
 	ring    *Ring // over live member IDs; rebuilt on membership change
 	// departed accumulates the final solver counters of gracefully
@@ -153,8 +159,8 @@ func (r *Registry) rebuildLocked() {
 // first, then the failover successors in ring order. Workers in excluded,
 // past their TTL, or draining are filtered out.
 func (r *Registry) Sequence(key string, excluded map[string]bool) []WorkerInfo {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.ring == nil {
 		return nil
 	}
@@ -171,8 +177,8 @@ func (r *Registry) Sequence(key string, excluded map[string]bool) []WorkerInfo {
 
 // Get returns a worker's registration.
 func (r *Registry) Get(id string) (WorkerInfo, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	m, ok := r.members[id]
 	if !ok {
 		return WorkerInfo{}, false
@@ -182,8 +188,8 @@ func (r *Registry) Get(id string) (WorkerInfo, bool) {
 
 // Alive reports whether the worker is currently considered live.
 func (r *Registry) Alive(id string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	m, ok := r.members[id]
 	return ok && r.aliveLocked(m)
 }
@@ -202,8 +208,8 @@ func (r *Registry) AddActive(id string, delta int) {
 
 // Snapshot lists every registered worker, sorted by ID.
 func (r *Registry) Snapshot() []WorkerStatus {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]WorkerStatus, 0, len(r.members))
 	for _, m := range r.members {
 		out = append(out, WorkerStatus{
@@ -227,8 +233,8 @@ func (r *Registry) Snapshot() []WorkerStatus {
 // included — their counters are still their last true report) plus the
 // departed accumulator of gracefully deregistered workers.
 func (r *Registry) FleetSolver() service.SolverTotals {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	total := r.departed
 	for _, m := range r.members {
 		total.Add(m.solver)
@@ -238,8 +244,8 @@ func (r *Registry) FleetSolver() service.SolverTotals {
 
 // LiveCount counts currently-live workers.
 func (r *Registry) LiveCount() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	n := 0
 	for _, m := range r.members {
 		if r.aliveLocked(m) {

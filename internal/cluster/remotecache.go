@@ -35,7 +35,10 @@ const remoteStoreTimeout = 5 * time.Second
 // NewRemoteCache builds the tier for a worker identified by source,
 // against the coordinator at base.
 func NewRemoteCache(base, source string) *RemoteCache {
-	return &RemoteCache{base: base, source: source, client: &http.Client{}}
+	// No client-level timeout: Lookup and Store each bound themselves with a
+	// per-call context. The shared pooled transport keeps the worker→
+	// coordinator connection warm between solves.
+	return &RemoteCache{base: base, source: source, client: newHTTPClient(0)}
 }
 
 // Lookup implements repro.SolveCache. Every failure — network, 404,

@@ -1,11 +1,6 @@
 package cluster
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-
-	"repro"
 	"repro/internal/service"
 )
 
@@ -21,39 +16,20 @@ import (
 // all observe the same profile, hash to the same worker, and after the
 // first one every later solve is a local cache hit. Anti-cell collection
 // (UseAntiRows) appends inverted-pattern entries to the observed profile,
-// so those jobs key on a suffixed variant.
+// so those jobs key on a suffixed variant. Planned jobs (adaptive planner)
+// observe a deterministic *prefix* of the full profile, so they share the
+// full-sweep key on purpose: same-model submissions — planned or not — pin
+// to one worker, and a repeated planned submission replays that worker's
+// cached solve for the identical partial profile.
 //
 // Simulation jobs have no miscorrection profile; they key on the
 // normalized simulation parameters, which still pins repeated sweeps of
 // one configuration to one worker (whose engine-level exact-profile LRU
 // then serves them) while spreading distinct configurations evenly.
+//
+// The computation lives in service.ProfileKey (memoized per model tuple),
+// shared with the coordinator's single-flight submission dedupe — the ring
+// and the dedupe index agree on what "the same profile" means.
 func RoutingKey(spec service.JobSpec) string {
-	spec = spec.Normalized()
-	switch spec.Type {
-	case "recover":
-		code := repro.GroundTruth(repro.SimulatedChip(repro.Manufacturer(spec.Manufacturer), spec.K, spec.Seed))
-		patterns := repro.Set12
-		if spec.Patterns == "1" {
-			patterns = repro.Set1
-		}
-		key := repro.ExactProfile(code, patterns.Patterns(spec.K)).Hash()
-		if spec.UseAntiRows {
-			key += "+anti"
-		}
-		// Planned jobs (adaptive planner) observe a deterministic *prefix*
-		// of this profile, so they share the full-sweep key on purpose:
-		// same-model submissions — planned or not — pin to one worker, and
-		// a repeated planned submission replays that worker's cached solve
-		// for the identical partial profile.
-		return key
-	case "simulate":
-		canon := fmt.Sprintf("sim|k=%d|words=%d|rber=%g|family=%s|pattern=%s|model=%s|seed=%d",
-			spec.K, spec.Words, spec.RBER, spec.CodeFamily, spec.Pattern, spec.Model, spec.Seed)
-		sum := sha256.Sum256([]byte(canon))
-		return hex.EncodeToString(sum[:])
-	default:
-		// Unknown types are rejected by validation before routing; a
-		// defensive constant keeps the ring total.
-		return "unroutable"
-	}
+	return service.ProfileKey(spec)
 }

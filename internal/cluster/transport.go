@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// sharedTransport is the one pooled, keep-alive http.Transport every
+// cluster-internal client (coordinator dispatch/poll/sync, worker
+// register/heartbeat, remote solve-cache tier) rides on. Before PR 10 each
+// of these built its own zero-value client; the zero-value client shares
+// http.DefaultTransport, but the coordinator's dispatch path is hot enough
+// (submit + a status poll every PollInterval per running job + heartbeats
+// from every worker) that it deserves an explicitly sized idle pool instead
+// of DefaultTransport's 2-per-host default, which forces most of that
+// traffic through fresh TCP handshakes. Reuse also depends on every caller
+// fully draining response bodies before closing them — doJSONHeader reads
+// each body to completion (client.go), which is what actually returns a
+// connection to this pool.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	// A coordinator polls every running job on every worker; size the idle
+	// pool for a busy fleet rather than DefaultTransport's 2 per host.
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   64,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+	ForceAttemptHTTP2:     true,
+}
+
+// newHTTPClient builds a cluster-internal client over the shared pooled
+// transport. timeout bounds the whole request (0 = no client-level bound;
+// callers then bound via context).
+func newHTTPClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout, Transport: sharedTransport}
+}

@@ -82,7 +82,7 @@ func NewWorker(cfg WorkerConfig, srv *service.Server) (*Worker, error) {
 	return &Worker{
 		cfg:    cfg,
 		srv:    srv,
-		client: &http.Client{Timeout: 10 * time.Second},
+		client: newHTTPClient(10 * time.Second),
 		beat:   cfg.HeartbeatEvery,
 		log:    cfg.Obs.Log,
 	}, nil

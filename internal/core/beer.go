@@ -43,6 +43,16 @@ type RecoverOptions struct {
 	// profile alone, but a noisy result also depends on the drop budget and
 	// support scores.
 	SolveCache SolveCache
+	// DiscoveryCache, when set, memoizes the §5.1 discovery stage across
+	// recoveries of identically-configured chips: a chip exposing LayoutKey
+	// (the LayoutKeyer extension) whose key plus discovery options were seen
+	// before reuses the cached cell classes, row list and word layout without
+	// touching the chip. Discovery's outcome is a pure function of the key,
+	// but skipping its reads does advance the chip's read history differently,
+	// so collected raw counts can differ from an uncached run at the VRT-noise
+	// level — exactly the noise the §5.2 threshold filter rejects. Serving
+	// paths opt in (beerd); CLIs and tests run uncached by default.
+	DiscoveryCache DiscoveryCache
 	// PerturbProfile, when set, transforms the thresholded profile before
 	// the solve stage — the injection point for probabilistic observation
 	// models (internal/noise installs per-bit Bernoulli FP-injection /
@@ -171,6 +181,17 @@ func Observe(ctx context.Context, chip Chip, opts RecoverOptions) (*ChipObservat
 // and the planned recovery paths (core and parallel), which need discovery
 // decoupled from collection.
 func DiscoverChip(chip Chip, opts RecoverOptions) (classes [][]CellClass, rows []RowRef, layout WordLayout, err error) {
+	var cacheKey string
+	if opts.DiscoveryCache != nil {
+		if lk, ok := chip.(LayoutKeyer); ok {
+			if ck := lk.LayoutKey(); ck != "" {
+				cacheKey = fmt.Sprintf("%s|layout=%+v|maxrows=%d", ck, opts.Layout, opts.MaxRows)
+				if d, ok := opts.DiscoveryCache.Lookup(cacheKey); ok {
+					return d.CellClasses, d.Rows, d.Layout, nil
+				}
+			}
+		}
+	}
 	classes = DiscoverCellLayout(chip, opts.Layout)
 	rows = TrueRows(classes)
 	if len(rows) == 0 {
@@ -182,6 +203,9 @@ func DiscoverChip(chip Chip, opts RecoverOptions) (classes [][]CellClass, rows [
 	layout, err = DiscoverWordLayout(chip, rows, opts.Layout)
 	if err != nil {
 		return classes, rows, layout, fmt.Errorf("core: word layout: %w", err)
+	}
+	if cacheKey != "" {
+		opts.DiscoveryCache.Store(cacheKey, &DiscoveredLayout{CellClasses: classes, Rows: rows, Layout: layout})
 	}
 	return classes, rows, layout, nil
 }

@@ -201,6 +201,15 @@ func CollectCounts(ctx context.Context, chip Chip, rows []RowRef, layout WordLay
 	}
 
 	rowData := make([]byte, chip.DataBytesPerRow())
+	// Chips exposing ReadRowInto (ondie.Chip does) read back into one reused
+	// buffer, so the sweep's read loop — rows × windows × rounds iterations —
+	// allocates nothing in steady state. Other Chip implementations fall back
+	// to the allocating ReadRow.
+	readBuf := make([]byte, chip.DataBytesPerRow())
+	readRow := func(bank, row int) []byte { return chip.ReadRow(bank, row) }
+	if into, ok := chip.(rowReader); ok {
+		readRow = func(bank, row int) []byte { return into.ReadRowInto(bank, row, readBuf) }
+	}
 	pass := 0
 	passes := sweepPasses(opts)
 	for round := 0; round < rounds; round++ {
@@ -223,7 +232,7 @@ func CollectCounts(ctx context.Context, chip Chip, rows []RowRef, layout WordLay
 			}
 			chip.PauseRefresh(window)
 			for ri, rr := range rows {
-				got := chip.ReadRow(rr.Bank, rr.Row)
+				got := readRow(rr.Bank, rr.Row)
 				for w := 0; w < wordsPerRow; w++ {
 					pi := patOf(ri, w)
 					entry := &counts.Entries[pi]
@@ -242,6 +251,12 @@ func CollectCounts(ctx context.Context, chip Chip, rows []RowRef, layout WordLay
 		}
 	}
 	return counts, nil
+}
+
+// rowReader is the optional fast-path extension of Chip: read a row into
+// caller-owned storage instead of allocating the return slice per call.
+type rowReader interface {
+	ReadRowInto(bank, row int, data []byte) []byte
 }
 
 // placeWord writes a dataword's bytes into the row buffer per the layout.

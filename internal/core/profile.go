@@ -131,10 +131,17 @@ func exactProfileSliced(code *ecc.Code, patterns []Pattern, anti bool) *Profile 
 	k := code.K()
 	r := code.ParityBits()
 	chunks := (k + 63) / 64
+	// All scratch below comes from a pooled slab: the profile oracle runs on
+	// every submission's routing/dedupe hashing and inside the engine's cache
+	// fill, so steady-state serving must not allocate per call. Only the
+	// per-pattern `possible` vectors escape (into the returned Profile) and
+	// stay heap-allocated.
+	slab := gf2.GetSlab()
+	defer gf2.PutSlab(slab)
 	// Columns packed as uint64 (r <= 64 by ecc invariant) drive the sigma /
 	// subset arithmetic; the transposed planes drive the per-bit test.
-	cols := make([]uint64, k)
-	planes := make([]uint64, r*chunks)
+	cols := slab.Uint64s(k)
+	planes := slab.Uint64s(r * chunks)
 	var rowParity uint64
 	for j := 0; j < k; j++ {
 		c := code.Column(j).Uint64()
@@ -150,14 +157,14 @@ func exactProfileSliced(code *ecc.Code, patterns []Pattern, anti bool) *Profile 
 	}
 	// laneFull[c] masks the valid data-bit lanes of chunk c (the last chunk
 	// is ragged when k is not a multiple of 64).
-	laneFull := make([]uint64, chunks)
+	laneFull := slab.Uint64s(chunks)
 	for c := range laneFull {
 		laneFull[c] = ^uint64(0)
 	}
 	if k%64 != 0 {
 		laneFull[chunks-1] = (1 << uint(k%64)) - 1
 	}
-	chargedLanes := make([]uint64, chunks)
+	chargedLanes := slab.Uint64s(chunks)
 	prof := &Profile{K: k, Entries: make([]Entry, 0, len(patterns))}
 	for _, pat := range patterns {
 		s := pat.Charged()
@@ -174,8 +181,9 @@ func exactProfileSliced(code *ecc.Code, patterns []Pattern, anti bool) *Profile 
 			constrained = (rowParity ^ sigma) & full
 		}
 		// Enumerate error subsets T of S; 2^|S| is small (|S| <= 3 in all
-		// paper configurations).
-		subsets := make([]uint64, 0, 1<<uint(len(s)))
+		// paper configurations). Carved per pattern: the slab bump offset
+		// just advances, and the capacity clip keeps appends in bounds.
+		subsets := slab.Uint64s(1 << uint(len(s)))[:0]
 		for mask := 0; mask < 1<<uint(len(s)); mask++ {
 			var v uint64
 			for bi, j := range s {

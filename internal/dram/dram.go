@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	mathbits "math/bits"
+	"sync"
 	"time"
 
 	"repro/internal/gf2"
@@ -193,6 +194,9 @@ type Chip struct {
 	// is provably identical (float multiply and Exp are monotone), which
 	// removes the Exp+Erfinv pair from almost every cell read.
 	vrtLo, vrtHi float64
+	// retKey/ret bind the chip to its shared retention table.
+	retKey retKey
+	ret    *retTable
 }
 
 type rowState struct {
@@ -200,11 +204,135 @@ type rowState struct {
 	charges gf2.Vec
 	// writeStamp is the chip's thermalSeconds at the time of the write.
 	writeStamp float64
-	// ret lazily caches each cell's fixed retention time in seconds at the
-	// reference temperature. Retention is a pure function of the address, so
-	// the cache never invalidates — it just removes the per-read hash +
-	// LogNormal evaluation that used to dominate collection time.
-	ret []float64
+	// ret points at the row's entry in the process-wide shared retention
+	// table (see retTables), bound on first read. Retention is a pure
+	// function of (seed, address, model), so the entry never invalidates and
+	// is shared by every chip built from an equal config — a serving
+	// workload that re-submits the same job spec re-simulates the same chip,
+	// and the rebuild used to recompute every cell's log-normal draw.
+	ret *rowRet
+}
+
+// retKey identifies a chip's immutable retention universe: every cell's
+// retention time, and therefore every decay mask, is fully determined by it.
+// Layout and TransientBER are deliberately absent — they do not feed the
+// retention hash, so chips of different manufacturers share tables.
+type retKey struct {
+	seed        uint64
+	banks, rows int
+	cellsPerRow int
+	model       RetentionModel
+}
+
+// decayMask is the precomputed verdict of one (row, exposure) pair: cells in
+// decayed lose their charge for every reachable VRT jitter, cells in
+// borderline need the exact per-read jitter draw, and every other cell
+// provably survives. Masks make the common read — every cell far from the
+// decay threshold — a handful of word ops instead of a loop over charged
+// cells.
+type decayMask struct {
+	decayed    []uint64
+	borderline []int32
+}
+
+// maxCachedExposures bounds a row's mask cache. Sweeps use a fixed handful
+// of refresh windows, so the bound exists only to keep a pathological
+// workload (one that never repeats an exposure) from accumulating masks;
+// beyond it, masks are computed per read and not retained.
+const maxCachedExposures = 64
+
+// rowRet is one row's shared retention state: the per-cell retention times
+// and the per-exposure decay masks derived from them.
+type rowRet struct {
+	ret   []float64
+	mu    sync.Mutex
+	masks map[float64]*decayMask
+}
+
+// maskFor returns the row's decay mask for the given exposure, building and
+// caching it on first use. lo/hi are the chip's VRT jitter bounds (1,1 when
+// jitter is disabled).
+func (rr *rowRet) maskFor(exposure float64, m RetentionModel, lo, hi float64) *decayMask {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if dm, ok := rr.masks[exposure]; ok {
+		return dm
+	}
+	dm := &decayMask{decayed: make([]uint64, (len(rr.ret)+63)/64)}
+	for i, tRet := range rr.ret {
+		if m.VRTSigmaLog > 0 {
+			switch {
+			case tRet*hi < exposure:
+				dm.decayed[i/64] |= 1 << uint(i%64)
+			case tRet*lo >= exposure:
+				// survives for every reachable jitter
+			default:
+				dm.borderline = append(dm.borderline, int32(i))
+			}
+		} else if tRet < exposure {
+			dm.decayed[i/64] |= 1 << uint(i%64)
+		}
+	}
+	if rr.masks == nil {
+		rr.masks = make(map[float64]*decayMask)
+	}
+	if len(rr.masks) < maxCachedExposures {
+		rr.masks[exposure] = dm
+	}
+	return dm
+}
+
+// retTable holds the lazily-built rowRet entries of one retention universe.
+type retTable struct {
+	mu   sync.Mutex
+	rows map[uint32]*rowRet
+}
+
+// rowOf returns the shared entry for a row, building its retention times on
+// first use.
+func (t *retTable) rowOf(key retKey, bank, row int) *rowRet {
+	idx := uint32(bank*key.rows + row)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rr, ok := t.rows[idx]; ok {
+		return rr
+	}
+	rr := &rowRet{ret: make([]float64, key.cellsPerRow)}
+	for i := range rr.ret {
+		h := stats.HashN(key.seed, uint64(bank), uint64(row), uint64(i))
+		rr.ret[i] = key.model.CellRetentionSeconds(h)
+	}
+	t.rows[idx] = rr
+	return rr
+}
+
+// retTables interns retention tables by chip config, capped at
+// maxRetTables: a serving workload cycles through a small set of simulated
+// chip configs, and the cap bounds memory for everything else. Eviction is
+// safe — chips keep direct pointers to the rowRet entries they already
+// bound, and a re-built table just recomputes the same pure function.
+const maxRetTables = 16
+
+var (
+	retTablesMu sync.Mutex
+	retTables   = make(map[retKey]*retTable)
+)
+
+func sharedRetTable(key retKey) *retTable {
+	retTablesMu.Lock()
+	defer retTablesMu.Unlock()
+	if t, ok := retTables[key]; ok {
+		return t
+	}
+	if len(retTables) >= maxRetTables {
+		for k := range retTables {
+			delete(retTables, k)
+			break
+		}
+	}
+	t := &retTable{rows: make(map[uint32]*rowRet)}
+	retTables[key] = t
+	return t
 }
 
 // New constructs a chip. Zero-valued retention fields fall back to
@@ -225,6 +353,11 @@ func New(cfg Config) *Chip {
 		c.vrtLo = math.Exp(vs * -vrtJitterBound)
 		c.vrtHi = math.Exp(vs * vrtJitterBound)
 	}
+	c.retKey = retKey{
+		seed: cfg.Seed, banks: cfg.Banks, rows: cfg.Rows,
+		cellsPerRow: cfg.CellsPerRow, model: cfg.Retention,
+	}
+	c.ret = sharedRetTable(c.retKey)
 	c.rows = make([][]rowState, cfg.Banks)
 	for b := range c.rows {
 		c.rows[b] = make([]rowState, cfg.Rows)
@@ -291,15 +424,12 @@ func (c *Chip) WriteRow(bank, row int, bits gf2.Vec) {
 	st.writeStamp = c.thermalSeconds
 }
 
-// retentionOf returns the row's per-cell retention-time cache, building it on
-// first use.
-func (c *Chip) retentionOf(bank, row int, st *rowState) []float64 {
+// retentionOf returns the row's shared retention entry, binding it on first
+// use. The entry comes from the process-wide interned table, so an identical
+// chip built earlier (a re-submitted job spec) has already paid for it.
+func (c *Chip) retentionOf(bank, row int, st *rowState) *rowRet {
 	if st.ret == nil {
-		st.ret = make([]float64, c.cfg.CellsPerRow)
-		for i := range st.ret {
-			h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
-			st.ret[i] = c.cfg.Retention.CellRetentionSeconds(h)
-		}
+		st.ret = c.ret.rowOf(c.retKey, bank, row)
 	}
 	return st.ret
 }
@@ -329,36 +459,32 @@ func (c *Chip) ReadRowInto(bank, row int, dst gf2.Vec) gf2.Vec {
 	m := c.cfg.Retention
 	dst.CopyFrom(st.charges)
 	if exposure > 0 {
-		ret := c.retentionOf(bank, row, st)
+		rr := c.retentionOf(bank, row, st)
+		// The (row, exposure) decay verdict is precomputed once and shared:
+		// clearing the definite-decay mask replaces the per-charged-cell
+		// retention comparison (and the jitter band classification — see
+		// maskFor) with one word op per 64 cells. Only borderline cells —
+		// those whose verdict genuinely depends on the per-read VRT jitter —
+		// still pay for the exact hash + NormalInv + Exp evaluation, exactly
+		// as the scalar loop did, so results are bit-identical.
+		dm := rr.maskFor(exposure, m, c.vrtLo, c.vrtHi)
 		dw := dst.Words()
-		for wi, w := range st.charges.Words() { // only CHARGED cells can decay
-			for w != 0 {
-				b := mathbits.TrailingZeros64(w)
-				w &= w - 1
-				i := wi*64 + b
-				tRet := ret[i]
-				if m.VRTSigmaLog > 0 {
-					// Jitter band: outside [exposure/vrtHi, exposure/vrtLo]
-					// the decision cannot depend on the per-read jitter (the
-					// factor is bounded by [vrtLo, vrtHi] and float multiply/
-					// Exp are monotone), so only borderline cells pay for the
-					// exact hash + NormalInv + Exp evaluation.
-					switch {
-					case tRet*c.vrtHi < exposure:
-						// decays for every reachable jitter
-					case tRet*c.vrtLo >= exposure:
-						continue // survives for every reachable jitter
-					default:
-						h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
-						jitter := stats.NormalInv(stats.Uniform01(stats.HashN(h, c.readCounter)))
-						if tRet*math.Exp(m.VRTSigmaLog*jitter) >= exposure {
-							continue
-						}
-					}
-				} else if tRet >= exposure {
+		for wi := range dw {
+			dw[wi] &^= dm.decayed[wi]
+		}
+		if len(dm.borderline) > 0 {
+			cw := st.charges.Words()
+			for _, bi := range dm.borderline {
+				i := int(bi)
+				if cw[i/64]>>uint(i%64)&1 == 0 {
+					continue // only CHARGED cells can decay
+				}
+				h := stats.HashN(c.cfg.Seed, uint64(bank), uint64(row), uint64(i))
+				jitter := stats.NormalInv(stats.Uniform01(stats.HashN(h, c.readCounter)))
+				if rr.ret[i]*math.Exp(m.VRTSigmaLog*jitter) >= exposure {
 					continue
 				}
-				dw[wi] &^= 1 << uint(b)
+				dw[i/64] &^= 1 << uint(i%64)
 			}
 		}
 	}
@@ -432,7 +558,7 @@ func (c *Chip) RefreshAll() {
 			if exposure <= 0 {
 				continue
 			}
-			ret := c.retentionOf(b, r, st)
+			ret := c.retentionOf(b, r, st).ret
 			cw := st.charges.Words()
 			for wi, w := range cw {
 				for w != 0 {

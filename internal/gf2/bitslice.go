@@ -3,6 +3,7 @@ package gf2
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Batch is a bitsliced batch of up to 64 equal-length bit vectors, the
@@ -148,10 +149,22 @@ type Slab struct {
 // their slice headers into the previous backing array.
 func (s *Slab) Alloc(bitsN, lanes int) Batch {
 	checkShape(bitsN, lanes)
-	if s.off+bitsN > len(s.buf) {
+	return Batch{bits: bitsN, lanes: lanes, w: s.Uint64s(bitsN)}
+}
+
+// Uint64s carves an all-zero word slice out of the slab — the untyped form
+// of Alloc, for scratch arrays that are not batch rows (column masks, bit
+// planes, subset enumerations). The returned slice is capacity-clipped, so
+// appends within its length never bleed into later carvings; the Reset
+// ownership rule applies exactly as for Alloc.
+func (s *Slab) Uint64s(n int) []uint64 {
+	if n < 0 {
+		panic(fmt.Sprintf("gf2: negative slab carving %d", n))
+	}
+	if s.off+n > len(s.buf) {
 		size := 2 * len(s.buf)
-		if size < bitsN+s.off {
-			size = bitsN + s.off
+		if size < n+s.off {
+			size = n + s.off
 		}
 		if size < 256 {
 			size = 256
@@ -159,14 +172,32 @@ func (s *Slab) Alloc(bitsN, lanes int) Batch {
 		s.buf = make([]uint64, size)
 		s.off = 0
 	}
-	w := s.buf[s.off : s.off+bitsN : s.off+bitsN]
-	s.off += bitsN
+	w := s.buf[s.off : s.off+n : s.off+n]
+	s.off += n
 	for i := range w {
 		w[i] = 0
 	}
-	return Batch{bits: bitsN, lanes: lanes, w: w}
+	return w
 }
 
 // Reset reclaims every outstanding view at once. Views handed out before the
 // Reset must not be used afterwards: the next Alloc reuses their rows.
 func (s *Slab) Reset() { s.off = 0 }
+
+// slabPool recycles Slabs across engine batches and profile computations:
+// steady-state work borrows a warm backing array instead of growing a fresh
+// one, so per-batch collection stops allocating. Slabs are not safe for
+// concurrent use — the pool hands each borrower exclusive ownership until
+// PutSlab.
+var slabPool = sync.Pool{New: func() any { return new(Slab) }}
+
+// GetSlab borrows a reset Slab from the package pool.
+func GetSlab() *Slab {
+	s := slabPool.Get().(*Slab)
+	s.Reset()
+	return s
+}
+
+// PutSlab returns a Slab to the pool. The caller must not use the slab, or
+// any view carved from it, after the call.
+func PutSlab(s *Slab) { slabPool.Put(s) }

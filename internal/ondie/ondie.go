@@ -203,6 +203,20 @@ func (c *Chip) DataBytesPerRow() int { return c.wordsPerRow * c.dataBytes }
 // paper's 32B granularity for 16B words).
 func (c *Chip) RegionBytes() int { return 2 * c.dataBytes }
 
+// LayoutKey implements core's LayoutKeyer extension for discovery caching:
+// two freshly-constructed chips with equal keys are bit-identical, so one
+// chip's discovered layout stands for every chip sharing the key. A chip
+// built with an injected Code override reports no key (opting out of the
+// cache) — the override is not captured by the config's value fields.
+func (c *Chip) LayoutKey() string {
+	if c.cfg.Code != nil {
+		return ""
+	}
+	return fmt.Sprintf("ondie|%s|k=%d|b=%d|r=%d|rpr=%d|seed=%d|ret=%+v|tber=%g|scalar=%t",
+		c.cfg.Manufacturer, c.cfg.DataBits, c.cfg.Banks, c.cfg.Rows, c.cfg.RegionsPerRow,
+		c.cfg.Seed, c.cfg.Retention, c.cfg.TransientBER, c.cfg.ScalarECC)
+}
+
 // SetTemperature sets the ambient temperature for retention behavior.
 func (c *Chip) SetTemperature(celsius float64) { c.sub.SetTemperature(celsius) }
 
@@ -284,16 +298,28 @@ func (c *Chip) writeRowScalar(bank, row int, data []byte) {
 
 // ReadRow reads, ECC-decodes, and de-interleaves a full row. Decoding runs
 // through the bitsliced batch codec over a per-chip cell buffer; only the
-// returned byte slice is allocated.
+// returned byte slice is allocated. Collection loops that read millions of
+// rows should use ReadRowInto with a reused buffer instead.
 func (c *Chip) ReadRow(bank, row int) []byte {
+	return c.ReadRowInto(bank, row, make([]byte, c.DataBytesPerRow()))
+}
+
+// ReadRowInto is ReadRow writing into caller-owned storage: data must have
+// length DataBytesPerRow, is fully overwritten, and is returned. With a
+// reused buffer the bitsliced read path allocates nothing in steady state.
+func (c *Chip) ReadRowInto(bank, row int, data []byte) []byte {
+	if len(data) != c.DataBytesPerRow() {
+		panic(fmt.Sprintf("ondie: ReadRowInto buffer length %d, row holds %d bytes",
+			len(data), c.DataBytesPerRow()))
+	}
 	if c.cfg.ScalarECC {
-		return c.readRowScalar(bank, row)
+		copy(data, c.readRowScalar(bank, row))
+		return data
 	}
 	n, r := c.code.N(), c.code.ParityBits()
 	bc := c.code.Bitsliced()
 	cells := c.sub.ReadRowInto(bank, row, c.cells)
 	cellw := cells.Words()
-	data := make([]byte, c.DataBytesPerRow())
 	c.slab.Reset()
 	for w0 := 0; w0 < c.wordsPerRow; w0 += 64 {
 		lanes := c.wordsPerRow - w0

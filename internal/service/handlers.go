@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -573,12 +575,56 @@ func (s *Server) status(j *job) JobStatus {
 	}
 }
 
+// bufPool recycles the scratch buffers every JSON response is encoded into.
+// Serializing to a pooled buffer first (instead of an Encoder writing to the
+// ResponseWriter) costs one copy but stops the serialization path from
+// allocating an encoder state machine and growth-resized buffer per request
+// — measurable on beerload's status-poll hot loop.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// putBuf returns a scratch buffer to the pool unless it grew past the point
+// where retaining it would pin more memory than re-allocating costs (large
+// /codes listings).
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= 1<<16 {
+		bufPool.Put(buf)
+	}
+}
+
+// encodeJSON renders v in the API's canonical form: two-space indent plus
+// the trailing newline json.Encoder emits.
+func encodeJSON(buf *bytes.Buffer, v any) error {
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = encodeJSON(buf, v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	putBuf(buf)
+}
+
+// statusBody returns the serialized GET /jobs/{id} response for j, rebuilding
+// it only when a progress event or state transition has invalidated the
+// cached bytes (see job.invalidateStatus). Holding bodyMu across the rebuild
+// makes concurrent pollers of one job coalesce onto a single snapshot+marshal.
+// The returned slice is shared and must not be mutated.
+func (s *Server) statusBody(j *job) []byte {
+	j.bodyMu.Lock()
+	defer j.bodyMu.Unlock()
+	if j.body == nil {
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		_ = encodeJSON(buf, s.status(j))
+		j.body = append([]byte(nil), buf.Bytes()...)
+		putBuf(buf)
+	}
+	return j.body
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -640,7 +686,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.status(j))
+	// Serve the cached serialized body: a hot poll loop pays the monotonic
+	// progress merge and the JSON marshal once per progress event, not once
+	// per request.
+	body := s.statusBody(j)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -672,6 +724,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.markUserCanceled() // DELETE is terminal: never resumed after a restart
+	// Release the single-flight slot eagerly: the execution is doomed, so a
+	// new identical submission must start fresh instead of attaching to it.
+	s.releaseDedupe(j)
 	j.cancel()
 	// Record the terminal intent durably NOW: the goroutine persists the
 	// final state only at its next pass boundary, and a crash in between

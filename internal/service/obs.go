@@ -38,6 +38,7 @@ type serverMetrics struct {
 
 	cacheLookups *obs.Counter
 	cacheHits    *obs.Counter
+	dedupeHits   *obs.Counter
 
 	noisyRecoveries *obs.Counter
 	entriesDropped  *obs.Counter
@@ -83,6 +84,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Solve-cache lookups (store registry plus any remote tier)."),
 		cacheHits: r.Counter("beerd_solve_cache_hits_total",
 			"Solve-cache hits served without invoking the SAT solver."),
+		dedupeHits: r.Counter("beerd_dedupe_hits_total",
+			"Submissions attached to an already-executing identical job (single-flight)."),
 		noisyRecoveries: r.Counter("beerd_noisy_recoveries_total",
 			"Recoveries that ran the confidence-weighted drop-k solver."),
 		entriesDropped: r.Counter("beerd_noise_entries_dropped_total",

@@ -177,7 +177,7 @@ func (s *Server) registerTerminal(j *job, state State, errText string) {
 	}
 	j.cancel = func() {}
 	s.mu.Lock()
-	s.jobs[j.id] = j
+	s.table.put(j)
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 	s.persistJob(j)
@@ -216,7 +216,15 @@ func (s *Server) resume(j *job) {
 	j.state = StateRunning
 	j.errText = ""
 	j.finished = time.Time{}
+	key := dedupeKey(j.spec)
 	s.mu.Lock()
+	// A resumed job claims the single-flight slot for its spec (first one
+	// wins if several interrupted records share a spec), so submissions
+	// arriving while it re-runs attach to it instead of re-executing.
+	if _, taken := s.inflight[key]; !taken {
+		j.dedupeKey = key
+		s.inflight[key] = j
+	}
 	s.registerLocked(j)
 	s.mu.Unlock()
 	s.start(j, exec)
@@ -254,7 +262,7 @@ func (s *Server) replay(j *job, rec *store.JobRecord) {
 		j.progress.set(p)
 	}
 	s.mu.Lock()
-	s.jobs[j.id] = j
+	s.table.put(j)
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 }

@@ -74,16 +74,75 @@ type Server struct {
 	hub     *obs.Hub
 	metrics *serverMetrics
 
+	// mu is the admission lock: it serializes submission bookkeeping
+	// (sequence numbers, the running count, the drain flag, the in-flight
+	// dedupe index, the order listing and the WaitGroup Add/shutdown race).
+	// Job lookups do NOT take it — the job table itself is sharded (see
+	// jobTable), so the status-poll hot path never contends with admissions.
 	mu       sync.Mutex
-	jobs     map[string]*job
 	order    []string // submission order, for stable listings
 	seq      int
 	running  int // jobs currently executing (admission control)
 	draining bool
+	// inflight single-flights concurrent identical submissions: dedupe key
+	// (see dedupe.go) → the running job executing that spec. An entry lives
+	// from admission until the job's goroutine finishes (or the job is
+	// cancelled), so N simultaneous identical submissions share one
+	// execution and one solver invocation, and each receives the same job.
+	inflight map[string]*job
+
+	table jobTable
 
 	baseCtx  context.Context
 	shutdown context.CancelFunc
 	wg       sync.WaitGroup
+}
+
+// jobShards is the job-table stripe count. Shard selection is a hash of the
+// job ID, so the hot GET /jobs/{id} path locks 1/16th of the table instead
+// of a global mutex shared with submissions and completions.
+const jobShards = 16
+
+// jobTable is the sharded job map. Reads (get) take a shard's RLock;
+// inserts take its write lock. Membership never shrinks — jobs are retained
+// for status/result reads until the process exits, matching the previous
+// single-map behavior.
+type jobTable struct {
+	shards [jobShards]struct {
+		mu sync.RWMutex
+		m  map[string]*job
+	}
+}
+
+func (t *jobTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*job)
+	}
+}
+
+// shardOf picks the stripe for a job ID (FNV-1a).
+func (t *jobTable) shardOf(id string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % jobShards)
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	sh := &t.shards[t.shardOf(id)]
+	sh.mu.RLock()
+	j, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return j, ok
+}
+
+func (t *jobTable) put(j *job) {
+	sh := &t.shards[t.shardOf(j.id)]
+	sh.mu.Lock()
+	sh.m[j.id] = j
+	sh.mu.Unlock()
 }
 
 // Option configures a Server at construction.
@@ -139,10 +198,11 @@ func New(engine *repro.Engine, opts ...Option) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		engine:   engine,
-		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
 		baseCtx:  ctx,
 		shutdown: cancel,
 	}
+	s.table.init()
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -157,7 +217,12 @@ func New(engine *repro.Engine, opts ...Option) *Server {
 		s.metrics.storeSeconds.With(op).Observe(seconds)
 	})
 	if s.executor == nil {
-		s.executor = localExecutor{engine: engine, extraOpts: s.solverOpts, tracer: s.hub.Tracer}
+		// Every locally-executed recovery shares one discovery cache: repeat
+		// submissions of the same chip model skip the §5.1 read sweeps, which
+		// dominate the request path for small simulated chips. Spec-derived
+		// and deployment options are appended after and therefore win.
+		extra := append([]repro.Option{repro.WithDiscoveryCache(repro.NewDiscoveryCache(64))}, s.solverOpts...)
+		s.executor = localExecutor{engine: engine, extraOpts: extra, tracer: s.hub.Tracer}
 	}
 	s.recoverPersistedJobs()
 	return s
@@ -363,8 +428,23 @@ type job struct {
 	// span is the job's root trace span, opened at submission (nil for
 	// resumed/replayed jobs — their submitting request is long gone).
 	span *obs.Span
+	// dedupeKey is the spec's single-flight identity (see dedupe.go). Set
+	// at admission; the server's inflight entry under it is released when
+	// the job finishes or is user-cancelled.
+	dedupeKey string
 
 	progress progressTracker
+
+	// bodyMu guards body, the cached serialized JobStatus response. Status
+	// polls re-serve these bytes until a progress event or state transition
+	// invalidates them (invalidateStatus), so a hot poll loop stops paying
+	// the monotonic merge + JSON marshal per request. The lock is held
+	// across a rebuild: concurrent pollers of one job coalesce onto a
+	// single marshal, and an invalidation during a rebuild blocks until the
+	// (now possibly stale) bytes are stored, then nils them — a reader can
+	// serve a snapshot at most one event old, never a regressed one.
+	bodyMu sync.Mutex
+	body   []byte
 
 	// watchMu guards watchers: one signal channel per open SSE stream,
 	// poked (non-blocking) on every progress report and on the terminal
@@ -429,6 +509,13 @@ func (j *job) markUserCanceled() {
 	j.mu.Unlock()
 }
 
+// invalidateStatus drops the cached status body; the next poll rebuilds it.
+func (j *job) invalidateStatus() {
+	j.bodyMu.Lock()
+	j.body = nil
+	j.bodyMu.Unlock()
+}
+
 func (j *job) snapshotState() (State, string, time.Time, time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -473,16 +560,33 @@ func (e *SaturatedError) RetryAfter() time.Duration { return time.Second }
 // (parsed from its traceparent header): the job's root span becomes its
 // child, which is how a coordinator's dispatch span and the worker-side
 // job span stitch into one trace.
+//
+// Identical concurrent submissions single-flight: if a job with the same
+// dedupe key (analytic profile hash + the result-affecting remainder of the
+// normalized spec, see dedupe.go) is already executing, the caller is
+// attached to that job — same ID, same status stream, same result — and no
+// new execution, persistence or solver work happens. The dedupe check sits
+// before the drain/saturation gates on purpose: joining an in-flight
+// execution adds no load, so it stays available even when admissions are
+// rejected.
 func (s *Server) submit(spec JobSpec, parent obs.SpanContext) (*job, error) {
 	exec, err := s.executor.Prepare(spec)
 	if err != nil {
 		return nil, err
 	}
+	key := dedupeKey(spec)
 
 	s.mu.Lock()
 	if s.baseCtx.Err() != nil {
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
+	}
+	if prev, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.metrics.dedupeHits.Inc()
+		s.hub.Log.Debug("job deduplicated onto in-flight execution",
+			"job_id", prev.id, "type", spec.Type)
+		return prev, nil
 	}
 	if s.draining {
 		s.mu.Unlock()
@@ -495,14 +599,16 @@ func (s *Server) submit(spec JobSpec, parent obs.SpanContext) (*job, error) {
 	}
 	s.seq++
 	j := &job{
-		id:      fmt.Sprintf("job-%d", s.seq),
-		spec:    spec,
-		created: time.Now(),
-		state:   StateRunning,
+		id:        fmt.Sprintf("job-%d", s.seq),
+		spec:      spec,
+		created:   time.Now(),
+		state:     StateRunning,
+		dedupeKey: key,
 	}
 	j.progress.metrics = s.metrics
 	j.progress.update(ProgressStatus{Chips: spec.chipCount()})
 	s.registerLocked(j)
+	s.inflight[key] = j
 	s.mu.Unlock()
 
 	j.span = s.hub.Tracer.StartSpan(parent, "beerd.job")
@@ -525,10 +631,25 @@ func (s *Server) registerLocked(j *job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.runCtx = ctx
 	j.cancel = cancel
-	s.jobs[j.id] = j
+	s.table.put(j)
 	s.order = append(s.order, j.id)
 	s.running++
 	s.wg.Add(1)
+}
+
+// releaseDedupe drops the job's in-flight single-flight entry, if it still
+// owns one. Called when the job's goroutine finishes, and eagerly on DELETE
+// so a freshly cancelled (doomed) execution stops absorbing new identical
+// submissions.
+func (s *Server) releaseDedupe(j *job) {
+	if j.dedupeKey == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.inflight[j.dedupeKey] == j {
+		delete(s.inflight, j.dedupeKey)
+	}
+	s.mu.Unlock()
 }
 
 // start persists the job's running record and launches its goroutine. The
@@ -538,6 +659,7 @@ func (s *Server) start(j *job, exec Execution) {
 	j.mu.Lock()
 	j.started = time.Now()
 	j.mu.Unlock()
+	j.invalidateStatus()
 	if j.span == nil {
 		// Resumed after a restart: the submitting request (and its trace)
 		// is gone, so the re-run gets a fresh root span.
@@ -555,6 +677,7 @@ func (s *Server) start(j *job, exec Execution) {
 			Cache: s.jobCache(j),
 			Report: func(p ProgressStatus) {
 				j.progress.update(p)
+				j.invalidateStatus()
 				j.notify() // wake SSE streams
 			},
 			Trace: j.span.Context(),
@@ -578,8 +701,17 @@ func (s *Server) start(j *job, exec Execution) {
 		}
 		s.mu.Lock()
 		s.running--
+		if j.dedupeKey != "" && s.inflight[j.dedupeKey] == j {
+			delete(s.inflight, j.dedupeKey)
+		}
 		s.mu.Unlock()
+		// Persist the terminal record before invalidating the cached status
+		// body: pollers keep being served the stale "running" snapshot until
+		// the store write lands, so a client that observes a terminal status
+		// and immediately inspects the store (or restarts the server) finds
+		// the terminal record already durable.
 		s.persistJob(j)
+		j.invalidateStatus()
 
 		state, errText, started, finished := j.snapshotState()
 		s.metrics.observeFinished(j.spec.Type, state, started, finished, result)
@@ -632,21 +764,22 @@ func (c tieredCache) Store(p *repro.Profile, res *repro.SolveResult) {
 	c.tier.Store(p, res)
 }
 
-// get returns a job by id.
+// get returns a job by id. This is the status-poll hot path: it touches
+// only the job's table shard, never the admission lock.
 func (s *Server) get(id string) (*job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
+	return s.table.get(id)
 }
 
 // list returns all jobs in submission order.
 func (s *Server) list() []*job {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*job, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.jobs[id])
+	order := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]*job, 0, len(order))
+	for _, id := range order {
+		if j, ok := s.table.get(id); ok {
+			out = append(out, j)
+		}
 	}
 	return out
 }

@@ -30,16 +30,37 @@ type Store struct {
 	// repeated lookups of a hot hash skip the backend read and code
 	// re-parsing. Shared by every SolveCache view of this Store.
 	results *LRU[string, *core.Result]
+	// codes caches parsed registry records per profile hash, so GetCode —
+	// the solve-cache write path's provenance check, the /codes handlers and
+	// a coordinator's remote-cache lookups — stops paying a disk open plus a
+	// JSON decode per hit on a file backend. Entries are shared read-only.
+	codes *LRU[string, codeEntry]
 }
 
 // resultCacheSize bounds the in-memory result cache fronting the backend. A
 // result is a handful of parsed codes — hundreds are cheap, and the durable
-// record remains behind every eviction.
-const resultCacheSize = 512
+// record remains behind every eviction. codeCacheSize bounds the parsed
+// CodeRecord cache the same way.
+const (
+	resultCacheSize = 512
+	codeCacheSize   = 512
+)
+
+// codeEntry is one cached GetCode outcome: the parsed record, or the read
+// error that produced no record. Misses and errors are never left in the
+// cache (see GetCode), so the zero entry only ever exists transiently.
+type codeEntry struct {
+	rec *CodeRecord
+	err error
+}
 
 // New wraps a Backend in the typed Store layer.
 func New(b Backend) *Store {
-	return &Store{backend: b, results: NewLRU[string, *core.Result](resultCacheSize)}
+	return &Store{
+		backend: b,
+		results: NewLRU[string, *core.Result](resultCacheSize),
+		codes:   NewLRU[string, codeEntry](codeCacheSize),
+	}
 }
 
 // Backend returns the underlying persistence backend.
@@ -180,22 +201,43 @@ func (r *CodeRecord) Result() (*core.Result, error) {
 }
 
 // PutCode writes a registry record under its profile hash, overwriting any
-// previous record for the hash.
+// previous record for the hash. The caller yields ownership: the record is
+// cached and later GetCode callers share it read-only.
 func (s *Store) PutCode(rec *CodeRecord) error {
 	if rec.ProfileHash == "" {
 		return fmt.Errorf("store: code record without profile hash")
 	}
-	return s.putJSON(BucketCodes, rec.ProfileHash, rec)
+	if err := s.putJSON(BucketCodes, rec.ProfileHash, rec); err != nil {
+		return err
+	}
+	s.codes.Add(rec.ProfileHash, codeEntry{rec: rec})
+	return nil
 }
 
-// GetCode returns the registry record for a profile hash.
+// GetCode returns the registry record for a profile hash. Hot hashes are
+// served from the in-memory record cache; the returned record is shared and
+// must be treated as read-only. Misses and read errors are never cached: a
+// record that appears in the backend later (seeded by an operator, or
+// written by another process sharing the store directory) is found on the
+// next lookup, and a corrupt record keeps reporting its error until the
+// solve-cache path overwrites it.
 func (s *Store) GetCode(profileHash string) (*CodeRecord, bool, error) {
-	rec := new(CodeRecord)
-	ok, err := s.getJSON(BucketCodes, profileHash, rec)
-	if !ok || err != nil {
-		return nil, false, err
+	e := s.codes.Get(profileHash, func() codeEntry {
+		rec := new(CodeRecord)
+		ok, err := s.getJSON(BucketCodes, profileHash, rec)
+		if err != nil {
+			return codeEntry{err: err}
+		}
+		if !ok {
+			return codeEntry{}
+		}
+		return codeEntry{rec: rec}
+	})
+	if e.rec == nil {
+		s.codes.Remove(profileHash)
+		return nil, false, e.err
 	}
-	return rec, true, nil
+	return e.rec, true, nil
 }
 
 // Codes lists every registry record, oldest first (ties break on hash).

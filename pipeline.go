@@ -247,6 +247,28 @@ func WithMaxSolutions(n int) Option {
 // callback must be fast and safe for concurrent use across jobs sharing it.
 func WithProgress(fn ProgressFunc) Option { return func(p *Pipeline) { p.recover.Progress = fn } }
 
+// DiscoveryCache memoizes the §5.1 discovery stage across recoveries of
+// identically-configured chips (WithDiscoveryCache); build one with
+// NewDiscoveryCache.
+type DiscoveryCache = core.DiscoveryCache
+
+// NewDiscoveryCache returns the standard bounded discovery cache (max <= 0
+// selects the default capacity).
+func NewDiscoveryCache(max int) DiscoveryCache { return core.NewDiscoveryCache(max) }
+
+// WithDiscoveryCache installs a cache for the discovery stage: a chip whose
+// layout key (core.LayoutKeyer — the simulated ondie.Chip implements it) was
+// discovered before reuses the cached cell classes, rows and word layout
+// instead of re-running the §5.1 read sweeps. Share one cache across every
+// pipeline a serving process builds — that is what makes repeat submissions
+// of the same chip model cheap. Collected raw counts may differ from an
+// uncached run at the VRT-noise level (the skipped reads advance the chip's
+// read history differently); the §5.2 threshold filter absorbs exactly that
+// noise, so recovered codes are unaffected.
+func WithDiscoveryCache(c DiscoveryCache) Option {
+	return func(p *Pipeline) { p.recover.DiscoveryCache = c }
+}
+
 // WithSolveCache installs a solver-result cache consulted between the
 // threshold filter and the SAT search: a profile whose canonical hash
 // (Profile.Hash) was solved before replays the cached result with zero SAT

@@ -43,6 +43,18 @@ type compareOptions struct {
 	// single-CPU runner (where the pool degenerates to serial plus overhead)
 	// does not flake. Zero disables the check.
 	PairGrace float64
+	// ServeKeys are serving-path benchmarks (beerload's
+	// BenchmarkServeMixedCacheHeavy) gated direction-aware on their custom
+	// metrics instead of ns/op symmetrically: "jobs/sec" fails the gate when
+	// it DROPS beyond ServeTolerance, "p99-ms" when it GROWS beyond it.
+	// p50/p95 are reported but advisory — tail latency and throughput are
+	// the serving SLOs.
+	ServeKeys []string
+	// ServeTolerance is the allowed fractional move on serving keys
+	// (0.50 = fail below -50% jobs/sec or above +50% p99). Wider than
+	// Tolerance because wall-clock throughput of a 25-second loaded run
+	// varies more across CI hosts than single-benchmark ns/op.
+	ServeTolerance float64
 	// PortfolioGrace bounds SolveBackendPortfolio ns/op at PortfolioGrace *
 	// SolveBackendCDCL ns/op within the new run. The ratio is
 	// machine-independent (both legs run the same profile on the same host),
@@ -135,6 +147,36 @@ func compare(old, new *Baseline, opts compareOptions) compareReport {
 		}
 		if _, ok := oldBy[k]; !ok {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("key benchmark %s missing from baseline", k))
+		}
+	}
+	for _, k := range opts.ServeKeys {
+		if k = strings.TrimSpace(k); k == "" {
+			continue
+		}
+		o, okO := oldBy[k]
+		n, okN := newBy[k]
+		if !okO {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("serving key benchmark %s missing from baseline", k))
+		}
+		if !okN {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("serving key benchmark %s missing from new run", k))
+		}
+		if !okO || !okN {
+			continue
+		}
+		oj, nj := o.Extra["jobs/sec"], n.Extra["jobs/sec"]
+		o99, n99 := o.Extra["p99-ms"], n.Extra["p99-ms"]
+		fmt.Fprintf(&sb, "serving %s: jobs/sec %.1f -> %.1f (%s), p50 %.1f -> %.1f ms, p99 %.1f -> %.1f ms (%s)\n",
+			k, oj, nj, pct(oj, nj), o.Extra["p50-ms"], n.Extra["p50-ms"], o99, n99, pct(o99, n99))
+		if oj > 0 && nj < oj*(1-opts.ServeTolerance) {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s jobs/sec dropped %s (%.1f -> %.1f, tolerance -%.0f%%)",
+					k, pct(oj, nj), oj, nj, 100*opts.ServeTolerance))
+		}
+		if o99 > 0 && n99 > o99*(1+opts.ServeTolerance) {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s p99-ms regressed %s (%.1f -> %.1f, tolerance +%.0f%%)",
+					k, pct(o99, n99), o99, n99, 100*opts.ServeTolerance))
 		}
 	}
 	if opts.PairGrace > 0 {

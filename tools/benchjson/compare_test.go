@@ -148,6 +148,44 @@ func TestCompareCollectPairGate(t *testing.T) {
 	}
 }
 
+func serveBench(name string, jobsSec, p99 float64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: 1e9 / jobsSec,
+		Extra: map[string]float64{"jobs/sec": jobsSec, "p50-ms": p99 / 4, "p95-ms": p99 / 2, "p99-ms": p99}}
+}
+
+func TestCompareServeKeysDirectionAware(t *testing.T) {
+	o := compareOptions{ServeKeys: []string{"BenchmarkServeMixedCacheHeavy"}, ServeTolerance: 0.5}
+	old := bl(serveBench("BenchmarkServeMixedCacheHeavy", 300, 200))
+
+	// Faster throughput and fatter ns/op-irrelevant latency inside tolerance: pass.
+	rep := compare(old, bl(serveBench("BenchmarkServeMixedCacheHeavy", 400, 250)), o)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("improvement flagged: %v", rep.Failures)
+	}
+	if !strings.Contains(rep.Table, "serving BenchmarkServeMixedCacheHeavy") {
+		t.Fatal("serving delta line missing from table")
+	}
+
+	// Throughput drop beyond 50% fails; the direction matters — ns/op of a
+	// fixed-duration run is not gated symmetrically.
+	rep = compare(old, bl(serveBench("BenchmarkServeMixedCacheHeavy", 120, 200)), o)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "jobs/sec dropped") {
+		t.Fatalf("want jobs/sec failure, got %v", rep.Failures)
+	}
+
+	// p99 growth beyond 50% fails even with throughput held.
+	rep = compare(old, bl(serveBench("BenchmarkServeMixedCacheHeavy", 300, 350)), o)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "p99-ms regressed") {
+		t.Fatalf("want p99 failure, got %v", rep.Failures)
+	}
+
+	// A vanished serving key makes the gate vacuous — fail loudly.
+	rep = compare(old, bl(), o)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "missing from new run") {
+		t.Fatalf("want missing serving-key failure, got %v", rep.Failures)
+	}
+}
+
 func TestReadBaselineDetectsJSON(t *testing.T) {
 	jsonDoc := `{"benchmarks":[{"name":"BenchmarkFig8","iterations":1,"ns_per_op":123}]}`
 	b, err := readBaseline(strings.NewReader(jsonDoc))

@@ -53,6 +53,8 @@ func main() {
 	comparePath := flag.String("compare", "", "baseline JSON file to gate the stdin run against")
 	keys := flag.String("key", strings.Join(defaultKeys, ","), "comma-separated key benchmarks the gate enforces")
 	tolerance := flag.Float64("tolerance", 0.30, "fractional ns/op and bytes/op regression allowed on key benchmarks")
+	serveKeys := flag.String("serve-key", "", "comma-separated serving benchmarks gated direction-aware on their custom metrics (jobs/sec must not drop, p99-ms must not grow)")
+	serveTolerance := flag.Float64("serve-tolerance", 0.50, "fractional move allowed on serving keys (down in jobs/sec, up in p99-ms)")
 	pairGrace := flag.Float64("collect-pair-grace", 1.25, "max allowed ParallelCollect/SerialCollect ns ratio (slack for single-CPU hosts)")
 	portGrace := flag.Float64("portfolio-pair-grace", 10.0, "max allowed SolveBackendPortfolio/SolveBackendCDCL ns ratio (0 disables)")
 	flag.Parse()
@@ -86,6 +88,8 @@ func main() {
 	rep := compare(&old, in, compareOptions{
 		Keys:           strings.Split(*keys, ","),
 		Tolerance:      *tolerance,
+		ServeKeys:      strings.Split(*serveKeys, ","),
+		ServeTolerance: *serveTolerance,
 		PairGrace:      *pairGrace,
 		PortfolioGrace: *portGrace,
 	})
